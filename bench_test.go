@@ -1,0 +1,152 @@
+package repro
+
+// The benchmark harness: one benchmark per paper table/figure. Each run
+// regenerates the artifact (Quick scale by default so `go test -bench=.`
+// finishes in minutes; set -paperscale for the paper's sample sizes),
+// prints the rendered figure once, and reports the headline metrics so
+// bench output doubles as the paper-vs-measured record.
+
+import (
+	"flag"
+	"fmt"
+	"testing"
+)
+
+var paperScale = flag.Bool("paperscale", false, "run benchmarks at the paper's sample sizes")
+
+func benchScale() Scale {
+	if *paperScale {
+		return Paper
+	}
+	return Quick
+}
+
+// benchExperiment runs one registered experiment under the benchmark
+// harness, reporting its metrics.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := Lookup(id)
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	var res Result
+	for i := 0; i < b.N; i++ {
+		res = e.Run(Options{Scale: benchScale(), Seed: 1})
+	}
+	for name, v := range e.Metrics(res) {
+		b.ReportMetric(v, name)
+	}
+	if b.N == 1 {
+		fmt.Printf("\n===== %s — %s =====\n%s\n", e.ID, e.Title, res)
+	}
+}
+
+func BenchmarkTable21(b *testing.B)        { benchExperiment(b, "tab2.1") }
+func BenchmarkFigure11(b *testing.B)       { benchExperiment(b, "fig1.1") }
+func BenchmarkFigure41(b *testing.B)       { benchExperiment(b, "fig4.1") }
+func BenchmarkFigure43a(b *testing.B)      { benchExperiment(b, "fig4.3a") }
+func BenchmarkFigure43b(b *testing.B)      { benchExperiment(b, "fig4.3b") }
+func BenchmarkFigure43c(b *testing.B)      { benchExperiment(b, "fig4.3c") }
+func BenchmarkFigure44(b *testing.B)       { benchExperiment(b, "fig4.4") }
+func BenchmarkFigure45(b *testing.B)       { benchExperiment(b, "fig4.5") }
+func BenchmarkFigure46(b *testing.B)       { benchExperiment(b, "fig4.6") }
+func BenchmarkFigure47(b *testing.B)       { benchExperiment(b, "fig4.7") }
+func BenchmarkSection45EEVDF(b *testing.B) { benchExperiment(b, "sec4.5") }
+func BenchmarkColocation(b *testing.B)     { benchExperiment(b, "sec4.4") }
+func BenchmarkFigure51(b *testing.B)       { benchExperiment(b, "fig5.1") }
+func BenchmarkFigure51EEVDF(b *testing.B)  { benchExperiment(b, "fig5.1e") }
+func BenchmarkFigure52(b *testing.B)       { benchExperiment(b, "fig5.2") }
+func BenchmarkFigure54(b *testing.B)       { benchExperiment(b, "fig5.4") }
+
+func BenchmarkExtensionNoise(b *testing.B) { benchExperiment(b, "ext.noise") }
+func BenchmarkExtensionEEVDF(b *testing.B) { benchExperiment(b, "ext.eevdf") }
+
+func BenchmarkAblationMitigation(b *testing.B)     { benchExperiment(b, "abl.mitigation") }
+func BenchmarkAblationGentleSleepers(b *testing.B) { benchExperiment(b, "abl.gentle") }
+func BenchmarkAblationTimerSlack(b *testing.B)     { benchExperiment(b, "abl.slack") }
+func BenchmarkAblationRoundRobin(b *testing.B)     { benchExperiment(b, "abl.roundrobin") }
+
+// TestRegistryComplete pins the experiment inventory to DESIGN.md's index.
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"tab2.1", "fig1.1", "fig4.1", "fig4.3a", "fig4.3b", "fig4.3c",
+		"fig4.4", "fig4.5", "fig4.6", "fig4.7", "sec4.5", "sec4.4",
+		"fig5.1", "fig5.1e", "fig5.2", "fig5.4",
+		"ext.noise", "ext.eevdf",
+		"abl.mitigation", "abl.gentle", "abl.slack", "abl.roundrobin",
+	}
+	for _, id := range want {
+		if _, ok := Lookup(id); !ok {
+			t.Errorf("experiment %q missing from registry", id)
+		}
+	}
+	if len(Experiments()) != len(want) {
+		t.Errorf("registry has %d experiments, index lists %d", len(Experiments()), len(want))
+	}
+}
+
+// TestRunUnknown checks the error path.
+func TestRunUnknown(t *testing.T) {
+	if _, err := Run("fig9.9", Options{}); err == nil {
+		t.Fatal("want error for unknown id")
+	}
+}
+
+// TestQuickRunAll smoke-runs the cheap experiments through the public API.
+func TestQuickRunAll(t *testing.T) {
+	for _, id := range []string{"tab2.1", "fig4.1"} {
+		res, err := Run(id, Options{Scale: Quick, Seed: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.String() == "" {
+			t.Errorf("%s rendered empty", id)
+		}
+	}
+}
+
+// TestRunAllQuickScale executes every registered experiment at quick scale
+// (the same run `cplab all` does), verifying each renders and reports
+// metrics. Skipped under -short: it regenerates the whole artifact suite.
+func TestRunAllQuickScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full artifact suite")
+	}
+	for _, e := range Experiments() {
+		res := e.Run(Options{Scale: Quick, Seed: 1})
+		if res.String() == "" {
+			t.Errorf("%s rendered empty", e.ID)
+		}
+		m := e.Metrics(res)
+		if len(m) == 0 {
+			t.Errorf("%s reported no metrics", e.ID)
+		}
+		for name, v := range m {
+			if v != v { // NaN
+				t.Errorf("%s metric %s is NaN", e.ID, name)
+			}
+		}
+	}
+}
+
+// TestDeterminism: same seed, same result rendering.
+func TestDeterminism(t *testing.T) {
+	a, err := Run("fig4.1", Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := Run("fig4.1", Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b2.String() {
+		t.Fatal("same seed produced different results")
+	}
+	c, err := Run("fig4.1", Options{Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.String() == c.String() {
+		t.Fatal("different seeds produced identical vruntime walks")
+	}
+}

@@ -1,0 +1,121 @@
+// Command cplab regenerates the paper's tables and figures from the
+// simulation.
+//
+// Usage:
+//
+//	cplab list                 # show the experiment registry
+//	cplab run <id> [flags]     # regenerate one artifact (e.g. fig4.3b)
+//	cplab all [flags]          # regenerate everything, in paper order
+//
+// Flags:
+//
+//	-paper    run at the paper's sample sizes (default: quick shapes)
+//	-seed N   deterministic seed (default 1)
+//	-json     emit headline metrics as JSON instead of rendered figures
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	paper := fs.Bool("paper", false, "run at the paper's sample sizes")
+	seed := fs.Uint64("seed", 1, "deterministic seed")
+	asJSON := fs.Bool("json", false, "emit metrics as JSON instead of the rendered figure")
+
+	switch cmd {
+	case "list":
+		for _, e := range repro.Experiments() {
+			fmt.Printf("  %-14s %s\n", e.ID, e.Title)
+		}
+	case "run":
+		if len(os.Args) < 3 {
+			fmt.Fprintln(os.Stderr, "cplab run <id> [flags]")
+			os.Exit(2)
+		}
+		id := os.Args[2]
+		if err := fs.Parse(os.Args[3:]); err != nil {
+			os.Exit(2)
+		}
+		if err := runOne(id, options(*paper, *seed), *asJSON); err != nil {
+			fmt.Fprintln(os.Stderr, "cplab:", err)
+			os.Exit(1)
+		}
+	case "all":
+		if err := fs.Parse(os.Args[2:]); err != nil {
+			os.Exit(2)
+		}
+		for _, e := range repro.Experiments() {
+			if err := runOne(e.ID, options(*paper, *seed), *asJSON); err != nil {
+				fmt.Fprintln(os.Stderr, "cplab:", err)
+				os.Exit(1)
+			}
+		}
+	default:
+		usage()
+		os.Exit(2)
+	}
+}
+
+func options(paper bool, seed uint64) repro.Options {
+	scale := repro.Quick
+	if paper {
+		scale = repro.Paper
+	}
+	return repro.Options{Scale: scale, Seed: seed}
+}
+
+func runOne(id string, o repro.Options, asJSON bool) error {
+	e, ok := repro.Lookup(id)
+	if !ok {
+		return fmt.Errorf("unknown experiment %q (try `cplab list`)", id)
+	}
+	start := time.Now()
+	res := e.Run(o)
+	wall := time.Since(start).Round(time.Millisecond)
+	if asJSON {
+		out := map[string]any{
+			"id":      e.ID,
+			"title":   e.Title,
+			"wall_ms": wall.Milliseconds(),
+			"metrics": e.Metrics(res),
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(out)
+	}
+	fmt.Printf("===== %s — %s (wall %v) =====\n", e.ID, e.Title, wall)
+	fmt.Println(res)
+	names := make([]string, 0)
+	metrics := e.Metrics(res)
+	for name := range metrics {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Printf("  metric %-28s %.4f\n", name, metrics[name])
+	}
+	fmt.Println()
+	return nil
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `cplab — Controlled Preemption reproduction lab
+usage:
+  cplab list
+  cplab run <id> [-paper] [-seed N]
+  cplab all [-paper] [-seed N]`)
+}

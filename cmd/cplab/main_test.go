@@ -1,0 +1,32 @@
+package main
+
+import (
+	"testing"
+
+	"repro"
+)
+
+func TestOptions(t *testing.T) {
+	o := options(false, 7)
+	if o.Scale != repro.Quick || o.Seed != 7 {
+		t.Fatalf("options = %+v", o)
+	}
+	if o = options(true, 1); o.Scale != repro.Paper {
+		t.Fatalf("paper scale not selected")
+	}
+}
+
+func TestRunOneUnknown(t *testing.T) {
+	if err := runOne("fig0.0", repro.Options{}, false); err == nil {
+		t.Fatal("want error for unknown id")
+	}
+}
+
+func TestRunOneRendersAndJSON(t *testing.T) {
+	if err := runOne("tab2.1", repro.Options{Seed: 1}, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := runOne("tab2.1", repro.Options{Seed: 1}, true); err != nil {
+		t.Fatal(err)
+	}
+}

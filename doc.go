@@ -1,0 +1,33 @@
+// Package repro is a full reproduction, as a deterministic simulation, of
+// "Controlled Preemption: Amplifying Side-Channel Attacks from Userspace"
+// (ASPLOS 2025 / UCB EECS-2025-125).
+//
+// The paper's primitive lets a single unprivileged thread repeatedly
+// preempt a colocated victim after zero-to-few instructions by exploiting
+// scheduler fairness heuristics: a well-slept thread wakes with an
+// S_slack vruntime credit (Equation 2.1) and may preempt until the credit
+// shrinks to the S_preempt threshold (Equation 2.2) — a "preemption
+// budget" of hundreds of fine-grain preemptions per hibernation on the
+// Linux CFS, with an analogous budget on EEVDF.
+//
+// None of that is observable from a Go process (the Go runtime scheduler
+// destroys thread pinning and nanosecond timing), so this module rebuilds
+// the complete stack the paper depends on as a simulation:
+//
+//   - a kernel with CFS and EEVDF runqueues, hardware timers, signals and
+//     a load balancer (internal/kern, internal/cfs, internal/eevdf);
+//   - a microarchitecture with caches, TLBs and a BTB (internal/cache,
+//     internal/tlb, internal/btb, internal/cpu);
+//   - real victims: T-table AES-128, an OpenSSL-style base64 PEM decoder
+//     in an SGX-enclave model, and an mbedTLS-style bignum GCD
+//     (internal/victim/..., internal/mpi, internal/rsakeys);
+//   - the side-channel receivers: Flush+Reload, LLC Prime+Probe with
+//     eviction sets, TLB eviction, BTB Train+Probe (internal/attack);
+//   - the Controlled Preemption primitive itself (internal/core) and the
+//     §4.4 colocation technique (internal/colocate).
+//
+// Every table and figure of the paper regenerates from this package: see
+// Experiments for the registry, cmd/cplab for the CLI, bench_test.go for
+// the benchmark harness, and DESIGN.md / EXPERIMENTS.md for the
+// experiment index and paper-vs-measured record.
+package repro

@@ -1,0 +1,47 @@
+package repro_test
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+// ExampleRun regenerates Table 2.1 through the public API.
+func ExampleRun() {
+	res, err := repro.Run("tab2.1", repro.Options{Scale: repro.Quick, Seed: 1})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	e, _ := repro.Lookup("tab2.1")
+	m := e.Metrics(res)
+	fmt.Printf("S_bnd=%.0fms S_slack=%.0fms S_preempt=%.0fms budget=%.0fms\n",
+		m["S_bnd_ms"], m["S_slack_ms"], m["S_preempt_ms"], m["budget_ms"])
+	// Output:
+	// S_bnd=24ms S_slack=12ms S_preempt=4ms budget=8ms
+}
+
+// ExampleLookup shows how to enumerate and select experiments.
+func ExampleLookup() {
+	if e, ok := repro.Lookup("fig4.1"); ok {
+		fmt.Println(e.ID, "-", e.Title)
+	}
+	_, ok := repro.Lookup("fig9.9")
+	fmt.Println("fig9.9 exists:", ok)
+	// Output:
+	// fig4.1 - Vruntime walk of one preemption budget
+	// fig9.9 exists: false
+}
+
+// ExampleExperiments prints the first few registered artifacts in paper
+// order.
+func ExampleExperiments() {
+	for _, e := range repro.Experiments()[:4] {
+		fmt.Println(e.ID)
+	}
+	// Output:
+	// tab2.1
+	// fig1.1
+	// fig4.1
+	// fig4.3a
+}

@@ -1,0 +1,85 @@
+package attack
+
+import (
+	"repro/internal/cache"
+	"repro/internal/isa"
+	"repro/internal/kern"
+)
+
+// fourGiB is the BTB collision distance: PCs that differ by a multiple of
+// 2^32 share index and tag (§5.3's footnote).
+const fourGiB = uint64(1) << 32
+
+// BTBGadget is one Train+Probe gadget pair of Figure 5.3, built to collide
+// with a victim instruction of interest:
+//
+//   - btb_prime: a JMP at victimPC+4GiB whose execution allocates a BTB
+//     entry colliding with the victim instruction;
+//   - btb_probe: a RET at victimPC+8GiB (also colliding). Fetching it with
+//     the primed entry live makes the front end prefetch the predicted
+//     target line — which, targets being materialized from the entry's low
+//     32 bits, is the gadget's own T2 line. A timed load of T2 then reads
+//     the prediction out of the cache.
+//
+// If the victim executed its colliding non-control-transfer instruction
+// during the attacker's nap, the entry was invalidated (the NightVision
+// effect), no prefetch happens, and the T2 load is slow.
+type BTBGadget struct {
+	// VictimPC is the victim instruction this gadget monitors.
+	VictimPC uint64
+	// PrimePC is the trainer jump's address (victim + 4 GiB).
+	PrimePC uint64
+	// ProbePC is the probe return's address (victim + 8 GiB).
+	ProbePC uint64
+	// T1 is the trainer's jump target; T2 is T1's image in the probe's
+	// 4 GiB region — the line whose presence encodes the BTB state.
+	T1, T2 uint64
+	// Threshold separates hit from miss (cycles).
+	Threshold int64
+}
+
+// NewBTBGadget lays out a gadget pair for victimPC.
+func NewBTBGadget(env *kern.Env, victimPC uint64) *BTBGadget {
+	primePC := victimPC + fourGiB
+	probePC := primePC + fourGiB
+	// T1 sits ~1019 nops past the trainer (Figure 5.3); any offset works
+	// as long as T1/T2 stay off the gadget's own lines.
+	t1 := primePC + 1020*4
+	t2 := probePC + 1020*4
+	return &BTBGadget{
+		VictimPC:  victimPC,
+		PrimePC:   primePC,
+		ProbePC:   probePC,
+		T1:        t1,
+		T2:        t2,
+		Threshold: env.HitThreshold(),
+	}
+}
+
+// Prime executes the trainer jump, allocating the colliding BTB entry.
+func (g *BTBGadget) Prime(env *kern.Env) {
+	env.Exec(isa.Inst{PC: g.PrimePC, Kind: isa.Branch, Target: g.T1, Size: 4})
+	// The landing RET at T1 returns to the priming code.
+	env.Exec(isa.Inst{PC: g.T1, Kind: isa.Branch, Target: g.PrimePC + 8, Size: 4})
+}
+
+// Probe runs the Figure 5.3 measurement: flush T2, execute the probe
+// return (prefetching T2 iff the primed entry survived), and time a load of
+// T2. It reports whether the entry survived — i.e. the victim did NOT
+// execute the colliding instruction — and re-primes for the next round.
+func (g *BTBGadget) Probe(env *kern.Env) (entryAlive bool) {
+	env.FlushLine(g.T2)
+	// CALL btb_probe: executing the probe's return consults the BTB at a
+	// colliding PC; on a hit the front end prefetches the predicted
+	// target materialized in the probe's own region: T2.
+	env.Exec(isa.Inst{PC: g.ProbePC, Kind: isa.Branch, Target: g.ProbePC + 8, Size: 4})
+	lat := env.TimedLoad(g.T2)
+	alive := lat <= g.Threshold
+	// Executing the probe return rewrote the entry; restore the trained
+	// state for the next measurement (the trailing CALL btb_prime).
+	g.Prime(env)
+	return alive
+}
+
+// LineOfT2 returns T2's cache line (for tests).
+func (g *BTBGadget) LineOfT2() uint64 { return cache.LineAddr(g.T2) }

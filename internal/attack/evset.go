@@ -1,0 +1,117 @@
+package attack
+
+import (
+	"repro/internal/cache"
+	"repro/internal/kern"
+)
+
+// EvictionArena is where the attacker's own eviction-set pages live.
+const EvictionArena uint64 = 0x7f00_0000_0000
+
+// EvictionSet is a set of attacker-owned lines congruent (same LLC set) to
+// a target address. Accessing all of them evicts the target's line from the
+// inclusive LLC — and therefore from every private cache (§5.2).
+type EvictionSet struct {
+	// Target is the victim line this set is congruent to.
+	Target uint64
+	// Lines are the attacker's congruent lines, one per LLC way.
+	Lines []uint64
+	// Threshold separates hit from miss (cycles).
+	Threshold int64
+}
+
+// BuildEvictionSet constructs an eviction set for target with ways lines.
+// It uses the known set mapping of the cache model — standing in for the
+// timing-based group-testing reduction (implemented and verified in
+// ReduceEvictionSet) that a real attacker runs once, offline, per target
+// set.
+func BuildEvictionSet(env *kern.Env, target uint64, ways int) *EvictionSet {
+	sys := env.CacheSystem()
+	llc := sys.LLC()
+	sets := uint64(llc.Config().Sets())
+	stride := sets * cache.LineSize
+	targetSet := uint64(llc.SetIndex(target))
+	first := EvictionArena + targetSet*cache.LineSize
+	lines := make([]uint64, 0, ways)
+	for a := first; len(lines) < ways; a += stride {
+		lines = append(lines, a)
+	}
+	return &EvictionSet{Target: target, Lines: lines, Threshold: env.HitThreshold()}
+}
+
+// Prime accesses every line of the set, filling the LLC set with attacker
+// lines (and evicting the target by inclusivity).
+func (es *EvictionSet) Prime(env *kern.Env) {
+	for _, l := range es.Lines {
+		env.Load(l)
+	}
+}
+
+// Probe times a load of every line and returns (latency sum, misses): a
+// primed set that the victim did not disturb probes all-hits; victim
+// accesses to the congruent set evict attacker lines and show up as misses.
+func (es *EvictionSet) Probe(env *kern.Env) (total int64, misses int) {
+	for _, l := range es.Lines {
+		lat := env.TimedLoad(l)
+		total += lat
+		if lat > es.Threshold {
+			misses++
+		}
+	}
+	return total, misses
+}
+
+// ProbeDisturbed reports whether the victim touched the monitored set since
+// the last Prime (at least one attacker line missed).
+func (es *EvictionSet) ProbeDisturbed(env *kern.Env) bool {
+	_, misses := es.Probe(env)
+	return misses > 0
+}
+
+// ReduceEvictionSet is the classic timing-based group-testing algorithm for
+// minimizing an eviction-set candidate pool (Vila et al. style): repeatedly
+// split the pool into ways+1 groups and drop any group whose removal still
+// leaves the target evicted. It runs entirely on timed loads — no knowledge
+// of the mapping — and is verified against the model in tests.
+func ReduceEvictionSet(env *kern.Env, target uint64, pool []uint64, ways int) []uint64 {
+	evicts := func(cand []uint64) bool {
+		// Bring the target in, access the candidate set, then time the
+		// target: a miss means cand evicted it.
+		env.Load(target)
+		for _, l := range cand {
+			env.Load(l)
+		}
+		return env.TimedLoad(target) > env.HitThreshold()
+	}
+	set := append([]uint64(nil), pool...)
+	if !evicts(set) {
+		return nil
+	}
+	for len(set) > ways {
+		groups := ways + 1
+		size := (len(set) + groups - 1) / groups
+		removed := false
+		for g := 0; g < groups && len(set) > ways; g++ {
+			lo := g * size
+			if lo >= len(set) {
+				break
+			}
+			hi := lo + size
+			if hi > len(set) {
+				hi = len(set)
+			}
+			trial := make([]uint64, 0, len(set)-(hi-lo))
+			trial = append(trial, set[:lo]...)
+			trial = append(trial, set[hi:]...)
+			if evicts(trial) {
+				set = trial
+				removed = true
+				break
+			}
+		}
+		if !removed {
+			break
+		}
+	}
+	return set
+}

@@ -1,0 +1,58 @@
+// Package attack implements the side-channel receivers the paper pairs
+// with Controlled Preemption: Flush+Reload over shared-library lines
+// (§5.1), last-level-cache Prime+Probe with eviction sets (§5.2), iTLB/sTLB
+// eviction for performance degradation (§4.3), and the BTB Train+Probe
+// gadgets of Figure 5.3 (§5.3). All receivers execute through a thread's
+// kern.Env, so their measurement time is exactly the I_attacker that the
+// preemption budget is spent on.
+package attack
+
+import (
+	"repro/internal/cache"
+	"repro/internal/kern"
+)
+
+// FlushReload monitors a fixed set of shared cache lines (e.g. the 16 lines
+// of an AES T-table): Flush before napping, Reload after waking; a fast
+// reload means the victim touched the line in between.
+type FlushReload struct {
+	// Lines are the monitored line addresses.
+	Lines []uint64
+	// Threshold separates hit from miss latencies (cycles).
+	Threshold int64
+}
+
+// NewFlushReload builds a monitor over the given line addresses, taking the
+// hit threshold from the machine's calibrated latencies.
+func NewFlushReload(env *kern.Env, lines []uint64) *FlushReload {
+	return &FlushReload{Lines: lines, Threshold: env.HitThreshold()}
+}
+
+// Flush evicts every monitored line coherence-wide (the pre-conditioning
+// step, run before the attacker naps).
+func (fr *FlushReload) Flush(env *kern.Env) {
+	for _, l := range fr.Lines {
+		env.FlushLine(l)
+	}
+}
+
+// Reload times a load of every monitored line and returns a hit bitmap:
+// result[i] is true when line i was cached (the victim accessed it during
+// the nap). Reloading re-fills the lines; callers flush again before the
+// next nap.
+func (fr *FlushReload) Reload(env *kern.Env) []bool {
+	out := make([]bool, len(fr.Lines))
+	for i, l := range fr.Lines {
+		out[i] = env.TimedLoad(l) <= fr.Threshold
+	}
+	return out
+}
+
+// LinesOfTable returns the line addresses covering [base, base+size).
+func LinesOfTable(base uint64, size int) []uint64 {
+	var out []uint64
+	for off := 0; off < size; off += cache.LineSize {
+		out = append(out, base+uint64(off))
+	}
+	return out
+}

@@ -1,0 +1,47 @@
+package attack
+
+import (
+	"repro/internal/kern"
+	"repro/internal/tlb"
+)
+
+// TLBArena is where the attacker's TLB-eviction pages live (distinct from
+// the cache eviction arena).
+const TLBArena uint64 = 0x7e00_0000_0000
+
+// TLBEvictor implements the performance-degradation technique of §4.3: it
+// evicts the victim instruction page's translation from both the L1 iTLB
+// and the unified sTLB (eviction sets built with the linear-index technique
+// of Gras et al.), so the victim's first post-preemption instruction pays a
+// full page walk and the attacker reliably single-steps at a comfortable ε
+// (Figure 4.3b).
+type TLBEvictor struct {
+	// ITLBPages are executed (FetchTouch) to evict the iTLB set.
+	ITLBPages []uint64
+	// STLBPages are executed to evict the sTLB set.
+	STLBPages []uint64
+}
+
+// NewTLBEvictor builds eviction sets for the page containing victimPC,
+// sized to the attacker core's TLB geometry (one entry per way plus one for
+// slack).
+func NewTLBEvictor(env *kern.Env, victimPC uint64) *TLBEvictor {
+	it := env.ITLB()
+	st := env.STLB()
+	return &TLBEvictor{
+		ITLBPages: tlb.EvictionPagesFor(it, victimPC, TLBArena, it.Config().Ways+1),
+		STLBPages: tlb.EvictionPagesFor(st, victimPC, TLBArena+(1<<36), st.Config().Ways+1),
+	}
+}
+
+// Evict walks both eviction sets with instruction fetches, displacing the
+// victim page's translation. The added attacker time is small compared to
+// the measurement procedure (§4.3).
+func (te *TLBEvictor) Evict(env *kern.Env) {
+	for _, p := range te.ITLBPages {
+		env.FetchTouch(p)
+	}
+	for _, p := range te.STLBPages {
+		env.FetchTouch(p)
+	}
+}

@@ -1,0 +1,126 @@
+package btb
+
+import "testing"
+
+func TestNewRejectsBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	New(Config{Entries: 100, IndexShift: 5})
+}
+
+func TestUpdateAndLookup(t *testing.T) {
+	b := New(DefaultConfig)
+	pc, target := uint64(0x41_0080), uint64(0x41_2000)
+	if _, hit := b.Lookup(pc); hit {
+		t.Fatal("empty BTB hit")
+	}
+	b.UpdateBranch(pc, target)
+	got, hit := b.Lookup(pc)
+	if !hit || got != target {
+		t.Fatalf("lookup = %#x/%v, want %#x", got, hit, target)
+	}
+	if !b.Contains(pc) {
+		t.Fatal("Contains disagrees")
+	}
+}
+
+// TestCollisionAcross4GiB: PCs equal modulo 2^32 share the entry — the
+// paper's footnote and the basis of the gadget layout.
+func TestCollisionAcross4GiB(t *testing.T) {
+	b := New(DefaultConfig)
+	victim := uint64(0x41_0080)
+	gadget := victim + 1<<32
+	if !Collide(victim, gadget) {
+		t.Fatal("Collide() disagrees")
+	}
+	b.UpdateBranch(gadget, gadget+4080) // trainer at victim+4GiB
+	if !b.Contains(victim) {
+		t.Fatal("colliding PCs do not share the entry")
+	}
+	// A nearby PC (different low-32 bits) must not match.
+	if b.Contains(victim + 4) {
+		t.Fatal("non-colliding PC matched")
+	}
+}
+
+// TestTargetMaterializedInFetchRegion: the predicted target uses the
+// entry's low 32 bits within the *fetching* PC's 4 GiB region — why T2
+// (4 GiB above T1) is what gets prefetched when probing from the gadget's
+// region (Figure 5.3).
+func TestTargetMaterializedInFetchRegion(t *testing.T) {
+	b := New(DefaultConfig)
+	prime := uint64(1)<<32 | 0x41_0080
+	t1 := prime + 4080
+	b.UpdateBranch(prime, t1)
+	probe := prime + 1<<32
+	got, hit := b.Lookup(probe)
+	if !hit {
+		t.Fatal("probe missed")
+	}
+	want := probe&^0xffff_ffff | uint64(uint32(t1))
+	if got != want {
+		t.Fatalf("materialized target = %#x, want %#x (T2)", got, want)
+	}
+}
+
+// TestNonBranchInvalidation: the NightVision effect — a non-control
+// instruction at a colliding PC kills the entry.
+func TestNonBranchInvalidation(t *testing.T) {
+	b := New(DefaultConfig)
+	victim := uint64(0x41_0080)
+	gadget := victim + 1<<32
+	b.UpdateBranch(gadget, gadget+4080)
+	if !b.UpdateNonBranch(victim) {
+		t.Fatal("colliding non-branch did not invalidate")
+	}
+	if b.Contains(gadget) {
+		t.Fatal("entry survived invalidation")
+	}
+	// A non-colliding non-branch has no effect.
+	b.UpdateBranch(gadget, gadget+4080)
+	if b.UpdateNonBranch(victim + 8) {
+		t.Fatal("non-colliding non-branch invalidated")
+	}
+	if !b.Contains(gadget) {
+		t.Fatal("entry lost to unrelated instruction")
+	}
+}
+
+// TestIndexConflictReplacement: same index, different tag — a direct-mapped
+// replacement.
+func TestIndexConflictReplacement(t *testing.T) {
+	b := New(DefaultConfig)
+	a := uint64(0x41_0080)
+	c := a + 8 // same 32-byte index granule, different tag
+	if b.index(a) != b.index(c) {
+		t.Skip("layout assumption changed")
+	}
+	b.UpdateBranch(a, a+100)
+	b.UpdateBranch(c, c+100)
+	if b.Contains(a) {
+		t.Fatal("replaced entry still matches")
+	}
+	if !b.Contains(c) {
+		t.Fatal("replacement missing")
+	}
+}
+
+func TestInvalidateAndFlush(t *testing.T) {
+	b := New(DefaultConfig)
+	b.UpdateBranch(0x1000, 0x2000)
+	b.UpdateBranch(0x8000, 0x9000)
+	b.Invalidate(0x1000)
+	if b.Contains(0x1000) {
+		t.Fatal("Invalidate missed")
+	}
+	if !b.Contains(0x8000) {
+		t.Fatal("Invalidate hit wrong entry")
+	}
+	b.Flush()
+	if b.Contains(0x8000) {
+		t.Fatal("Flush missed")
+	}
+}

@@ -1,0 +1,225 @@
+package cfs
+
+import (
+	"testing"
+
+	"repro/internal/sched"
+	"repro/internal/timebase"
+)
+
+func newRQ() *CFS { return New(sched.DefaultParams(16)) }
+
+func ms(x int64) int64 { return x * int64(timebase.Millisecond) }
+
+func TestPickNextSmallestVruntime(t *testing.T) {
+	rq := newRQ()
+	a := sched.NewTask(1, "a", 0)
+	b := sched.NewTask(2, "b", 0)
+	a.Vruntime = 100
+	b.Vruntime = 50
+	rq.Enqueue(a, false)
+	rq.Enqueue(b, false)
+	if got := rq.PickNext(); got != b {
+		t.Fatalf("picked %v", got.Name)
+	}
+	if got := rq.PickNext(); got != a {
+		t.Fatalf("picked %v", got.Name)
+	}
+	if rq.PickNext() != nil {
+		t.Fatal("empty queue pick")
+	}
+}
+
+func TestPickNextTieBreaksByID(t *testing.T) {
+	rq := newRQ()
+	a := sched.NewTask(2, "a", 0)
+	b := sched.NewTask(1, "b", 0)
+	rq.Enqueue(a, false)
+	rq.Enqueue(b, false)
+	if got := rq.PickNext(); got != b {
+		t.Fatal("tie-break not by smaller ID")
+	}
+}
+
+// TestWakeupPlacementEq21 checks τ_wakeup = max(τ_min − S_slack, τ_sleep).
+func TestWakeupPlacementEq21(t *testing.T) {
+	rq := newRQ()
+	curr := sched.NewTask(1, "victim", 0)
+	curr.Vruntime = ms(100)
+	rq.SetCurr(curr)
+	rq.UpdateCurr(curr, 0) // no-op; min tracked via SetCurr
+
+	// Well-slept: far behind → clamped to min − 12ms.
+	w := sched.NewTask(2, "attacker", 0)
+	w.Vruntime = ms(1)
+	rq.Enqueue(w, true)
+	if w.Vruntime != ms(100-12) {
+		t.Fatalf("placed at %d, want %d", w.Vruntime, ms(88))
+	}
+	if !w.LastWakePlacedLeft {
+		t.Fatal("left-branch flag not set")
+	}
+	rq.Dequeue(w)
+
+	// Napping: slightly behind → keeps its own vruntime.
+	w2 := sched.NewTask(3, "napper", 0)
+	w2.Vruntime = ms(95)
+	rq.Enqueue(w2, true)
+	if w2.Vruntime != ms(95) {
+		t.Fatalf("napper placed at %d", w2.Vruntime)
+	}
+	if w2.LastWakePlacedLeft {
+		t.Fatal("right branch misflagged")
+	}
+}
+
+// TestWakeupPreemptEq22 checks preempt ⇔ τ_curr − τ_wakeup > S_preempt.
+func TestWakeupPreemptEq22(t *testing.T) {
+	rq := newRQ()
+	curr := sched.NewTask(1, "victim", 0)
+	curr.Vruntime = ms(100)
+	w := sched.NewTask(2, "attacker", 0)
+
+	w.Vruntime = ms(100) - ms(4) - 1
+	if !rq.WakeupPreempt(curr, w) {
+		t.Fatal("gap just above S_preempt should preempt")
+	}
+	w.Vruntime = ms(100) - ms(4)
+	if rq.WakeupPreempt(curr, w) {
+		t.Fatal("gap exactly S_preempt must not preempt")
+	}
+	if !rq.WakeupPreempt(nil, w) {
+		t.Fatal("idle core should always run the woken task")
+	}
+}
+
+func TestWakeupPreemptDisabled(t *testing.T) {
+	p := sched.DefaultParams(16)
+	p.WakeupPreemption = false
+	rq := New(p)
+	curr := sched.NewTask(1, "victim", 0)
+	curr.Vruntime = ms(100)
+	w := sched.NewTask(2, "attacker", 0)
+	w.Vruntime = 0
+	if rq.WakeupPreempt(curr, w) {
+		t.Fatal("NO_WAKEUP_PREEMPTION must block Eq 2.2")
+	}
+}
+
+func TestWakeupGranularityScalesWithWeight(t *testing.T) {
+	rq := newRQ()
+	curr := sched.NewTask(1, "victim", 0)
+	curr.Vruntime = ms(100)
+	// A low-priority waker needs a much larger gap.
+	w := sched.NewTask(2, "lowprio", 19)
+	w.Vruntime = ms(100) - ms(5)
+	if rq.WakeupPreempt(curr, w) {
+		t.Fatal("nice-19 waker preempted with a 5ms gap")
+	}
+}
+
+func TestUpdateCurrWeighting(t *testing.T) {
+	rq := newRQ()
+	hi := sched.NewTask(1, "hi", -20)
+	rq.SetCurr(hi)
+	rq.UpdateCurr(hi, timebase.Millisecond)
+	if hi.Vruntime >= int64(timebase.Millisecond)/10 {
+		t.Fatalf("nice -20 vruntime grew too fast: %d", hi.Vruntime)
+	}
+	if hi.SumExec != timebase.Millisecond {
+		t.Fatal("SumExec not charged")
+	}
+}
+
+func TestMinVruntimeMonotonic(t *testing.T) {
+	rq := newRQ()
+	a := sched.NewTask(1, "a", 0)
+	a.Vruntime = ms(50)
+	rq.SetCurr(a)
+	rq.UpdateCurr(a, timebase.Millisecond)
+	m1 := rq.MinVruntime()
+	// A task with lower vruntime arriving must not move the floor back.
+	b := sched.NewTask(2, "b", 0)
+	b.Vruntime = ms(10)
+	rq.Enqueue(b, false)
+	if rq.MinVruntime() < m1 {
+		t.Fatal("min_vruntime went backwards")
+	}
+}
+
+func TestTickPreempt(t *testing.T) {
+	rq := newRQ()
+	curr := sched.NewTask(1, "curr", 0)
+	curr.Vruntime = ms(10)
+	// Empty queue: never preempt.
+	if rq.TickPreempt(curr, 100*timebase.Millisecond) {
+		t.Fatal("tick preempt with empty queue")
+	}
+	other := sched.NewTask(2, "other", 0)
+	other.Vruntime = ms(10)
+	rq.Enqueue(other, false)
+	// Below min granularity: protected.
+	if rq.TickPreempt(curr, timebase.Millisecond) {
+		t.Fatal("preempted below S_min")
+	}
+	// Past its fair slice (2 tasks → 12ms): descheduled.
+	if !rq.TickPreempt(curr, 13*timebase.Millisecond) {
+		t.Fatal("not preempted past slice")
+	}
+	// Mid-slice but far ahead of the leftmost: descheduled.
+	curr.Vruntime = other.Vruntime + ms(13)
+	if !rq.TickPreempt(curr, 5*timebase.Millisecond) {
+		t.Fatal("not preempted despite vruntime imbalance")
+	}
+}
+
+func TestDetachAttach(t *testing.T) {
+	src := newRQ()
+	dst := newRQ()
+	a := sched.NewTask(1, "a", 0)
+	a.Vruntime = ms(100)
+	src.SetCurr(a)
+	src.UpdateCurr(a, timebase.Millisecond)
+
+	b := sched.NewTask(2, "mig", 0)
+	b.Vruntime = ms(101)
+	src.Enqueue(b, false)
+
+	dcur := sched.NewTask(3, "d", 0)
+	dcur.Vruntime = ms(500)
+	dst.SetCurr(dcur)
+	dst.UpdateCurr(dcur, timebase.Millisecond)
+
+	src.Dequeue(b)
+	src.Detach(b)
+	dst.Attach(b)
+	dst.Enqueue(b, false)
+	// The migrated task keeps its ~1ms lead relative to the new floor.
+	rel := b.Vruntime - dst.MinVruntime()
+	if rel < 0 || rel > ms(2) {
+		t.Fatalf("migrated vruntime offset = %d", rel)
+	}
+}
+
+func TestNrQueuedAndQueued(t *testing.T) {
+	rq := newRQ()
+	if rq.NrQueued() != 0 {
+		t.Fatal("empty NrQueued")
+	}
+	a := sched.NewTask(1, "a", 0)
+	rq.Enqueue(a, false)
+	if rq.NrQueued() != 1 || len(rq.Queued()) != 1 {
+		t.Fatal("queue accounting")
+	}
+	rq.Dequeue(a)
+	if rq.NrQueued() != 0 {
+		t.Fatal("dequeue accounting")
+	}
+	rq.Dequeue(a) // double dequeue is a no-op
+}
+
+func TestName(t *testing.T) {
+	if newRQ().Name() != "cfs" {
+		t.Fatal("name")
+	}
+}

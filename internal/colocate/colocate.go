@@ -1,0 +1,61 @@
+// Package colocate implements the core-colocation technique of §4.4: the
+// attacker launches N−1 compute-bound dummy threads and pins them to N−1 of
+// the machine's N logical cores, leaving one core idle. When the victim is
+// invoked, the scheduler's placement/load-balancing logic puts it on the
+// idle core. The attacker then pins its preemption thread there too — and
+// because every other core is occupied by a dummy, the balancer never finds
+// an idle target to migrate the victim away to.
+package colocate
+
+import (
+	"fmt"
+
+	"repro/internal/kern"
+	"repro/internal/timebase"
+)
+
+// Plan is a prepared colocation: dummies running, one core left idle.
+type Plan struct {
+	// TargetCore is the core left idle for the victim.
+	TargetCore int
+	// Dummies are the N−1 pinned compute threads.
+	Dummies []*kern.Thread
+}
+
+// Prepare spawns and pins the dummy threads on every core except
+// targetCore. Dummies are pure compute (no system calls), like the paper's.
+func Prepare(m *kern.Machine, targetCore int) *Plan {
+	p := &Plan{TargetCore: targetCore}
+	for c := 0; c < len(m.Cores()); c++ {
+		if c == targetCore {
+			continue
+		}
+		core := c
+		d := m.Spawn(fmt.Sprintf("dummy-%d", core), func(e *kern.Env) {
+			for {
+				e.Burn(time100us)
+			}
+		}, kern.WithPin(core))
+		p.Dummies = append(p.Dummies, d)
+	}
+	return p
+}
+
+const time100us = 100 * timebase.Microsecond
+
+// VictimLandedOnTarget reports whether the victim was placed on the idle
+// core the plan reserved.
+func (p *Plan) VictimLandedOnTarget(victim *kern.Thread) bool {
+	return victim.CoreID() == p.TargetCore
+}
+
+// Stayed reports whether the victim remained on the target core for the
+// whole recorded core log (no migrations away during the attack).
+func (p *Plan) Stayed(coreLog []int) bool {
+	for _, c := range coreLog {
+		if c != p.TargetCore {
+			return false
+		}
+	}
+	return len(coreLog) > 0
+}

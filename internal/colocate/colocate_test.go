@@ -1,0 +1,101 @@
+package colocate
+
+import (
+	"testing"
+
+	"repro/internal/cfs"
+	"repro/internal/isa"
+	"repro/internal/kern"
+	"repro/internal/ktrace"
+	"repro/internal/sched"
+	"repro/internal/timebase"
+)
+
+func newMachine(t *testing.T, cores int) *kern.Machine {
+	t.Helper()
+	sp := sched.DefaultParams(cores)
+	m := kern.NewMachine(kern.DefaultParams(cores, func() sched.Scheduler { return cfs.New(sp) }))
+	t.Cleanup(m.Shutdown)
+	return m
+}
+
+func loop() []isa.Inst {
+	b := isa.NewBuilder("loop", 0x40_0000, 4)
+	b.ALU(32)
+	return b.Build().Insts
+}
+
+func TestPrepareSpawnsDummies(t *testing.T) {
+	m := newMachine(t, 8)
+	p := Prepare(m, 3)
+	if len(p.Dummies) != 7 {
+		t.Fatalf("dummies = %d, want 7", len(p.Dummies))
+	}
+	for _, d := range p.Dummies {
+		if d.Pinned() == 3 {
+			t.Fatal("dummy pinned to the reserved core")
+		}
+	}
+	m.RunFor(2 * timebase.Millisecond)
+	// Every non-reserved core is busy.
+	for i, c := range m.Cores() {
+		if i == 3 {
+			if c.Curr() != nil {
+				t.Fatal("reserved core not idle")
+			}
+			continue
+		}
+		if c.Curr() == nil {
+			t.Fatalf("core %d idle", i)
+		}
+	}
+}
+
+func TestVictimLandsOnReservedCore(t *testing.T) {
+	for _, target := range []int{0, 2, 7} {
+		m := newMachine(t, 8)
+		p := Prepare(m, target)
+		m.RunFor(2 * timebase.Millisecond)
+		v := m.Spawn("victim", func(e *kern.Env) { e.RunLoopForever(loop()) })
+		if !p.VictimLandedOnTarget(v) {
+			t.Fatalf("victim landed on %d, want %d", v.CoreID(), target)
+		}
+		m.Shutdown()
+	}
+}
+
+func TestVictimStaysDuringAttack(t *testing.T) {
+	m := newMachine(t, 8)
+	m.StartBalancer()
+	rec := ktrace.NewRecorder()
+	m.SetTracer(rec)
+	p := Prepare(m, 5)
+	m.RunFor(2 * timebase.Millisecond)
+	v := m.Spawn("victim", func(e *kern.Env) { e.RunLoopForever(loop()) })
+	// The attacker naps on the same core; the balancer keeps running.
+	m.Spawn("attacker", func(e *kern.Env) {
+		e.SetTimerSlack(1)
+		e.Nanosleep(20 * timebase.Millisecond)
+		for i := 0; i < 200; i++ {
+			e.Nanosleep(2 * timebase.Microsecond)
+			e.Burn(10 * timebase.Microsecond)
+		}
+	}, kern.WithPin(5))
+	m.RunFor(100 * timebase.Millisecond)
+	if !p.Stayed(rec.CoreLog[v.ID()]) {
+		t.Fatalf("victim migrated: core log %v", rec.CoreLog[v.ID()])
+	}
+}
+
+func TestStayedHelper(t *testing.T) {
+	p := &Plan{TargetCore: 2}
+	if p.Stayed(nil) {
+		t.Fatal("empty log should not count as stayed")
+	}
+	if !p.Stayed([]int{2, 2, 2}) {
+		t.Fatal("constant log should count")
+	}
+	if p.Stayed([]int{2, 3, 2}) {
+		t.Fatal("migration missed")
+	}
+}

@@ -1,0 +1,226 @@
+// Package core implements Controlled Preemption, the paper's contribution:
+// a single unprivileged attacker thread that, once colocated with a victim
+// on one logical core, repeatedly preempts it after zero-to-few victim
+// instructions by exploiting the scheduler's wakeup responsiveness
+// (Equations 2.1/2.2 on the CFS, eligibility+deadline on EEVDF).
+//
+// The primitive (§4.1):
+//
+//  1. Hibernate: sleep long enough that the wakeup placement takes the
+//     τ_min − S_slack branch of Equation 2.1, opening an
+//     (S_slack − S_preempt) preemption budget.
+//  2. Nap loop: perform a side-channel measurement (I_attacker), optionally
+//     degrade the victim (evict its iTLB entry or code line), then block
+//     for ε using Method 1 (nanosleep with 1ns timer slack) or Method 2 (a
+//     periodic POSIX timer plus pause). The victim runs for ε minus the
+//     wake overheads — zero to a few instructions — before the attacker
+//     preempts it again.
+//  3. The budget runs out when the attacker's vruntime closes to within
+//     S_preempt of the victim's; the attacker detects the failed
+//     preemption (a long wake-to-run gap) and re-hibernates, or hands off
+//     to a recharged sibling thread (round-robin extension).
+package core
+
+import (
+	"repro/internal/kern"
+	"repro/internal/timebase"
+)
+
+// Method selects the controlled wake-up mechanism of §4.2.
+type Method uint8
+
+// Wake-up methods.
+const (
+	// MethodNanosleep is Method 1: nanosleep(ε) with PR_SET_TIMERSLACK=1.
+	MethodNanosleep Method = iota
+	// MethodTimer is Method 2: a periodic POSIX timer delivering signals
+	// to a paused thread.
+	MethodTimer
+)
+
+// String names the method.
+func (m Method) String() string {
+	if m == MethodNanosleep {
+		return "nanosleep"
+	}
+	return "timer"
+}
+
+// Sample is passed to the measurement callback once per successful
+// preemption.
+type Sample struct {
+	// Index counts successful preemptions across the whole attack.
+	Index int
+	// Burst counts completed hibernation cycles.
+	Burst int
+	// InBurst counts successful preemptions within the current burst.
+	InBurst int
+	// WakeAt is the time the attacker's wake fired.
+	WakeAt timebase.Time
+}
+
+// Config tunes one Controlled Preemption attacker.
+type Config struct {
+	// Method is the wake-up mechanism.
+	Method Method
+	// Epsilon is ε: the blocking interval. For Method 1 it directly sets
+	// the victim's run window; for Method 2 the interval additionally
+	// covers the attacker's own measurement time.
+	Epsilon timebase.Duration
+	// Hibernate is the recharge sleep before each burst. Any value
+	// comfortably above 2·S_bnd works (§4.1); the paper uses 5s at
+	// experiment launch, this reproduction defaults to 100ms to keep
+	// simulated time short.
+	Hibernate timebase.Duration
+	// StartDelay postpones the first burst, for attacks that target the
+	// second half of a victim execution (§5.2's two-run trace splicing).
+	StartDelay timebase.Duration
+	// Degrade, if set, runs right before every nap (performance
+	// degradation: iTLB eviction, code-line eviction).
+	Degrade func(*kern.Env)
+	// Measure runs once per successful preemption and returns false to
+	// end the attack. Its execution time is I_attacker.
+	Measure func(*kern.Env, Sample) bool
+	// MaxBursts caps hibernation cycles (0 = unlimited).
+	MaxBursts int
+	// MaxPreemptions caps total successful preemptions (0 = unlimited).
+	MaxPreemptions int
+	// StopAfterBurst ends the attack when the first budget is exhausted
+	// instead of re-hibernating.
+	StopAfterBurst bool
+}
+
+// Stats reports what an attack run achieved.
+type Stats struct {
+	// Bursts is the number of hibernation cycles completed or started.
+	Bursts int
+	// BurstLengths is the number of consecutive successful preemptions in
+	// each burst — the quantity characterized in Figures 4.4/4.5.
+	BurstLengths []int64
+	// Preemptions is the total number of successful preemptions.
+	Preemptions int64
+	// FailedWakes counts wake-ups that did not preempt the victim.
+	FailedWakes int64
+}
+
+// Attacker runs the Controlled Preemption loop on its thread.
+type Attacker struct {
+	cfg   Config
+	stats Stats
+}
+
+// NewAttacker validates and wraps a configuration.
+func NewAttacker(cfg Config) *Attacker {
+	if cfg.Epsilon <= 0 {
+		cfg.Epsilon = 2 * timebase.Microsecond
+	}
+	if cfg.Hibernate <= 0 {
+		cfg.Hibernate = 100 * timebase.Millisecond
+	}
+	return &Attacker{cfg: cfg}
+}
+
+// Stats returns the attack's outcome counters.
+func (a *Attacker) Stats() Stats { return a.stats }
+
+// Run is the attacker thread body. Spawn it pinned to the victim's core:
+//
+//	m.Spawn("attacker", attacker.Run, kern.WithPin(core))
+func (a *Attacker) Run(env *kern.Env) {
+	env.SetTimerSlack(1)
+	if a.cfg.StartDelay > 0 {
+		env.Nanosleep(a.cfg.StartDelay)
+	}
+	switch a.cfg.Method {
+	case MethodTimer:
+		a.runTimer(env)
+	default:
+		a.runNanosleep(env)
+	}
+}
+
+// runNanosleep is Method 1 (Figure 4.2a).
+func (a *Attacker) runNanosleep(env *kern.Env) {
+	sampleIdx := 0
+	for burst := 0; a.cfg.MaxBursts == 0 || burst < a.cfg.MaxBursts; burst++ {
+		a.stats.Bursts = burst + 1
+		env.Nanosleep(a.cfg.Hibernate)
+		var inBurst int64
+		for {
+			if a.cfg.Degrade != nil {
+				a.cfg.Degrade(env)
+			}
+			env.Nanosleep(a.cfg.Epsilon)
+			if !env.Thread().LastWakePreempted() {
+				a.stats.FailedWakes++
+				break
+			}
+			inBurst++
+			a.stats.Preemptions++
+			if !a.measure(env, Sample{Index: sampleIdx, Burst: burst, InBurst: int(inBurst), WakeAt: env.Now()}) {
+				a.stats.BurstLengths = append(a.stats.BurstLengths, inBurst)
+				return
+			}
+			sampleIdx++
+			if a.cfg.MaxPreemptions > 0 && a.stats.Preemptions >= int64(a.cfg.MaxPreemptions) {
+				a.stats.BurstLengths = append(a.stats.BurstLengths, inBurst)
+				return
+			}
+		}
+		a.stats.BurstLengths = append(a.stats.BurstLengths, inBurst)
+		if a.cfg.StopAfterBurst {
+			return
+		}
+	}
+}
+
+// runTimer is Method 2 (Figure 4.2b): a periodic timer, signals handled
+// after Pause returns (the registered handler). The timer is armed fresh
+// per burst: signals that would pile up during hibernation or the
+// budget-exhausted wait are not naps.
+func (a *Attacker) runTimer(env *kern.Env) {
+	sampleIdx := 0
+	for burst := 0; a.cfg.MaxBursts == 0 || burst < a.cfg.MaxBursts; burst++ {
+		a.stats.Bursts = burst + 1
+		env.Nanosleep(a.cfg.Hibernate)
+		pt := env.TimerCreate(a.cfg.Epsilon)
+		done := a.timerBurst(env, burst, &sampleIdx)
+		pt.Stop()
+		if done || a.cfg.StopAfterBurst {
+			return
+		}
+	}
+}
+
+// timerBurst runs one Method 2 burst and reports whether the whole attack
+// is finished.
+func (a *Attacker) timerBurst(env *kern.Env, burst int, sampleIdx *int) bool {
+	var inBurst int64
+	defer func() { a.stats.BurstLengths = append(a.stats.BurstLengths, inBurst) }()
+	for {
+		if a.cfg.Degrade != nil {
+			a.cfg.Degrade(env)
+		}
+		env.Pause()
+		if !env.Thread().LastWakePreempted() {
+			a.stats.FailedWakes++
+			return false
+		}
+		inBurst++
+		a.stats.Preemptions++
+		if !a.measure(env, Sample{Index: *sampleIdx, Burst: burst, InBurst: int(inBurst), WakeAt: env.Now()}) {
+			return true
+		}
+		(*sampleIdx)++
+		if a.cfg.MaxPreemptions > 0 && a.stats.Preemptions >= int64(a.cfg.MaxPreemptions) {
+			return true
+		}
+	}
+}
+
+func (a *Attacker) measure(env *kern.Env, s Sample) bool {
+	if a.cfg.Measure == nil {
+		return true
+	}
+	return a.cfg.Measure(env, s)
+}

@@ -1,0 +1,44 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/cfs"
+	"repro/internal/core"
+	"repro/internal/kern"
+	"repro/internal/sched"
+	"repro/internal/timebase"
+	"repro/internal/victim/loopvictim"
+)
+
+// Example shows the canonical Controlled Preemption setup: a machine, a
+// colocated victim, and an attacker that hibernates once and then nearly
+// single steps the victim until the fairness tripwire fires.
+func Example() {
+	sp := sched.DefaultParams(16)
+	m := kern.NewMachine(kern.DefaultParams(16, func() sched.Scheduler { return cfs.New(sp) }))
+	defer m.Shutdown()
+
+	m.Spawn("victim", func(e *kern.Env) {
+		e.RunLoopForever(loopvictim.DefaultBody())
+	}, kern.WithPin(0))
+
+	attacker := core.NewAttacker(core.Config{
+		Method:         core.MethodNanosleep,
+		Epsilon:        2 * timebase.Microsecond,
+		Hibernate:      100 * timebase.Millisecond,
+		StopAfterBurst: true,
+		Measure: func(e *kern.Env, s core.Sample) bool {
+			e.Burn(10 * timebase.Microsecond) // the side-channel measurement
+			return true
+		},
+	})
+	m.Spawn("attacker", attacker.Run, kern.WithPin(0))
+	m.RunFor(2 * timebase.Second)
+
+	st := attacker.Stats()
+	fmt.Printf("bursts=%d budget-exhausted=%v hundreds-of-preemptions=%v\n",
+		st.Bursts, st.FailedWakes == 1, st.BurstLengths[0] > 400)
+	// Output:
+	// bursts=1 budget-exhausted=true hundreds-of-preemptions=true
+}

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/kern"
+	"repro/internal/timebase"
+)
+
+// RechargeAttack models the prior userspace preemption attacks the paper
+// compares against (Figure 1.1a; Cache Games and descendants [25, 54, 7,
+// 6]): every attacker thread performs exactly one preemption per wake-up
+// and then "cools down" with a long sleep to restore its priority, because
+// those works overlooked that Equation 2.2 keeps short-napping threads
+// preemption-capable (§7). Sustained fine-grain preemption therefore needs
+// as many threads as preemptions-per-burst: after all n threads have fired,
+// the rotation stalls until the first thread's cooldown ends.
+type RechargeAttack struct {
+	// Threads is the number of attacker threads (the prior AES attack
+	// used 40).
+	Threads int
+	// Cooldown is each thread's recharge sleep (S_bnd-scale).
+	Cooldown timebase.Duration
+	// Measure runs once per preemption; return false to stop.
+	Measure func(*kern.Env, Sample) bool
+	// MaxPreemptions caps the attack (0 = unlimited).
+	MaxPreemptions int
+
+	threads    []*kern.Thread
+	turn       int
+	done       bool
+	sampleIdx  int
+	preemptAts []timebase.Time
+}
+
+// PreemptTimes returns when each successful preemption fired, for
+// burst/gap analysis.
+func (ra *RechargeAttack) PreemptTimes() []timebase.Time { return ra.preemptAts }
+
+// SpawnAll starts the rotation pinned to core. Thread 0 leads.
+func (ra *RechargeAttack) SpawnAll(m *kern.Machine, core int) []*kern.Thread {
+	if ra.Threads < 1 {
+		ra.Threads = 1
+	}
+	if ra.Cooldown <= 0 {
+		ra.Cooldown = 30 * timebase.Millisecond
+	}
+	ra.threads = make([]*kern.Thread, ra.Threads)
+	for i := 0; i < ra.Threads; i++ {
+		idx := i
+		ra.threads[i] = m.Spawn(fmt.Sprintf("recharge-%d", idx), func(env *kern.Env) {
+			ra.body(env, idx)
+		}, kern.WithPin(core))
+	}
+	return ra.threads
+}
+
+func (ra *RechargeAttack) body(env *kern.Env, idx int) {
+	env.SetTimerSlack(1)
+	// Initial charge-up.
+	env.Nanosleep(ra.Cooldown)
+	for !ra.done {
+		// Wait for our turn (the handoff signal itself is the wake that
+		// preempts the victim).
+		for ra.turn != idx && !ra.done {
+			env.Pause()
+		}
+		if ra.done {
+			return
+		}
+		if env.Thread().LastWakePreempted() {
+			ra.preemptAts = append(ra.preemptAts, env.Now())
+			s := Sample{Index: ra.sampleIdx, WakeAt: env.Now()}
+			ra.sampleIdx++
+			if ra.Measure != nil && !ra.Measure(env, s) {
+				ra.finish(env, idx)
+				return
+			}
+			if ra.MaxPreemptions > 0 && ra.sampleIdx >= ra.MaxPreemptions {
+				ra.finish(env, idx)
+				return
+			}
+		}
+		// Hand off and cool down: this thread cannot preempt again until
+		// its priority recharges.
+		ra.turn = (idx + 1) % ra.Threads
+		env.Signal(ra.threads[ra.turn])
+		env.Nanosleep(ra.Cooldown)
+	}
+}
+
+func (ra *RechargeAttack) finish(env *kern.Env, idx int) {
+	ra.done = true
+	for i, t := range ra.threads {
+		if i != idx {
+			env.Signal(t)
+		}
+	}
+}
+
+// BurstsFromTimes splits preemption timestamps into bursts separated by
+// gaps larger than gap, returning each burst's length. This is the metric
+// Figure 1.1 contrasts: prior work yields bursts of ~n (thread count);
+// Controlled Preemption yields hundreds per single thread.
+func BurstsFromTimes(ts []timebase.Time, gap timebase.Duration) []int64 {
+	if len(ts) == 0 {
+		return nil
+	}
+	var out []int64
+	var cur int64 = 1
+	for i := 1; i < len(ts); i++ {
+		if ts[i].Sub(ts[i-1]) > gap {
+			out = append(out, cur)
+			cur = 0
+		}
+		cur++
+	}
+	return append(out, cur)
+}

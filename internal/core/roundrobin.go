@@ -1,0 +1,126 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/kern"
+)
+
+// RoundRobin implements the multi-thread budget extension of §4.3: n
+// attacker threads take turns running Controlled Preemption bursts. While
+// one thread spends its preemption budget, the others sleep and recharge;
+// when the active thread's budget runs out it signals the next one, whose
+// wake-up immediately preempts the victim again. With enough threads the
+// effective preemption budget is unbounded — this is also how the prior
+// multi-thread attacks (Figure 1.1a) are modelled, with the difference that
+// each Controlled Preemption thread performs hundreds of preemptions per
+// turn instead of one.
+type RoundRobin struct {
+	cfg     Config
+	n       int
+	threads []*kern.Thread
+	turn    int
+	done    bool
+	// stats
+	sampleIdx  int
+	handoffs   int
+	preemptons int64
+}
+
+// NewRoundRobin builds an n-thread round-robin attack sharing cfg. The
+// Measure callback sees a globally increasing Sample.Index; Burst counts
+// handoffs.
+func NewRoundRobin(cfg Config, n int) *RoundRobin {
+	if n < 1 {
+		n = 1
+	}
+	return &RoundRobin{cfg: cfg, n: n}
+}
+
+// Handoffs returns how many times the attack moved to the next thread.
+func (rr *RoundRobin) Handoffs() int { return rr.handoffs }
+
+// Preemptions returns the total successful preemptions across all threads.
+func (rr *RoundRobin) Preemptions() int64 { return rr.preemptons }
+
+// SpawnAll starts the n attacker threads pinned to core. Thread 0 leads
+// with a hibernation; the rest pause until signalled.
+func (rr *RoundRobin) SpawnAll(m *kern.Machine, core int) []*kern.Thread {
+	rr.threads = make([]*kern.Thread, rr.n)
+	for i := 0; i < rr.n; i++ {
+		idx := i
+		rr.threads[i] = m.Spawn(fmt.Sprintf("attacker-%d", idx), func(env *kern.Env) {
+			rr.body(env, idx)
+		}, kern.WithPin(core))
+	}
+	return rr.threads
+}
+
+// body is one round-robin thread.
+func (rr *RoundRobin) body(env *kern.Env, idx int) {
+	env.SetTimerSlack(1)
+	if idx == 0 {
+		env.Nanosleep(rr.cfg.Hibernate)
+	} else {
+		// Wait for the first handoff; the long pause doubles as the
+		// recharge sleep.
+		for rr.turn != idx && !rr.done {
+			env.Pause()
+		}
+	}
+	for !rr.done {
+		// The wake that put us here (hibernation expiry or handoff
+		// signal) already preempted the victim: measure, then nap.
+		if env.Thread().LastWakePreempted() {
+			rr.preemptons++
+			if !rr.measure(env) {
+				rr.finish(env, idx)
+				return
+			}
+		}
+		for !rr.done {
+			if rr.cfg.Degrade != nil {
+				rr.cfg.Degrade(env)
+			}
+			env.Nanosleep(rr.cfg.Epsilon)
+			if !env.Thread().LastWakePreempted() {
+				break // budget exhausted: hand off
+			}
+			rr.preemptons++
+			if !rr.measure(env) {
+				rr.finish(env, idx)
+				return
+			}
+		}
+		if rr.done {
+			break
+		}
+		// Hand the attack to the next (recharged) thread and go recharge.
+		rr.turn = (idx + 1) % rr.n
+		rr.handoffs++
+		env.Signal(rr.threads[rr.turn])
+		for rr.turn != idx && !rr.done {
+			env.Pause()
+		}
+	}
+}
+
+func (rr *RoundRobin) measure(env *kern.Env) bool {
+	s := Sample{Index: rr.sampleIdx, Burst: rr.handoffs, WakeAt: env.Now()}
+	rr.sampleIdx++
+	if rr.cfg.Measure == nil {
+		return true
+	}
+	return rr.cfg.Measure(env, s)
+}
+
+// finish marks the attack done and releases the siblings so their threads
+// exit.
+func (rr *RoundRobin) finish(env *kern.Env, idx int) {
+	rr.done = true
+	for i, t := range rr.threads {
+		if i != idx {
+			env.Signal(t)
+		}
+	}
+}

@@ -1,0 +1,163 @@
+package cpu
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/isa"
+	"repro/internal/tlb"
+)
+
+func newCore() *Core {
+	return NewCore(0, cache.NewSystem(cache.I9900K(1)))
+}
+
+func TestColdPenaltyShape(t *testing.T) {
+	c := newCore()
+	ctx := &Context{}
+	p0 := c.coldPenalty(ctx)
+	if p0 != c.P.ColdFirst+c.P.ColdPerInstr {
+		t.Fatalf("first-instruction penalty = %d", p0)
+	}
+	ctx.Seq = 1
+	if c.coldPenalty(ctx) != c.P.ColdPerInstr {
+		t.Fatal("warm-up penalty wrong")
+	}
+	ctx.Seq = c.P.ColdDecay
+	if c.coldPenalty(ctx) != 0 {
+		t.Fatal("penalty persists past decay window")
+	}
+	ctx.Seq = 5
+	ctx.ResetSchedIn()
+	if ctx.Seq != 0 {
+		t.Fatal("ResetSchedIn")
+	}
+}
+
+func TestExecCountsRetirement(t *testing.T) {
+	c := newCore()
+	ctx := &Context{}
+	for i := 0; i < 10; i++ {
+		c.Exec(ctx, isa.Inst{PC: uint64(0x1000 + 4*i), Kind: isa.ALU})
+	}
+	if ctx.Seq != 10 || ctx.Retired != 10 {
+		t.Fatalf("seq=%d retired=%d", ctx.Seq, ctx.Retired)
+	}
+}
+
+func TestLoadChargesCacheLatency(t *testing.T) {
+	c := newCore()
+	ctx := &Context{Seq: c.P.ColdDecay} // suppress warm-up
+	in := isa.Inst{PC: 0x1000, Kind: isa.Load, Mem: 0x9000}
+	cold := c.Exec(ctx, in)
+	warm := c.Exec(ctx, in)
+	if cold-warm < c.Caches.Config().Lat.Mem-c.Caches.Config().Lat.L1Hit-5 {
+		t.Fatalf("cold=%d warm=%d: no miss penalty", cold, warm)
+	}
+}
+
+func TestFlushExec(t *testing.T) {
+	c := newCore()
+	ctx := &Context{Seq: c.P.ColdDecay}
+	c.Exec(ctx, isa.Inst{PC: 0x1000, Kind: isa.Load, Mem: 0x9000})
+	c.Exec(ctx, isa.Inst{PC: 0x1004, Kind: isa.Flush, Mem: 0x9000})
+	lat := c.Exec(ctx, isa.Inst{PC: 0x1008, Kind: isa.Load, Mem: 0x9000})
+	if lat < c.Caches.Config().Lat.Mem {
+		t.Fatalf("load after flush = %d, want a memory access", lat)
+	}
+}
+
+func TestITLBChargedWhenEnabled(t *testing.T) {
+	c := newCore()
+	ctx := &Context{UseITLB: true, Seq: c.P.ColdDecay}
+	first := c.Exec(ctx, isa.Inst{PC: 0x40_0000, Kind: isa.ALU})
+	second := c.Exec(ctx, isa.Inst{PC: 0x40_0004, Kind: isa.ALU})
+	if first-second < tlb.DefaultLatencies.Walk-tlb.DefaultLatencies.L2Hit {
+		t.Fatalf("first=%d second=%d: no walk charged", first, second)
+	}
+	// Disabled: no translation cost at all.
+	c2 := newCore()
+	ctx2 := &Context{Seq: c2.P.ColdDecay}
+	if lat := c2.Exec(ctx2, isa.Inst{PC: 0x40_0000, Kind: isa.ALU}); lat != c2.P.ALU {
+		t.Fatalf("ALU without iTLB = %d", lat)
+	}
+}
+
+func TestFetchThroughCacheStalls(t *testing.T) {
+	c := newCore()
+	ctx := &Context{FetchThroughCache: true, Seq: c.P.ColdDecay}
+	pc := uint64(0x50_0100)
+	first := c.Exec(ctx, isa.Inst{PC: pc, Kind: isa.ALU})
+	ctx.Seq = c.P.ColdDecay
+	second := c.Exec(ctx, isa.Inst{PC: pc, Kind: isa.ALU})
+	if first <= second {
+		t.Fatalf("first fetch %d not slower than warm %d", first, second)
+	}
+	// Evicting the code line makes the next fetch stall again.
+	c.Caches.Flush(pc)
+	ctx.Seq = c.P.ColdDecay
+	if again := c.Exec(ctx, isa.Inst{PC: pc, Kind: isa.ALU}); again <= second {
+		t.Fatalf("evicted fetch %d not slower", again)
+	}
+}
+
+func TestBranchBTBInterplay(t *testing.T) {
+	c := newCore()
+	ctx := &Context{Seq: c.P.ColdDecay}
+	br := isa.Inst{PC: 0x41_0000, Kind: isa.Branch, Target: 0x41_2000, Size: 4}
+	miss := c.Exec(ctx, br)
+	hit := c.Exec(ctx, br)
+	if miss != c.P.BranchMiss || hit != c.P.BranchHit {
+		t.Fatalf("branch miss=%d hit=%d", miss, hit)
+	}
+	if !c.BTB.Contains(br.PC) {
+		t.Fatal("branch did not allocate BTB entry")
+	}
+	// A colliding non-branch invalidates (NightVision).
+	c.Exec(ctx, isa.Inst{PC: br.PC + 1<<32, Kind: isa.Nop})
+	if c.BTB.Contains(br.PC) {
+		t.Fatal("colliding nop did not invalidate")
+	}
+}
+
+// TestBranchPrefetchesPredictedTarget: a BTB hit pulls the predicted
+// target's line into the hierarchy — the gadget's T2 signal.
+func TestBranchPrefetchesPredictedTarget(t *testing.T) {
+	c := newCore()
+	ctx := &Context{Seq: c.P.ColdDecay}
+	prime := uint64(0x41_0000) + 1<<32
+	t1 := prime + 4080
+	c.Exec(ctx, isa.Inst{PC: prime, Kind: isa.Branch, Target: t1, Size: 4})
+	// Fetching a colliding branch 4GiB away prefetches T1's image in ITS
+	// region: T2.
+	probe := prime + 1<<32
+	t2 := probe + 4080
+	c.Caches.Flush(t2)
+	c.Exec(ctx, isa.Inst{PC: probe, Kind: isa.Branch, Target: probe + 8, Size: 4})
+	if lat := c.TimeLoad(t2); lat > c.Caches.HitThreshold() {
+		t.Fatalf("T2 not prefetched (lat %d)", lat)
+	}
+}
+
+func TestCondBranchNotTakenActsAsNonBranch(t *testing.T) {
+	c := newCore()
+	ctx := &Context{Seq: c.P.ColdDecay}
+	pc := uint64(0x41_0080)
+	c.BTB.UpdateBranch(pc+1<<32, pc+100) // colliding entry
+	c.Exec(ctx, isa.Inst{PC: pc, Kind: isa.CondBranch, Target: 0x41_0200, Taken: false, Size: 4})
+	if c.BTB.Contains(pc) {
+		t.Fatal("not-taken conditional left entry alive")
+	}
+}
+
+func TestFenceAndStoreCosts(t *testing.T) {
+	c := newCore()
+	ctx := &Context{Seq: c.P.ColdDecay}
+	if lat := c.Exec(ctx, isa.Inst{PC: 0x100, Kind: isa.Fence}); lat != c.P.Fence {
+		t.Fatalf("fence = %d", lat)
+	}
+	st := c.Exec(ctx, isa.Inst{PC: 0x104, Kind: isa.Store, Mem: 0x9000})
+	if st < c.P.Store+c.Caches.Config().Lat.Mem {
+		t.Fatalf("cold store = %d", st)
+	}
+}

@@ -1,0 +1,263 @@
+package eevdf
+
+import (
+	"testing"
+
+	"repro/internal/sched"
+	"repro/internal/timebase"
+)
+
+func newRQ() *EEVDF { return New(sched.DefaultParams(16)) }
+
+func ms(x int64) int64 { return x * int64(timebase.Millisecond) }
+
+func TestName(t *testing.T) {
+	if newRQ().Name() != "eevdf" {
+		t.Fatal("name")
+	}
+}
+
+func TestAvgVruntimeWeighted(t *testing.T) {
+	rq := newRQ()
+	a := sched.NewTask(1, "a", 0)
+	a.Vruntime = ms(10)
+	b := sched.NewTask(2, "b", 0)
+	b.Vruntime = ms(30)
+	rq.Enqueue(a, false)
+	rq.Enqueue(b, false)
+	if avg := rq.AvgVruntime(); avg != ms(20) {
+		t.Fatalf("equal-weight avg = %d, want %d", avg, ms(20))
+	}
+	// The current task counts too.
+	c := sched.NewTask(3, "c", 0)
+	c.Vruntime = ms(50)
+	rq.SetCurr(c)
+	if avg := rq.AvgVruntime(); avg != ms(30) {
+		t.Fatalf("avg with curr = %d, want %d", avg, ms(30))
+	}
+}
+
+func TestEligibility(t *testing.T) {
+	rq := newRQ()
+	a := sched.NewTask(1, "a", 0)
+	a.Vruntime = ms(10)
+	b := sched.NewTask(2, "b", 0)
+	b.Vruntime = ms(30)
+	rq.Enqueue(a, false)
+	rq.Enqueue(b, false)
+	if !rq.Eligible(a) {
+		t.Fatal("below-average task must be eligible")
+	}
+	if rq.Eligible(b) {
+		t.Fatal("above-average task must not be eligible")
+	}
+}
+
+func TestPickEarliestEligibleDeadline(t *testing.T) {
+	rq := newRQ()
+	a := sched.NewTask(1, "a", 0)
+	a.Vruntime = ms(10)
+	a.Deadline = ms(40)
+	b := sched.NewTask(2, "b", 0)
+	b.Vruntime = ms(12)
+	b.Deadline = ms(20) // earlier deadline, still eligible
+	c := sched.NewTask(3, "c", 0)
+	c.Vruntime = ms(100) // ineligible
+	c.Deadline = ms(1)
+	rq.Enqueue(a, false)
+	rq.Enqueue(b, false)
+	rq.Enqueue(c, false)
+	if got := rq.PickNext(); got != b {
+		t.Fatalf("picked %s, want b", got.Name)
+	}
+}
+
+func TestPickFallsBackToMinVruntime(t *testing.T) {
+	rq := newRQ()
+	// The current task drags the average below every queued task.
+	curr := sched.NewTask(1, "curr", 0)
+	curr.Vruntime = 0
+	rq.SetCurr(curr)
+	a := sched.NewTask(2, "a", 0)
+	a.Vruntime = ms(10)
+	rq.Enqueue(a, false)
+	if got := rq.PickNext(); got != a {
+		t.Fatal("fallback pick failed")
+	}
+}
+
+// TestWellSleptPlacement: a well-slept waker is placed behind the average
+// with the sleeper credit and gets an immediate deadline advantage — the
+// EEVDF analogue of Equation 2.1.
+func TestWellSleptPlacement(t *testing.T) {
+	rq := newRQ()
+	victim := sched.NewTask(1, "victim", 0)
+	victim.Vruntime = ms(100)
+	victim.Deadline = ms(101)
+	rq.SetCurr(victim)
+
+	w := sched.NewTask(2, "attacker", 0)
+	w.Vruntime = ms(1)
+	w.WellSlept = true
+	rq.Enqueue(w, true)
+	if w.Vruntime >= ms(100) {
+		t.Fatalf("waker placed at %d, want behind the victim", w.Vruntime)
+	}
+	gap := victim.Vruntime - w.Vruntime
+	// Sleeper credit 0.55 slice, doubled by two-task load damping ≈ 3.3ms.
+	if gap < ms(2) || gap > ms(5) {
+		t.Fatalf("wake gap = %dns, want ~3.3ms", gap)
+	}
+	if !rq.Eligible(w) {
+		t.Fatal("well-slept waker must be eligible")
+	}
+	if !rq.WakeupPreempt(victim, w) {
+		t.Fatal("well-slept waker must preempt")
+	}
+}
+
+// TestLagPreservedAcrossShortSleep: a napping task records lag at dequeue
+// and is placed to preserve it, so repeated naps keep their position — the
+// repeated-preemption mechanism on EEVDF.
+func TestLagPreservedAcrossShortSleep(t *testing.T) {
+	rq := newRQ()
+	victim := sched.NewTask(1, "victim", 0)
+	victim.Vruntime = ms(100)
+	victim.Deadline = ms(103)
+	rq.SetCurr(victim)
+
+	att := sched.NewTask(2, "attacker", 0)
+	att.Vruntime = ms(98)
+	rq.Enqueue(att, false)
+	rq.Dequeue(att) // nap: records VLag vs the average (99ms)
+	if att.VLag <= 0 {
+		t.Fatalf("lag = %d, want positive", att.VLag)
+	}
+	att.WellSlept = false
+	rq.Enqueue(att, true)
+	// Placement restores roughly the pre-sleep position.
+	if diff := att.Vruntime - ms(98); diff < -int64(200*timebase.Microsecond) || diff > int64(200*timebase.Microsecond) {
+		t.Fatalf("restored vruntime off by %d", diff)
+	}
+}
+
+func TestLagClamped(t *testing.T) {
+	rq := newRQ()
+	victim := sched.NewTask(1, "victim", 0)
+	victim.Vruntime = ms(1000)
+	rq.SetCurr(victim)
+	att := sched.NewTask(2, "att", 0)
+	att.Vruntime = 0 // enormous lag
+	rq.Enqueue(att, false)
+	rq.Dequeue(att)
+	if att.VLag > 2*int64(rq.Params().BaseSlice) {
+		t.Fatalf("lag %d beyond clamp", att.VLag)
+	}
+}
+
+func TestUpdateCurrRefreshesDeadline(t *testing.T) {
+	rq := newRQ()
+	curr := sched.NewTask(1, "c", 0)
+	rq.SetCurr(curr)
+	rq.UpdateCurr(curr, timebase.Millisecond)
+	if curr.Deadline <= curr.Vruntime {
+		t.Fatal("deadline not ahead of vruntime")
+	}
+	d1 := curr.Deadline
+	// Run past the deadline: it must move.
+	rq.UpdateCurr(curr, 10*timebase.Millisecond)
+	if curr.Deadline <= d1 {
+		t.Fatal("deadline not refreshed")
+	}
+}
+
+func TestWakeupPreemptRequiresEligibleAndEarlier(t *testing.T) {
+	rq := newRQ()
+	curr := sched.NewTask(1, "curr", 0)
+	curr.Vruntime = ms(10)
+	curr.Deadline = ms(13)
+	rq.SetCurr(curr)
+	w := sched.NewTask(2, "w", 0)
+	// Ineligible (ahead of average).
+	w.Vruntime = ms(50)
+	w.Deadline = ms(51)
+	rq.Enqueue(w, false)
+	if rq.WakeupPreempt(curr, w) {
+		t.Fatal("ineligible waker preempted")
+	}
+	rq.Dequeue(w)
+	// Eligible but later deadline.
+	w.Vruntime = ms(9)
+	w.Deadline = ms(20)
+	rq.Enqueue(w, false)
+	if rq.WakeupPreempt(curr, w) {
+		t.Fatal("later-deadline waker preempted")
+	}
+	// Eligible and earlier deadline.
+	w.Deadline = ms(12)
+	if !rq.WakeupPreempt(curr, w) {
+		t.Fatal("earlier-deadline waker did not preempt")
+	}
+}
+
+func TestWakeupPreemptionDisabled(t *testing.T) {
+	p := sched.DefaultParams(16)
+	p.WakeupPreemption = false
+	rq := NewWithFeatures(p, DefaultFeatures)
+	curr := sched.NewTask(1, "c", 0)
+	curr.Vruntime = ms(100)
+	curr.Deadline = ms(200)
+	w := sched.NewTask(2, "w", 0)
+	w.Deadline = 0
+	rq.Enqueue(w, false)
+	if rq.WakeupPreempt(curr, w) {
+		t.Fatal("mitigation bypassed")
+	}
+}
+
+func TestTickPreempt(t *testing.T) {
+	rq := newRQ()
+	curr := sched.NewTask(1, "c", 0)
+	curr.Vruntime = ms(10)
+	curr.Deadline = ms(5) // exhausted slice
+	if rq.TickPreempt(curr, 10*timebase.Millisecond) {
+		t.Fatal("preempted with empty queue")
+	}
+	other := sched.NewTask(2, "o", 0)
+	other.Vruntime = ms(10)
+	rq.Enqueue(other, false)
+	if rq.TickPreempt(curr, timebase.Millisecond) {
+		t.Fatal("preempted below base slice")
+	}
+	if !rq.TickPreempt(curr, 4*timebase.Millisecond) {
+		t.Fatal("not preempted past deadline")
+	}
+}
+
+func TestDetachAttach(t *testing.T) {
+	src := newRQ()
+	dst := newRQ()
+	a := sched.NewTask(1, "anchor", 0)
+	a.Vruntime = ms(100)
+	src.SetCurr(a)
+	m := sched.NewTask(2, "mig", 0)
+	m.Vruntime = ms(101)
+	m.Deadline = ms(104)
+	src.Enqueue(m, false)
+
+	d := sched.NewTask(3, "danchor", 0)
+	d.Vruntime = ms(500)
+	dst.SetCurr(d)
+
+	src.Dequeue(m)
+	src.Detach(m)
+	dst.Attach(m)
+	dst.Enqueue(m, false)
+	rel := m.Vruntime - dst.AvgVruntime()
+	if rel < -ms(2) || rel > ms(2) {
+		t.Fatalf("migrated offset = %d", rel)
+	}
+	if m.Deadline-m.Vruntime != ms(3) {
+		t.Fatalf("deadline offset lost: %d", m.Deadline-m.Vruntime)
+	}
+}

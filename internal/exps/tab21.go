@@ -1,0 +1,42 @@
+package exps
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/sched"
+	"repro/internal/timebase"
+)
+
+// Table21 reproduces Table 2.1: the relevant CFS configurations and their
+// values on the evaluated 16-core system.
+type Table21 struct {
+	Cores  int
+	Factor int
+	Params sched.Params
+}
+
+// RunTable21 computes the table for the paper's machine.
+func RunTable21() *Table21 {
+	return &Table21{
+		Cores:  Cores,
+		Factor: sched.ScalingFactor(Cores),
+		Params: sched.DefaultParams(Cores),
+	}
+}
+
+// String renders the table with the paper's rows.
+func (t *Table21) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 2.1 — Relevant CFS configurations (%d cores, scaling factor %d)\n", t.Cores, t.Factor)
+	row := func(name string, base, val timebase.Duration, desc string) {
+		fmt.Fprintf(&b, "  %-10s %8s ×%d = %-8s %s\n", name, base, t.Factor, val, desc)
+	}
+	f := timebase.Duration(t.Factor)
+	row("S_bnd", t.Params.Latency/f, t.Params.Latency, "upper bound of vruntime difference")
+	row("S_min", t.Params.MinGranularity/f, t.Params.MinGranularity, "length of the minimum time slice")
+	fmt.Fprintf(&b, "  %-10s %8s (S_bnd/2)   %s\n", "S_slack", t.Params.SleeperSlack(), "a waking thread's max vruntime lag (GENTLE_FAIR_SLEEPERS)")
+	row("S_preempt", t.Params.WakeupGranularity/f, t.Params.WakeupGranularity, "wakeup preemption threshold")
+	fmt.Fprintf(&b, "  %-10s %8s             %s\n", "budget", t.Params.PreemptionBudget(), "S_slack − S_preempt: the preemption budget (§4.1)")
+	return b.String()
+}

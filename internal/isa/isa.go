@@ -1,0 +1,200 @@
+// Package isa defines the tiny instruction set that simulated victim
+// programs are expressed in. A victim program is a sequence of instructions
+// with program counters, so the kernel trace (the eBPF-equivalent in the
+// paper's §4.3) can report exactly how many instructions retired between two
+// preemptions, and so the microarchitecture model can charge fetch, data and
+// branch costs per instruction.
+package isa
+
+import "fmt"
+
+// Kind classifies an instruction by which microarchitectural resources it
+// exercises.
+type Kind uint8
+
+const (
+	// ALU is a register-only instruction (add, xor, shift, ...).
+	ALU Kind = iota
+	// Nop retires without side effects; the BTB victim uses colliding nops.
+	Nop
+	// Load reads Mem through the data cache hierarchy.
+	Load
+	// Store writes Mem through the data cache hierarchy.
+	Store
+	// Branch is a control transfer to Target (direct jump/call/ret).
+	Branch
+	// CondBranch transfers to Target when taken, falls through otherwise.
+	CondBranch
+	// Flush is a clflush of the line containing Mem.
+	Flush
+	// Fence serializes (lfence); the LVI mitigation inserts these.
+	Fence
+)
+
+// String returns the mnemonic-style name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case ALU:
+		return "alu"
+	case Nop:
+		return "nop"
+	case Load:
+		return "load"
+	case Store:
+		return "store"
+	case Branch:
+		return "branch"
+	case CondBranch:
+		return "condbr"
+	case Flush:
+		return "flush"
+	case Fence:
+		return "fence"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Inst is one simulated instruction.
+type Inst struct {
+	// PC is the virtual address of the instruction.
+	PC uint64
+	// Kind selects the execution behaviour.
+	Kind Kind
+	// Mem is the data address for Load/Store/Flush.
+	Mem uint64
+	// Target is the destination for Branch/CondBranch.
+	Target uint64
+	// Taken reports whether a CondBranch is taken this execution. Victim
+	// generators resolve secret-dependent branches when emitting the
+	// stream, which is exactly what an execution trace is.
+	Taken bool
+	// Size is the instruction length in bytes (for PC advancement and the
+	// "same-Byte length instructions" loop victim). Zero means 4.
+	Size uint8
+	// Tag optionally labels the instruction for analysis (e.g. which GCD
+	// branch block it belongs to, or which AES round issued a lookup).
+	Tag int32
+}
+
+// SizeBytes returns the instruction length, defaulting to 4.
+func (in Inst) SizeBytes() uint64 {
+	if in.Size == 0 {
+		return 4
+	}
+	return uint64(in.Size)
+}
+
+// NextPC returns the PC of the instruction that executes after in.
+func (in Inst) NextPC() uint64 {
+	switch in.Kind {
+	case Branch:
+		return in.Target
+	case CondBranch:
+		if in.Taken {
+			return in.Target
+		}
+	}
+	return in.PC + in.SizeBytes()
+}
+
+// String renders the instruction for debugging.
+func (in Inst) String() string {
+	switch in.Kind {
+	case Load, Store, Flush:
+		return fmt.Sprintf("%#x: %s [%#x]", in.PC, in.Kind, in.Mem)
+	case Branch:
+		return fmt.Sprintf("%#x: %s -> %#x", in.PC, in.Kind, in.Target)
+	case CondBranch:
+		return fmt.Sprintf("%#x: %s -> %#x taken=%v", in.PC, in.Kind, in.Target, in.Taken)
+	default:
+		return fmt.Sprintf("%#x: %s", in.PC, in.Kind)
+	}
+}
+
+// Program is an executable instruction stream (an execution trace of a
+// victim routine: straight-line, with branches already resolved).
+type Program struct {
+	// Name identifies the program in traces.
+	Name string
+	// Insts is the resolved instruction stream in execution order.
+	Insts []Inst
+}
+
+// Len returns the number of instructions.
+func (p *Program) Len() int { return len(p.Insts) }
+
+// Builder incrementally assembles a Program, managing PC layout.
+type Builder struct {
+	prog Program
+	pc   uint64
+	size uint8
+}
+
+// NewBuilder returns a Builder that lays instructions out starting at base,
+// each instSize bytes long (0 means 4).
+func NewBuilder(name string, base uint64, instSize uint8) *Builder {
+	if instSize == 0 {
+		instSize = 4
+	}
+	return &Builder{prog: Program{Name: name}, pc: base, size: instSize}
+}
+
+// PC returns the address the next emitted instruction will occupy.
+func (b *Builder) PC() uint64 { return b.pc }
+
+// SetPC moves the layout cursor, e.g. to place a block at a colliding
+// address.
+func (b *Builder) SetPC(pc uint64) { b.pc = pc }
+
+// Emit appends in at the current PC (overriding in.PC and in.Size) and
+// advances the cursor.
+func (b *Builder) Emit(in Inst) *Builder {
+	in.PC = b.pc
+	in.Size = b.size
+	b.prog.Insts = append(b.prog.Insts, in)
+	b.pc += uint64(b.size)
+	return b
+}
+
+// ALU emits n register-only instructions.
+func (b *Builder) ALU(n int) *Builder {
+	for i := 0; i < n; i++ {
+		b.Emit(Inst{Kind: ALU})
+	}
+	return b
+}
+
+// Nop emits n nops.
+func (b *Builder) Nop(n int) *Builder {
+	for i := 0; i < n; i++ {
+		b.Emit(Inst{Kind: Nop})
+	}
+	return b
+}
+
+// Load emits a load of addr.
+func (b *Builder) Load(addr uint64) *Builder { return b.Emit(Inst{Kind: Load, Mem: addr}) }
+
+// LoadTagged emits a load of addr labelled with tag.
+func (b *Builder) LoadTagged(addr uint64, tag int32) *Builder {
+	return b.Emit(Inst{Kind: Load, Mem: addr, Tag: tag})
+}
+
+// Store emits a store to addr.
+func (b *Builder) Store(addr uint64) *Builder { return b.Emit(Inst{Kind: Store, Mem: addr}) }
+
+// Jump emits an unconditional branch to target.
+func (b *Builder) Jump(target uint64) *Builder {
+	return b.Emit(Inst{Kind: Branch, Target: target})
+}
+
+// CondJump emits a conditional branch to target with the given resolution.
+func (b *Builder) CondJump(target uint64, taken bool) *Builder {
+	return b.Emit(Inst{Kind: CondBranch, Target: target, Taken: taken})
+}
+
+// Fence emits a serializing fence.
+func (b *Builder) Fence() *Builder { return b.Emit(Inst{Kind: Fence}) }
+
+// Build returns the assembled program. The Builder must not be reused.
+func (b *Builder) Build() *Program { return &b.prog }

@@ -1,0 +1,113 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestInstDefaults(t *testing.T) {
+	in := Inst{PC: 0x100, Kind: ALU}
+	if in.SizeBytes() != 4 {
+		t.Fatalf("default size = %d", in.SizeBytes())
+	}
+	if in.NextPC() != 0x104 {
+		t.Fatalf("NextPC = %#x", in.NextPC())
+	}
+	in.Size = 2
+	if in.SizeBytes() != 2 || in.NextPC() != 0x102 {
+		t.Fatal("explicit size")
+	}
+}
+
+func TestNextPCBranches(t *testing.T) {
+	b := Inst{PC: 0x100, Kind: Branch, Target: 0x500, Size: 4}
+	if b.NextPC() != 0x500 {
+		t.Fatal("unconditional branch NextPC")
+	}
+	cb := Inst{PC: 0x100, Kind: CondBranch, Target: 0x500, Taken: true, Size: 4}
+	if cb.NextPC() != 0x500 {
+		t.Fatal("taken conditional NextPC")
+	}
+	cb.Taken = false
+	if cb.NextPC() != 0x104 {
+		t.Fatal("not-taken conditional NextPC")
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k, want := range map[Kind]string{
+		ALU: "alu", Nop: "nop", Load: "load", Store: "store",
+		Branch: "branch", CondBranch: "condbr", Flush: "flush", Fence: "fence",
+	} {
+		if k.String() != want {
+			t.Fatalf("Kind %d = %q", k, k.String())
+		}
+	}
+}
+
+func TestInstString(t *testing.T) {
+	in := Inst{PC: 0x40, Kind: Load, Mem: 0x1000}
+	if !strings.Contains(in.String(), "load") || !strings.Contains(in.String(), "0x1000") {
+		t.Fatalf("String = %q", in.String())
+	}
+}
+
+func TestBuilderLayout(t *testing.T) {
+	b := NewBuilder("p", 0x1000, 4)
+	b.ALU(2)
+	b.Load(0x9000)
+	b.Store(0x9040)
+	b.Jump(0x1000)
+	p := b.Build()
+	if p.Len() != 5 {
+		t.Fatalf("len = %d", p.Len())
+	}
+	for i, in := range p.Insts {
+		want := uint64(0x1000 + 4*i)
+		if in.PC != want {
+			t.Fatalf("inst %d at %#x, want %#x", i, in.PC, want)
+		}
+	}
+	if p.Insts[2].Kind != Load || p.Insts[2].Mem != 0x9000 {
+		t.Fatal("load emitted wrong")
+	}
+	if p.Insts[4].Kind != Branch || p.Insts[4].Target != 0x1000 {
+		t.Fatal("jump emitted wrong")
+	}
+}
+
+func TestBuilderSetPC(t *testing.T) {
+	b := NewBuilder("p", 0x1000, 4)
+	b.Nop(1)
+	b.SetPC(0x2000)
+	b.CondJump(0x1000, true)
+	b.Fence()
+	p := b.Build()
+	if p.Insts[1].PC != 0x2000 || p.Insts[2].PC != 0x2004 {
+		t.Fatal("SetPC not honored")
+	}
+	if !p.Insts[1].Taken || p.Insts[1].Target != 0x1000 {
+		t.Fatal("CondJump fields")
+	}
+	if p.Insts[2].Kind != Fence {
+		t.Fatal("Fence kind")
+	}
+}
+
+func TestBuilderTagged(t *testing.T) {
+	b := NewBuilder("p", 0, 4)
+	b.LoadTagged(0x100, 7)
+	p := b.Build()
+	if p.Insts[0].Tag != 7 {
+		t.Fatal("tag lost")
+	}
+}
+
+func TestBuilderZeroSizeDefaults(t *testing.T) {
+	b := NewBuilder("p", 0, 0)
+	b.ALU(2)
+	p := b.Build()
+	if p.Insts[1].PC != 4 {
+		t.Fatal("zero instSize should default to 4")
+	}
+}

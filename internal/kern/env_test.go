@@ -1,0 +1,196 @@
+package kern
+
+import (
+	"testing"
+
+	"repro/internal/cfs"
+	"repro/internal/isa"
+	"repro/internal/sched"
+	"repro/internal/timebase"
+	"repro/internal/tlb"
+)
+
+func TestFlushAndTimedLoad(t *testing.T) {
+	m := newTestMachine(t, 1)
+	var cold, warm, reflushed int64
+	m.Spawn("probe", func(e *Env) {
+		addr := uint64(0x66_0000)
+		cold = e.TimedLoad(addr)
+		warm = e.TimedLoad(addr)
+		e.FlushLine(addr)
+		reflushed = e.TimedLoad(addr)
+	}, WithPin(0))
+	m.RunFor(timebase.Millisecond)
+	thr := m.Caches().HitThreshold()
+	if cold <= thr {
+		t.Fatalf("cold load %d not a miss", cold)
+	}
+	if warm > thr {
+		t.Fatalf("warm load %d not a hit", warm)
+	}
+	if reflushed <= thr {
+		t.Fatalf("post-flush load %d not a miss", reflushed)
+	}
+}
+
+func TestTimedLoadChargesTime(t *testing.T) {
+	m := newTestMachine(t, 1)
+	var spent timebase.Duration
+	m.Spawn("probe", func(e *Env) {
+		start := e.Now()
+		for i := 0; i < 100; i++ {
+			e.TimedLoad(uint64(0x66_0000 + i*64))
+		}
+		spent = e.Now().Sub(start)
+	}, WithPin(0))
+	m.RunFor(timebase.Millisecond)
+	// 100 cold loads ≈ 100 × (220+24)/4 ns ≈ 6µs.
+	if spent < 4*timebase.Microsecond || spent > 12*timebase.Microsecond {
+		t.Fatalf("100 probes took %v", spent)
+	}
+}
+
+func TestFetchTouchFillsITLB(t *testing.T) {
+	m := newTestMachine(t, 1)
+	var inITLB bool
+	m.Spawn("toucher", func(e *Env) {
+		e.FetchTouch(0x44_0000)
+		inITLB = e.ITLB().Contains(tlb.VPN(0x44_0000))
+	}, WithPin(0))
+	m.RunFor(timebase.Millisecond)
+	if !inITLB {
+		t.Fatal("FetchTouch did not fill the iTLB")
+	}
+}
+
+func TestTouchPageFillsSTLB(t *testing.T) {
+	m := newTestMachine(t, 1)
+	var inSTLB bool
+	m.Spawn("toucher", func(e *Env) {
+		e.TouchPage(0x45_0000)
+		inSTLB = e.STLB().Contains(tlb.VPN(0x45_0000))
+	}, WithPin(0))
+	m.RunFor(timebase.Millisecond)
+	if !inSTLB {
+		t.Fatal("TouchPage did not fill the sTLB")
+	}
+}
+
+func TestEnvRNGDeterministicPerSeed(t *testing.T) {
+	draw := func(seed uint64) uint64 {
+		p := DefaultParams(1, func() sched.Scheduler { return cfs.New(sched.DefaultParams(1)) })
+		p.Seed = seed
+		m := NewMachine(p)
+		defer m.Shutdown()
+		var v uint64
+		m.Spawn("r", func(e *Env) { v = e.RNG().Uint64() }, WithPin(0))
+		m.RunFor(timebase.Millisecond)
+		return v
+	}
+	if draw(5) != draw(5) {
+		t.Fatal("same seed diverged")
+	}
+	if draw(5) == draw(6) {
+		t.Fatal("different seeds agree")
+	}
+}
+
+func TestSetTimerSlackClampsToOne(t *testing.T) {
+	m := newTestMachine(t, 1)
+	var lat timebase.Duration
+	m.Spawn("s", func(e *Env) {
+		e.SetTimerSlack(0) // clamped to 1ns
+		start := e.Now()
+		e.Nanosleep(10 * timebase.Microsecond)
+		lat = e.Now().Sub(start)
+	}, WithPin(0))
+	m.RunFor(timebase.Millisecond)
+	if lat < 10*timebase.Microsecond || lat > 13*timebase.Microsecond {
+		t.Fatalf("sleep with clamped slack took %v", lat)
+	}
+}
+
+func TestPTimerStop(t *testing.T) {
+	m := newTestMachine(t, 1)
+	var fires int64
+	m.Spawn("t", func(e *Env) {
+		pt := e.TimerCreate(100 * timebase.Microsecond)
+		for i := 0; i < 3; i++ {
+			e.Pause()
+		}
+		pt.Stop()
+		fires = pt.Fires
+		// After Stop the pause would block forever; just exit.
+	}, WithPin(0))
+	m.RunFor(10 * timebase.Millisecond)
+	if fires < 3 {
+		t.Fatalf("fires = %d", fires)
+	}
+}
+
+func TestPTimerZeroIntervalClamped(t *testing.T) {
+	m := newTestMachine(t, 1)
+	ok := false
+	m.Spawn("t", func(e *Env) {
+		pt := e.TimerCreate(0)
+		if pt.Interval() > 0 {
+			ok = true
+		}
+		pt.Stop()
+	}, WithPin(0))
+	m.RunFor(timebase.Millisecond)
+	if !ok {
+		t.Fatal("zero interval not clamped")
+	}
+}
+
+// TestStartedInstructionRetires pins the §4.2 boundary semantics: an
+// instruction that starts before the timer fires retires fully even though
+// its latency overruns the fire time.
+func TestStartedInstructionRetires(t *testing.T) {
+	m := newTestMachine(t, 1)
+	// Victim: a single very slow instruction (cold load) then fast ones.
+	victim := m.Spawn("victim", func(e *Env) {
+		for i := uint64(0); ; i++ {
+			// Every instruction misses: new line each time.
+			e.Exec(isa.Inst{PC: 0x40_0000 + 4*i, Kind: isa.Load, Mem: 0x70_0000 + 64*i, Size: 4})
+		}
+	}, WithPin(0))
+	steps := []int64{}
+	last := int64(0)
+	m.Spawn("attacker", func(e *Env) {
+		e.SetTimerSlack(1)
+		e.Nanosleep(30 * timebase.Millisecond)
+		for i := 0; i < 200; i++ {
+			e.Nanosleep(1600 * timebase.Nanosecond)
+			if !e.Thread().LastWakePreempted() {
+				return
+			}
+			r := victim.Retired()
+			steps = append(steps, r-last)
+			last = r
+			e.Burn(8 * timebase.Microsecond)
+		}
+	}, WithPin(0))
+	m.RunFor(200 * timebase.Millisecond)
+	if len(steps) < 100 {
+		t.Fatalf("steps = %d", len(steps))
+	}
+	// The victim makes progress: zero steps can happen (fire during
+	// switch-in) but whenever any time elapses an in-flight load retires,
+	// so long runs of zeros are impossible.
+	zrun, maxZrun := 0, 0
+	for _, s := range steps[1:] {
+		if s == 0 {
+			zrun++
+			if zrun > maxZrun {
+				maxZrun = zrun
+			}
+		} else {
+			zrun = 0
+		}
+	}
+	if maxZrun > 10 {
+		t.Fatalf("victim stalled for %d consecutive zero steps", maxZrun)
+	}
+}

@@ -1,0 +1,98 @@
+package kern
+
+import (
+	"container/heap"
+
+	"repro/internal/timebase"
+)
+
+// eventKind discriminates queued kernel events.
+type eventKind uint8
+
+const (
+	evTimerFire eventKind = iota // one-shot or periodic hardware timer
+	evTick                       // per-core scheduler tick
+	evBalance                    // periodic load balancing
+	evSignal                     // userspace signal delivery (Env.Signal)
+	evIOWake                     // blocking-IO completion (pipe write)
+)
+
+// event is one entry in the machine's time-ordered event queue.
+type event struct {
+	at   timebase.Time
+	seq  int64 // insertion order, for deterministic tie-breaking
+	kind eventKind
+
+	// thread is the target of evTimerFire.
+	thread *Thread
+	// timer is the periodic timer that fired, nil for nanosleep wakeups.
+	timer *PTimer
+	// core is the target of evTick.
+	core *Core
+	// cancelled events are skipped on pop.
+	cancelled bool
+}
+
+// eventHeap is a min-heap over (at, seq).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(*event)) }
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// eventQueue wraps the heap with sequence numbering.
+type eventQueue struct {
+	h   eventHeap
+	seq int64
+}
+
+func (q *eventQueue) push(e *event) {
+	q.seq++
+	e.seq = q.seq
+	heap.Push(&q.h, e)
+}
+
+func (q *eventQueue) empty() bool {
+	q.skipCancelled()
+	return len(q.h) == 0
+}
+
+func (q *eventQueue) peek() *event {
+	q.skipCancelled()
+	if len(q.h) == 0 {
+		return nil
+	}
+	return q.h[0]
+}
+
+func (q *eventQueue) pop() *event {
+	q.skipCancelled()
+	if len(q.h) == 0 {
+		return nil
+	}
+	return heap.Pop(&q.h).(*event)
+}
+
+func (q *eventQueue) skipCancelled() {
+	for len(q.h) > 0 && q.h[0].cancelled {
+		heap.Pop(&q.h)
+	}
+}

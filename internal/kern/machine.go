@@ -1,0 +1,668 @@
+// Package kern is the simulation kernel: it owns simulated time, the
+// hardware timer queue, per-core runqueues driven by a pluggable scheduler
+// (CFS or EEVDF), context switching with realistic switch-in latency and
+// jitter, the wakeup path the attack exploits (Scenario 2 of §2.1), the
+// scheduler tick (Scenario 1), blocking system calls (Scenario 3), and the
+// load balancer the colocation technique of §4.4 leans on.
+//
+// Threads are goroutines driven in strict lock-step: the machine resumes
+// exactly one thread at a time and waits for it to yield, so the whole
+// simulation is single-threaded in effect and fully deterministic.
+package kern
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/cpu"
+	"repro/internal/isa"
+	"repro/internal/rng"
+	"repro/internal/sched"
+	"repro/internal/timebase"
+)
+
+// Params configure the simulated machine.
+type Params struct {
+	// Cores is the number of logical cores (the paper's machine has 16).
+	Cores int
+	// Clock converts cycles to simulated time (4 GHz).
+	Clock timebase.Clock
+
+	// NewSched builds one runqueue policy instance per core.
+	NewSched func() sched.Scheduler
+	// Sched are the scheduler tunables (Table 2.1), kept here for
+	// well-slept classification and tick pacing.
+	Sched sched.Params
+
+	// SwitchCost is the mean context-switch-in latency (kernel path from
+	// the scheduling decision to the first victim instruction); jitter is
+	// its standard deviation. This window is where zero steps happen.
+	SwitchCost   timebase.Duration
+	SwitchJitter timebase.Duration
+
+	// TimerIRQLat is the mean latency from hardware timer expiry to the
+	// wakeup being processed; jitter is its standard deviation.
+	TimerIRQLat    timebase.Duration
+	TimerIRQJitter timebase.Duration
+
+	// TimerSlackDefault is the default nanosleep slack (50µs on Linux); the
+	// attack lowers it to 1ns via prctl.
+	TimerSlackDefault timebase.Duration
+
+	// SyscallEntry is the user→kernel entry cost charged before blocking.
+	SyscallEntry timebase.Duration
+
+	// SignalDeliver is the extra switch-in latency when a wakeup delivers a
+	// signal to a userspace handler (wake-up Method 2).
+	SignalDeliver timebase.Duration
+
+	// InterruptCost is the time an IRQ steals from the interrupted thread
+	// when the wakeup does not preempt it.
+	InterruptCost timebase.Duration
+
+	// TimestampCycles is the rdtscp overhead folded into timed loads.
+	TimestampCycles int64
+
+	// TickPeriod is the scheduler tick (1ms at HZ=1000).
+	TickPeriod timebase.Duration
+
+	// BalancePeriod is the periodic load-balance interval; 0 disables it.
+	BalancePeriod timebase.Duration
+
+	// WellSleptMin is the minimum sleep for full sleeper placement credit.
+	WellSleptMin timebase.Duration
+
+	// SpecWindow and SpecProb model speculative execution at preemption:
+	// each of the victim's next SpecWindow loads is touched with
+	// probability SpecProb without retiring — the smear in Figure 5.1.
+	SpecWindow int
+	SpecProb   float64
+
+	// NoiseEvictionsPerWake models ambient channel noise (§4.3): the
+	// aggregate LLC evictions caused by other-core traffic between two
+	// attacker observations, applied as that many random-line evictions
+	// at every wakeup. 0 (the default) is the paper's quiescent setup.
+	NoiseEvictionsPerWake float64
+
+	// CacheConfig overrides the cache geometry; zero value uses I9900K.
+	CacheConfig cache.SystemConfig
+
+	// Seed drives all simulation jitter.
+	Seed uint64
+}
+
+// DefaultParams returns the parameters modelling the paper's test machine
+// with the given scheduler factory.
+func DefaultParams(cores int, newSched func() sched.Scheduler) Params {
+	return Params{
+		Cores:             cores,
+		Clock:             timebase.DefaultClock,
+		NewSched:          newSched,
+		Sched:             sched.DefaultParams(cores),
+		SwitchCost:        1500 * timebase.Nanosecond,
+		SwitchJitter:      120 * timebase.Nanosecond,
+		TimerIRQLat:       300 * timebase.Nanosecond,
+		TimerIRQJitter:    60 * timebase.Nanosecond,
+		TimerSlackDefault: 50 * timebase.Microsecond,
+		SyscallEntry:      150 * timebase.Nanosecond,
+		SignalDeliver:     400 * timebase.Nanosecond,
+		InterruptCost:     600 * timebase.Nanosecond,
+		TimestampCycles:   24,
+		TickPeriod:        1 * timebase.Millisecond,
+		BalancePeriod:     4 * timebase.Millisecond,
+		WellSleptMin:      10 * timebase.Millisecond,
+		SpecWindow:        2,
+		SpecProb:          0.35,
+		Seed:              1,
+	}
+}
+
+// SchedOutReason says why a thread left the CPU, for traces.
+type SchedOutReason uint8
+
+// Sched-out reasons.
+const (
+	OutBlocked SchedOutReason = iota
+	OutPreemptedWakeup
+	OutPreemptedTick
+	OutExited
+)
+
+// String names the reason.
+func (r SchedOutReason) String() string {
+	switch r {
+	case OutBlocked:
+		return "blocked"
+	case OutPreemptedWakeup:
+		return "wakeup-preempt"
+	case OutPreemptedTick:
+		return "tick-preempt"
+	case OutExited:
+		return "exited"
+	}
+	return fmt.Sprintf("reason(%d)", uint8(r))
+}
+
+// Tracer observes scheduling events (the reproduction's eBPF). All hooks
+// run synchronously on the machine's event loop.
+type Tracer interface {
+	// SchedIn fires when t begins a stint on core: decided at decideAt,
+	// first instruction possible at startAt.
+	SchedIn(t *Thread, core int, decideAt, startAt timebase.Time)
+	// SchedOut fires when t leaves the CPU at time at for the given
+	// reason.
+	SchedOut(t *Thread, core int, at timebase.Time, reason SchedOutReason)
+	// Wake fires when t re-enters core's runqueue at time at; preempted
+	// reports the Equation 2.2 outcome against curr (nil if the core was
+	// idle).
+	Wake(t *Thread, core int, at timebase.Time, preempted bool, curr *Thread)
+}
+
+// nopTracer is the default Tracer.
+type nopTracer struct{}
+
+func (nopTracer) SchedIn(*Thread, int, timebase.Time, timebase.Time)   {}
+func (nopTracer) SchedOut(*Thread, int, timebase.Time, SchedOutReason) {}
+func (nopTracer) Wake(*Thread, int, timebase.Time, bool, *Thread)      {}
+
+// Core is one logical core: a runqueue, the current thread and the
+// microarchitecture.
+type Core struct {
+	id   int
+	m    *Machine
+	rq   sched.Scheduler
+	cpu  *cpu.Core
+	curr *Thread
+	// clock is the core-local committed time.
+	clock timebase.Time
+	// currStart is when curr's stint began (for tick policy).
+	currStart timebase.Time
+	// lastUpdate is when curr's vruntime was last charged.
+	lastUpdate timebase.Time
+	tickArmed  bool
+}
+
+// ID returns the core index.
+func (c *Core) ID() int { return c.id }
+
+// Curr returns the on-CPU thread, or nil.
+func (c *Core) Curr() *Thread { return c.curr }
+
+// RQ returns the core's scheduler (runqueue).
+func (c *Core) RQ() sched.Scheduler { return c.rq }
+
+// CPU returns the core's microarchitecture model.
+func (c *Core) CPU() *cpu.Core { return c.cpu }
+
+// NrRunnable counts runnable threads including the current one.
+func (c *Core) NrRunnable() int {
+	n := c.rq.NrQueued()
+	if c.curr != nil {
+		n++
+	}
+	return n
+}
+
+// Machine is the simulated computer.
+type Machine struct {
+	p       Params
+	now     timebase.Time
+	events  eventQueue
+	cores   []*Core
+	caches  *cache.System
+	threads []*Thread
+	tracer  Tracer
+	// simRNG drives kernel-side jitter; progRNG is handed to programs.
+	simRNG  *rng.RNG
+	progRNG *rng.RNG
+	// yieldCount increments on every thread→kernel interaction; the
+	// fast-forward in Env.RunLoopForever uses it to detect disturbance.
+	yieldCount int64
+	nextTID    int
+}
+
+// NewMachine builds a machine.
+func NewMachine(p Params) *Machine {
+	if p.Cores <= 0 {
+		p.Cores = 1
+	}
+	if p.NewSched == nil {
+		panic("kern: Params.NewSched is required")
+	}
+	if p.Clock.CyclesPerNano == 0 {
+		p.Clock = timebase.DefaultClock
+	}
+	if p.CacheConfig.Cores == 0 {
+		p.CacheConfig = cache.I9900K(p.Cores)
+	}
+	root := rng.New(p.Seed)
+	m := &Machine{
+		p:       p,
+		caches:  cache.NewSystem(p.CacheConfig),
+		tracer:  nopTracer{},
+		simRNG:  root.Fork(1),
+		progRNG: root.Fork(2),
+		nextTID: 1,
+	}
+	m.cores = make([]*Core, p.Cores)
+	for i := range m.cores {
+		m.cores[i] = &Core{
+			id:  i,
+			m:   m,
+			rq:  p.NewSched(),
+			cpu: cpu.NewCore(i, m.caches),
+		}
+	}
+	return m
+}
+
+// Params returns the machine's configuration.
+func (m *Machine) Params() Params { return m.p }
+
+// Now returns the last processed event time.
+func (m *Machine) Now() timebase.Time { return m.now }
+
+// Cores returns the machine's cores.
+func (m *Machine) Cores() []*Core { return m.cores }
+
+// Core returns core i.
+func (m *Machine) Core(i int) *Core { return m.cores[i] }
+
+// Caches returns the machine-wide cache system.
+func (m *Machine) Caches() *cache.System { return m.caches }
+
+// Threads returns all spawned threads.
+func (m *Machine) Threads() []*Thread { return m.threads }
+
+// SetTracer installs a Tracer (nil restores the no-op tracer).
+func (m *Machine) SetTracer(tr Tracer) {
+	if tr == nil {
+		m.tracer = nopTracer{}
+		return
+	}
+	m.tracer = tr
+}
+
+func (m *Machine) coreOf(t *Thread) *Core { return t.core }
+
+// jitterNormal samples a non-negative normally distributed duration.
+func (m *Machine) jitterNormal(mean, stddev timebase.Duration) timebase.Duration {
+	if stddev == 0 {
+		return mean
+	}
+	v := m.simRNG.Normal(float64(mean), float64(stddev))
+	if v < 0 {
+		v = 0
+	}
+	return timebase.Duration(v)
+}
+
+// SpawnOption customizes Spawn.
+type SpawnOption func(*Thread)
+
+// WithNice sets the thread's nice value.
+func WithNice(nice int) SpawnOption {
+	return func(t *Thread) { t.task.SetNice(nice) }
+}
+
+// WithPin pins the thread to a core.
+func WithPin(core int) SpawnOption {
+	return func(t *Thread) { t.pinned = core }
+}
+
+// WithEnclave marks the thread as running inside an SGX enclave: TLBs are
+// flushed and the warm-up context reset on every asynchronous exit.
+func WithEnclave() SpawnOption {
+	return func(t *Thread) { t.enclave = true }
+}
+
+// WithITLB makes the thread's instruction fetches consult the iTLB model
+// (sensitivity to the §4.3 performance degradation).
+func WithITLB() SpawnOption {
+	return func(t *Thread) { t.ctx.UseITLB = true }
+}
+
+// WithFetchThroughCache routes the thread's instruction fetches through the
+// cache hierarchy (sensitivity to the §5.2 code-line eviction).
+func WithFetchThroughCache() SpawnOption {
+	return func(t *Thread) { t.ctx.FetchThroughCache = true }
+}
+
+// Spawn creates and starts a thread at the current time. Unpinned threads
+// are placed on the idlest core (fewest runnable threads, idle preferred) —
+// the select-idle placement the colocation technique of §4.4 exploits.
+func (m *Machine) Spawn(name string, prog Func, opts ...SpawnOption) *Thread {
+	t := &Thread{
+		id:         m.nextTID,
+		name:       name,
+		m:          m,
+		prog:       prog,
+		pinned:     -1,
+		timerSlack: m.p.TimerSlackDefault,
+	}
+	m.nextTID++
+	t.task = sched.NewTask(t.id, name, 0)
+	for _, o := range opts {
+		o(t)
+	}
+	m.threads = append(m.threads, t)
+	t.start()
+
+	var c *Core
+	if t.pinned >= 0 {
+		c = m.cores[t.pinned]
+	} else {
+		c = m.idlestCore()
+	}
+	t.core = c
+	// Bring the destination queue's accounting up to date so placement
+	// sees a fresh floor/average.
+	c.chargeCurr(m.now)
+	// New tasks start at the runqueue's placement floor: enqueue as a
+	// wakeup so CFS clamps a zero vruntime up to min_vruntime − slack and
+	// EEVDF places around the average, without sleeper credit.
+	t.task.WellSlept = false
+	t.task.State = sched.StateRunnable
+	c.rq.Enqueue(t.task, true)
+	if c.curr == nil {
+		c.pickAndSwitch(m.now)
+	} else {
+		c.armTick(m.now)
+	}
+	return t
+}
+
+// idlestCore returns the core with the fewest runnable threads (ties to the
+// lowest index), preferring fully idle cores.
+func (m *Machine) idlestCore() *Core {
+	best := m.cores[0]
+	bestLoad := best.NrRunnable()
+	for _, c := range m.cores[1:] {
+		if l := c.NrRunnable(); l < bestLoad {
+			best, bestLoad = c, l
+		}
+	}
+	return best
+}
+
+// schedule pushes an event.
+func (m *Machine) schedule(e *event) { m.events.push(e) }
+
+// Run processes events until cond returns true (checked after every event),
+// the event queue drains, or the deadline passes. It returns the reached
+// time.
+//
+// Execution between events can itself create earlier events (a thread
+// blocking in nanosleep schedules its wake a few microseconds out while the
+// next queued event is a millisecond away), so grants handed to threads are
+// dynamically bounded by the live earliest event: see advanceCore.
+func (m *Machine) Run(deadline timebase.Time, cond func() bool) timebase.Time {
+	for {
+		ev := m.events.peek()
+		if ev == nil && deadline == timebase.Never {
+			// Nothing will ever happen: do not advance into infinity.
+			return m.now
+		}
+		T := deadline
+		if ev != nil && ev.at < T {
+			T = ev.at
+		}
+		// Bring every core up to T (or to any earlier event created along
+		// the way).
+		for _, c := range m.cores {
+			m.advanceCore(c, T)
+		}
+		ev = m.events.peek() // the advance may have queued earlier events
+		if ev == nil || ev.at > deadline {
+			m.now = deadline
+			m.syncAccounting()
+			return m.now
+		}
+		m.events.pop()
+		m.now = ev.at
+		m.dispatch(ev)
+		if cond != nil && cond() {
+			m.syncAccounting()
+			return m.now
+		}
+	}
+}
+
+// syncAccounting charges every core's current thread up to now, so that
+// vruntime/SumExec reads between Run calls observe consistent state (the
+// simulation otherwise charges lazily, at scheduling decisions).
+func (m *Machine) syncAccounting() {
+	for _, c := range m.cores {
+		c.chargeCurr(m.now)
+	}
+}
+
+// RunFor runs for d of simulated time.
+func (m *Machine) RunFor(d timebase.Duration) timebase.Time {
+	return m.Run(m.now.Add(d), nil)
+}
+
+// Shutdown unwinds all live thread goroutines. The machine must not be used
+// afterwards.
+func (m *Machine) Shutdown() {
+	for _, t := range m.threads {
+		t.kill()
+	}
+}
+
+// advanceCore executes core c's current thread(s) up to time T, handling
+// blocking and exits along the way. Each grant is re-bounded by the live
+// earliest queued event, because handling a block can schedule an event
+// (the thread's own wake, a fresh tick) earlier than T; the outer Run loop
+// then dispatches that event before re-advancing.
+func (m *Machine) advanceCore(c *Core, T timebase.Time) {
+	for {
+		bound := T
+		if ev := m.events.peek(); ev != nil && ev.at < bound {
+			bound = ev.at
+		}
+		if c.curr == nil {
+			if c.clock < bound {
+				c.clock = bound
+			}
+			return
+		}
+		t := c.curr
+		if t.clock >= bound {
+			if c.clock < bound {
+				c.clock = bound
+			}
+			return
+		}
+		req := t.run(bound)
+		m.yieldCount++
+		switch req.kind {
+		case yHorizon:
+			// The grant is exhausted; the loop header decides whether a
+			// fresh (possibly re-bounded) grant is due.
+			continue
+		case yBlock:
+			c.chargeCurr(req.at)
+			t.task.State = sched.StateBlocked
+			t.sleepStart = req.at
+			t.blockedIn = req.block
+			// Snapshot EEVDF lag while the departing thread still counts
+			// toward the queue average (Dequeue is a queue no-op for the
+			// current thread but records VLag).
+			c.rq.Dequeue(t.task)
+			c.rq.SetCurr(nil)
+			c.curr = nil
+			c.clock = req.at
+			m.tracer.SchedOut(t, c.id, req.at, OutBlocked)
+			if req.block == blockSleep {
+				m.armNanosleep(t, req.at, req.sleep)
+			}
+			c.pickAndSwitch(req.at)
+		case yExit:
+			c.chargeCurr(req.at)
+			t.task.State = sched.StateDone
+			t.done = true
+			c.rq.SetCurr(nil)
+			c.curr = nil
+			c.clock = req.at
+			m.tracer.SchedOut(t, c.id, req.at, OutExited)
+			c.pickAndSwitch(req.at)
+		}
+	}
+}
+
+// chargeCurr charges the current thread's vruntime up to time x.
+func (c *Core) chargeCurr(x timebase.Time) {
+	if c.curr == nil {
+		return
+	}
+	if d := x.Sub(c.lastUpdate); d > 0 {
+		c.rq.UpdateCurr(c.curr.task, d)
+		c.lastUpdate = x
+	}
+}
+
+// pickAndSwitch selects the next thread from the runqueue and switches it
+// in at time at. With an empty queue the core goes idle and tries a
+// newly-idle balance pull.
+func (c *Core) pickAndSwitch(at timebase.Time) {
+	next := c.rq.PickNext()
+	if next == nil {
+		c.rq.SetCurr(nil)
+		c.curr = nil
+		if c.m.newlyIdlePull(c, at) {
+			return
+		}
+		return
+	}
+	c.switchTo(c.m.threadByTask(next), at)
+}
+
+// switchTo makes t the current thread of c, applying switch-in latency.
+func (c *Core) switchTo(t *Thread, at timebase.Time) {
+	m := c.m
+	cost := m.jitterNormal(m.p.SwitchCost, m.p.SwitchJitter)
+	cost += t.signalExtra
+	t.signalExtra = 0
+	start := at.Add(cost)
+	t.task.State = sched.StateRunning
+	t.clock = start
+	t.ctx.ResetSchedIn()
+	c.curr = t
+	c.rq.SetCurr(t.task)
+	c.currStart = start
+	c.lastUpdate = start
+	c.clock = at
+	m.tracer.SchedIn(t, c.id, at, start)
+	c.armTick(at)
+}
+
+// deschedCurr puts the current thread back on the runqueue (it stays
+// runnable), applying the SGX AEX and speculative-smear effects.
+func (c *Core) deschedCurr(at timebase.Time, reason SchedOutReason) timebase.Time {
+	t := c.curr
+	// An instruction in flight retires before the trap: the switch point
+	// is wherever the thread's clock got to, if it executed at all this
+	// stint.
+	eff := at
+	if t.ctx.Seq > 0 && t.clock > eff {
+		eff = t.clock
+	}
+	c.chargeCurr(eff)
+	t.task.State = sched.StateRunnable
+	c.rq.SetCurr(nil)
+	c.curr = nil
+	c.rq.Enqueue(t.task, false)
+	c.m.tracer.SchedOut(t, c.id, eff, reason)
+	c.m.applySpeculation(t)
+	if t.enclave {
+		// Asynchronous enclave exit: the TLB entries of enclave pages are
+		// flushed and the pipeline restarts cold on resume.
+		c.cpu.TLBs.FlushAll()
+	}
+	return eff
+}
+
+// threadByTask maps a scheduler task back to its thread.
+func (m *Machine) threadByTask(task *sched.Task) *Thread {
+	for _, t := range m.threads {
+		if t.task == task {
+			return t
+		}
+	}
+	panic(fmt.Sprintf("kern: unknown task %d", task.ID))
+}
+
+// applySpeculation models transient execution at preemption: some of the
+// thread's upcoming loads are touched without retiring, polluting the cache
+// channel (the smear visible in Figure 5.1).
+func (m *Machine) applySpeculation(t *Thread) {
+	if m.p.SpecWindow <= 0 || m.p.SpecProb <= 0 || t.specPeek == nil {
+		return
+	}
+	for _, in := range t.specPeek(m.p.SpecWindow * 3) {
+		if in.Kind == isa.Load {
+			if m.simRNG.Bool(m.p.SpecProb) {
+				m.caches.PrefetchData(t.core.id, in.Mem)
+			}
+		}
+		if in.Kind == isa.Fence {
+			// Fences (the LVI mitigation) stop the speculative window.
+			break
+		}
+	}
+}
+
+// armTick schedules the core's scheduler tick when competition exists.
+func (c *Core) armTick(at timebase.Time) {
+	if c.tickArmed || c.curr == nil || c.rq.NrQueued() == 0 {
+		return
+	}
+	c.tickArmed = true
+	c.m.schedule(&event{at: at.Add(c.m.p.TickPeriod), kind: evTick, core: c})
+}
+
+// dispatch handles one event at m.now.
+func (m *Machine) dispatch(ev *event) {
+	switch ev.kind {
+	case evTimerFire:
+		m.handleTimerFire(ev)
+	case evTick:
+		m.handleTick(ev.core)
+	case evBalance:
+		m.periodicBalance()
+	case evSignal:
+		m.handleSignal(ev.thread)
+	case evIOWake:
+		m.handleIOWake(ev.thread)
+	}
+}
+
+// handleTick runs the Scenario 1 check on a core.
+func (m *Machine) handleTick(c *Core) {
+	c.tickArmed = false
+	if c.curr == nil {
+		return
+	}
+	t := c.curr
+	c.chargeCurr(m.now)
+	// The tick interrupt itself steals a little time from the thread.
+	if t.clock < m.now.Add(m.p.InterruptCost) {
+		t.clock = m.now.Add(m.p.InterruptCost)
+	}
+	ranFor := m.now.Sub(c.currStart)
+	if c.rq.TickPreempt(t.task, ranFor) {
+		at := c.deschedCurr(m.now, OutPreemptedTick)
+		c.pickAndSwitch(at)
+	} else {
+		c.armTick(m.now)
+	}
+}
+
+// StartBalancer begins periodic load balancing (call once per experiment if
+// migration behaviour matters).
+func (m *Machine) StartBalancer() {
+	if m.p.BalancePeriod > 0 {
+		m.schedule(&event{at: m.now.Add(m.p.BalancePeriod), kind: evBalance})
+	}
+}

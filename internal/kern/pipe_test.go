@@ -1,0 +1,100 @@
+package kern
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/sched"
+	"repro/internal/timebase"
+)
+
+func TestPipeReadWrite(t *testing.T) {
+	m := newTestMachine(t, 2)
+	p := m.NewPipe()
+	var got []byte
+	reader := m.Spawn("reader", func(e *Env) {
+		got = append(got, e.PipeRead(p, 16)...)
+		got = append(got, e.PipeRead(p, 16)...)
+	}, WithPin(0))
+	m.Spawn("writer", func(e *Env) {
+		e.Nanosleep(timebase.Millisecond)
+		e.PipeWrite(p, []byte("hello "))
+		e.Nanosleep(timebase.Millisecond)
+		e.PipeWrite(p, []byte("world"))
+	}, WithPin(1))
+	m.RunFor(50 * timebase.Millisecond)
+	if reader.State() != sched.StateDone {
+		t.Fatalf("reader state %v", reader.State())
+	}
+	if !bytes.Equal(got, []byte("hello world")) {
+		t.Fatalf("got %q", got)
+	}
+	if p.Buffered() != 0 || p.Writes != 11 {
+		t.Fatalf("pipe accounting: buffered=%d writes=%d", p.Buffered(), p.Writes)
+	}
+}
+
+func TestPipeReadNoBlockWhenDataBuffered(t *testing.T) {
+	m := newTestMachine(t, 1)
+	p := m.NewPipe()
+	var first, second []byte
+	m.Spawn("w", func(e *Env) {
+		e.PipeWrite(p, []byte{1, 2, 3, 4, 5})
+	}, WithPin(0))
+	m.RunFor(timebase.Millisecond)
+	m.Spawn("r", func(e *Env) {
+		first = e.PipeRead(p, 2)
+		second = e.PipeRead(p, 100)
+	}, WithPin(0))
+	m.RunFor(5 * timebase.Millisecond)
+	if !bytes.Equal(first, []byte{1, 2}) || !bytes.Equal(second, []byte{3, 4, 5}) {
+		t.Fatalf("reads: %v %v", first, second)
+	}
+}
+
+// TestPipeWakePreemptsLikeTimer: the IO-completion wake runs the Scenario 2
+// path — a well-slept reader preempts the running thread the moment its
+// data arrives, exactly like a timer wake. This is the §4 observation that
+// Controlled Preemption generalizes over any wake source.
+func TestPipeWakePreemptsLikeTimer(t *testing.T) {
+	m := newTestMachine(t, 1)
+	p := m.NewPipe()
+	// A compute-bound victim owns the core.
+	m.Spawn("victim", func(e *Env) { e.RunLoopForever(loopBody(64)) }, WithPin(0))
+	// The reader blocks early and recharges while the victim runs.
+	preempts := 0
+	m.Spawn("reader", func(e *Env) {
+		for i := 0; i < 5; i++ {
+			e.PipeRead(p, 8)
+			if e.Thread().LastWakePreempted() {
+				preempts++
+			}
+		}
+	}, WithPin(0))
+	// The writer lives on another... the machine has one core: use a
+	// periodic-timer thread? Simplest: a second machine core would change
+	// scheduler params; instead the victim itself writes — but victims
+	// don't. Use a writer on the same core that sleeps between writes.
+	m.Spawn("writer", func(e *Env) {
+		for i := 0; i < 5; i++ {
+			e.Nanosleep(20 * timebase.Millisecond)
+			e.PipeWrite(p, []byte("datadata"))
+		}
+	}, WithPin(0))
+	m.RunFor(300 * timebase.Millisecond)
+	if preempts < 4 {
+		t.Fatalf("IO wakes preempted only %d/5 times", preempts)
+	}
+}
+
+func TestPipeReaderSurvivesShutdownWhileBlocked(t *testing.T) {
+	m := newTestMachine(t, 1)
+	p := m.NewPipe()
+	r := m.Spawn("r", func(e *Env) { e.PipeRead(p, 1) }, WithPin(0))
+	m.RunFor(timebase.Millisecond)
+	if r.State() != sched.StateBlocked {
+		t.Fatalf("reader state %v, want blocked", r.State())
+	}
+	// Cleanup's Shutdown must unwind the blocked reader without hanging;
+	// nothing to assert beyond not deadlocking.
+}

@@ -1,0 +1,191 @@
+// Package ktrace is the reproduction's stand-in for the paper's eBPF
+// instrumentation (§4.3): it records scheduling events — which thread was
+// switched in where and when, how many instructions it retired per stint,
+// and the vruntime of threads at kernel exits — so experiments can measure
+// temporal resolution (instructions retired per preemption), count
+// consecutive preemptions, and plot vruntime progressions (Figure 4.6).
+package ktrace
+
+import (
+	"repro/internal/kern"
+	"repro/internal/timebase"
+)
+
+// Stint is one on-CPU interval of a thread.
+type Stint struct {
+	Thread  *kern.Thread
+	Core    int
+	Start   timebase.Time // first-instruction time
+	End     timebase.Time
+	Reason  kern.SchedOutReason
+	Retired int64 // instructions retired during the stint
+}
+
+// WakeRec is one wakeup (Scenario 2) with its preemption outcome.
+type WakeRec struct {
+	Thread    *kern.Thread
+	Core      int
+	At        timebase.Time
+	Preempted bool
+	// Curr is the thread that was running at the wake, nil if idle.
+	Curr *kern.Thread
+	// WokenVruntime is the woken thread's post-placement vruntime
+	// (Equation 2.1's τ_wakeup); CurrVruntime is the current thread's at
+	// the Equation 2.2 check.
+	WokenVruntime int64
+	CurrVruntime  int64
+}
+
+// VSample is a (time, thread, vruntime) sample taken at kernel exits.
+type VSample struct {
+	At       timebase.Time
+	ThreadID int
+	Vruntime int64
+}
+
+// Recorder implements kern.Tracer and accumulates scheduling history.
+type Recorder struct {
+	// Stints are completed on-CPU intervals, in order.
+	Stints []Stint
+	// Wakes are wakeups with preemption outcomes, in order.
+	Wakes []WakeRec
+	// VSamples are vruntime samples at every sched-in/out, in order.
+	VSamples []VSample
+	// CoreLog maps thread ID to the sequence of cores it ran on.
+	CoreLog map[int][]int
+
+	// SampleVruntime enables VSamples collection (off by default: the
+	// vruntime figures need it, the histogram figures do not).
+	SampleVruntime bool
+
+	open map[int]*Stint // per-thread open stint
+	base map[int]int64  // retired count at stint start
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{
+		CoreLog: make(map[int][]int),
+		open:    make(map[int]*Stint),
+		base:    make(map[int]int64),
+	}
+}
+
+// SchedIn implements kern.Tracer.
+func (r *Recorder) SchedIn(t *kern.Thread, core int, decideAt, startAt timebase.Time) {
+	r.open[t.ID()] = &Stint{Thread: t, Core: core, Start: startAt}
+	r.base[t.ID()] = t.Retired()
+	r.CoreLog[t.ID()] = append(r.CoreLog[t.ID()], core)
+	if r.SampleVruntime {
+		r.VSamples = append(r.VSamples, VSample{At: decideAt, ThreadID: t.ID(), Vruntime: t.Task().Vruntime})
+	}
+}
+
+// SchedOut implements kern.Tracer.
+func (r *Recorder) SchedOut(t *kern.Thread, core int, at timebase.Time, reason kern.SchedOutReason) {
+	if s, ok := r.open[t.ID()]; ok {
+		s.End = at
+		s.Reason = reason
+		s.Retired = t.Retired() - r.base[t.ID()]
+		r.Stints = append(r.Stints, *s)
+		delete(r.open, t.ID())
+	}
+	if r.SampleVruntime {
+		r.VSamples = append(r.VSamples, VSample{At: at, ThreadID: t.ID(), Vruntime: t.Task().Vruntime})
+	}
+}
+
+// Wake implements kern.Tracer.
+func (r *Recorder) Wake(t *kern.Thread, core int, at timebase.Time, preempted bool, curr *kern.Thread) {
+	rec := WakeRec{Thread: t, Core: core, At: at, Preempted: preempted, Curr: curr,
+		WokenVruntime: t.Task().Vruntime}
+	if curr != nil {
+		rec.CurrVruntime = curr.Task().Vruntime
+	}
+	r.Wakes = append(r.Wakes, rec)
+}
+
+// Reset discards recorded history (open stints survive).
+func (r *Recorder) Reset() {
+	r.Stints = r.Stints[:0]
+	r.Wakes = r.Wakes[:0]
+	r.VSamples = r.VSamples[:0]
+	for k := range r.CoreLog {
+		delete(r.CoreLog, k)
+	}
+}
+
+// StepsOf returns the instructions-retired-per-preemption samples for
+// thread t: the retired deltas of t's stints that ended in a wakeup
+// preemption. This is the quantity histogrammed in Figures 4.3 and 4.7.
+func (r *Recorder) StepsOf(t *kern.Thread) []int64 {
+	var out []int64
+	for _, s := range r.Stints {
+		if s.Thread == t && s.Reason == kern.OutPreemptedWakeup {
+			out = append(out, s.Retired)
+		}
+	}
+	return out
+}
+
+// PreemptionBursts splits thread t's wake outcomes into runs of consecutive
+// successful preemptions, each run terminated by a failed preemption (the
+// fairness tripwire firing). A still-open trailing run is included, so
+// callers running one burst per trial can take the first element.
+func (r *Recorder) PreemptionBursts(t *kern.Thread) []int64 {
+	var bursts []int64
+	var cur int64
+	active := false
+	for _, w := range r.Wakes {
+		if w.Thread != t {
+			continue
+		}
+		if w.Preempted {
+			cur++
+			active = true
+		} else if active {
+			bursts = append(bursts, cur)
+			cur = 0
+			active = false
+		}
+	}
+	if active {
+		bursts = append(bursts, cur)
+	}
+	return bursts
+}
+
+// PreemptionsOf counts thread t's successful wakeup preemptions.
+func (r *Recorder) PreemptionsOf(t *kern.Thread) int64 {
+	var n int64
+	for _, w := range r.Wakes {
+		if w.Thread == t && w.Preempted {
+			n++
+		}
+	}
+	return n
+}
+
+// VSeriesOf returns the vruntime progression samples of a thread ID.
+func (r *Recorder) VSeriesOf(id int) []VSample {
+	var out []VSample
+	for _, s := range r.VSamples {
+		if s.ThreadID == id {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// InterleavePattern renders the sched-in order of the given threads as a
+// string of their labels (e.g. "VAVANA..."), for the ((V|N)A)+ analysis of
+// Figure 4.6.
+func (r *Recorder) InterleavePattern(labels map[int]byte) string {
+	var b []byte
+	for _, s := range r.Stints {
+		if l, ok := labels[s.Thread.ID()]; ok {
+			b = append(b, l)
+		}
+	}
+	return string(b)
+}

@@ -1,0 +1,140 @@
+// Package leak quantifies what the §5.2 side-channel trace is worth
+// cryptographically. The paper's pipeline (following Sieck et al.) is:
+// recover which of the two LUT cache lines each base64 character indexed,
+// use that to shrink each character's search space, then hand the reduced
+// space to RSA cryptanalysis for full key recovery. This package
+// implements the middle step exactly: per-character candidate sets from
+// the recovered line bits, entropy accounting over the PEM body's secret
+// region (the DER prefix — version, modulus, public exponent — is public
+// and serves as a correctness anchor), and consistency validation against
+// the true input.
+package leak
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// base64Alphabet is the standard alphabet.
+const base64Alphabet = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/"
+
+// CandidatesForLine returns the base64 symbols (plus padding/newline)
+// whose ASCII code lies on the given LUT cache line: line 1 holds the
+// letters (codes ≥64), line 0 the digits, '+', '/', '=' and '\n'.
+func CandidatesForLine(line int) []byte {
+	var out []byte
+	for _, c := range []byte(base64Alphabet) {
+		if int(c>>6) == line {
+			out = append(out, c)
+		}
+	}
+	if line == 0 {
+		out = append(out, '=', '\n')
+	}
+	return out
+}
+
+// Report is the leakage accounting for one attacked PEM body.
+type Report struct {
+	// Chars is the number of input characters covered by the trace.
+	Chars int
+	// SecretChars is how many of those lie in the secret region.
+	SecretChars int
+	// PriorBits is the attacker's prior uncertainty over the covered
+	// secret characters (log2 of the candidate-space product before the
+	// trace).
+	PriorBits float64
+	// PosteriorBits is the uncertainty remaining after the trace.
+	PosteriorBits float64
+	// Consistent counts covered characters whose true value lies in the
+	// trace-implied candidate set (the oracle's soundness; errors here
+	// mean the cryptanalysis stage must tolerate flips).
+	Consistent int
+	// PublicAnchorOK reports whether the trace agrees with the known
+	// public DER prefix — the alignment check a real attacker runs first.
+	PublicAnchorOK bool
+}
+
+// secretStart estimates where the secret material begins in the PEM body:
+// the PKCS#1 prefix SEQUENCE header + version + INTEGER(n) + INTEGER(e)
+// are public. For RSA-1024 that is ≈ 4+3+(4+129)+(2+3) = 145 DER bytes →
+// ≈ 194 base64 characters (plus the embedded newlines).
+func secretStart(chars int) int {
+	derPublic := 145
+	b64 := (derPublic*4 + 2) / 3
+	// Account for one newline per 64 base64 characters.
+	withNL := b64 + b64/64
+	if withNL > chars {
+		withNL = chars
+	}
+	return withNL
+}
+
+// Analyze scores a recovered line-bit trace against the true PEM body.
+// bits[i] is the recovered LUT line of input[i]; a shorter bits slice
+// means the budget died early (§5.2), and only the covered prefix is
+// scored.
+func Analyze(input string, bits []int) *Report {
+	n := len(bits)
+	if n > len(input) {
+		n = len(input)
+	}
+	r := &Report{Chars: n}
+	ss := secretStart(len(input))
+
+	pubOK := true
+	for i := 0; i < n; i++ {
+		trueLine := int(input[i] >> 6)
+		cands := CandidatesForLine(bits[i])
+		if i < ss {
+			// Public region: the attacker knows the character; the trace
+			// must agree.
+			if bits[i] != trueLine {
+				pubOK = false
+			}
+			continue
+		}
+		r.SecretChars++
+		// Prior: any of the 64 alphabet symbols (padding/newlines carry
+		// no secret but we count them like the paper's trace does).
+		r.PriorBits += 6
+		r.PosteriorBits += math.Log2(float64(len(cands)))
+		if bits[i] == trueLine {
+			r.Consistent++
+		}
+	}
+	r.PublicAnchorOK = pubOK
+	return r
+}
+
+// BitsLeaked returns the entropy reduction over the covered secret region.
+func (r *Report) BitsLeaked() float64 { return r.PriorBits - r.PosteriorBits }
+
+// BitsPerChar returns the mean leakage per covered secret character.
+func (r *Report) BitsPerChar() float64 {
+	if r.SecretChars == 0 {
+		return 0
+	}
+	return r.BitsLeaked() / float64(r.SecretChars)
+}
+
+// ConsistencyRate returns the fraction of covered secret characters whose
+// true value lies in the implied candidate set.
+func (r *Report) ConsistencyRate() float64 {
+	if r.SecretChars == 0 {
+		return 0
+	}
+	return float64(r.Consistent) / float64(r.SecretChars)
+}
+
+// String renders the report.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "leakage over %d covered chars (%d secret):\n", r.Chars, r.SecretChars)
+	fmt.Fprintf(&b, "  prior %.0f bits → posterior %.0f bits: %.0f bits leaked (%.2f bits/char)\n",
+		r.PriorBits, r.PosteriorBits, r.BitsLeaked(), r.BitsPerChar())
+	fmt.Fprintf(&b, "  oracle consistency %.1f%%, public-prefix anchor ok: %v\n",
+		100*r.ConsistencyRate(), r.PublicAnchorOK)
+	return b.String()
+}

@@ -1,0 +1,127 @@
+package leak
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/rsakeys"
+	"repro/internal/victim/base64"
+)
+
+func TestCandidatesForLine(t *testing.T) {
+	c0 := CandidatesForLine(0)
+	c1 := CandidatesForLine(1)
+	// Line 0: 10 digits + '+' + '/' + '=' + '\n' = 14; line 1: 52 letters.
+	if len(c0) != 14 {
+		t.Fatalf("line-0 candidates = %d, want 14", len(c0))
+	}
+	if len(c1) != 52 {
+		t.Fatalf("line-1 candidates = %d, want 52", len(c1))
+	}
+	for _, c := range c0 {
+		if c>>6 != 0 {
+			t.Fatalf("candidate %q on wrong line", c)
+		}
+	}
+	for _, c := range c1 {
+		if c>>6 != 1 {
+			t.Fatalf("candidate %q on wrong line", c)
+		}
+	}
+}
+
+func pemAndTruth(t *testing.T) (string, []int) {
+	t.Helper()
+	k, err := rsakeys.Generate(rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := k.PEMBody()
+	return body, base64.LineBits(body)
+}
+
+func TestPerfectTraceLeakage(t *testing.T) {
+	body, truth := pemAndTruth(t)
+	r := Analyze(body, truth)
+	if !r.PublicAnchorOK {
+		t.Fatal("perfect trace failed the public anchor")
+	}
+	if r.ConsistencyRate() != 1 {
+		t.Fatalf("consistency = %f", r.ConsistencyRate())
+	}
+	// Per-char leakage: 6 − log2(candidates). With the letter/other split
+	// this averages between 0.3 (letters) and 2.2 (digits/symbols) bits.
+	bpc := r.BitsPerChar()
+	if bpc < 0.4 || bpc > 1.5 {
+		t.Fatalf("bits/char = %f, outside plausible band", bpc)
+	}
+	// Total leakage over a 1024-bit key's secret region must be hundreds
+	// of bits — the "shrinks the search space" the paper relies on.
+	if r.BitsLeaked() < 300 {
+		t.Fatalf("bits leaked = %f", r.BitsLeaked())
+	}
+}
+
+func TestPartialCoverageScoresPrefixOnly(t *testing.T) {
+	body, truth := pemAndTruth(t)
+	half := truth[:len(truth)*6/10]
+	r := Analyze(body, half)
+	if r.Chars != len(half) {
+		t.Fatalf("covered = %d", r.Chars)
+	}
+	if r.SecretChars >= r.Chars {
+		t.Fatal("public prefix counted as secret")
+	}
+	full := Analyze(body, truth)
+	if r.BitsLeaked() >= full.BitsLeaked() {
+		t.Fatal("partial trace leaked as much as the full one")
+	}
+}
+
+func TestFlippedBitsDetected(t *testing.T) {
+	body, truth := pemAndTruth(t)
+	bad := append([]int(nil), truth...)
+	// Flip some secret-region bits.
+	flipped := 0
+	for i := 300; i < 340; i++ {
+		bad[i] ^= 1
+		flipped++
+	}
+	r := Analyze(body, bad)
+	if r.ConsistencyRate() > float64(r.SecretChars-flipped+1)/float64(r.SecretChars) {
+		t.Fatalf("consistency %.4f did not account for flips", r.ConsistencyRate())
+	}
+	if !r.PublicAnchorOK {
+		t.Fatal("secret-region flips must not break the public anchor")
+	}
+	// Flip a public-prefix bit: the anchor must catch it.
+	bad2 := append([]int(nil), truth...)
+	bad2[10] ^= 1
+	if Analyze(body, bad2).PublicAnchorOK {
+		t.Fatal("public anchor missed a prefix flip")
+	}
+}
+
+func TestLeakageMatchesInformationTheory(t *testing.T) {
+	body, truth := pemAndTruth(t)
+	r := Analyze(body, truth)
+	// Recompute independently.
+	ss := 0
+	var want float64
+	for i := range truth {
+		if i < r.Chars-r.SecretChars {
+			continue
+		}
+		ss++
+		if truth[i] == 0 {
+			want += 6 - math.Log2(14)
+		} else {
+			want += 6 - math.Log2(52)
+		}
+	}
+	if math.Abs(want-r.BitsLeaked()) > 1e-6 {
+		t.Fatalf("leakage %.3f, independent calc %.3f", r.BitsLeaked(), want)
+	}
+	_ = ss
+}

@@ -1,0 +1,341 @@
+// Package mpi is a from-scratch arbitrary-precision unsigned integer
+// library in the spirit of mbedTLS's bignum (mbedtls_mpi), providing the
+// operations the paper's third proof-of-concept victim needs: the binary
+// GCD of mbedtls_mpi_gcd with its secret-dependent ≥ branch (§5.3), plus
+// the arithmetic used by tests and key-material generation.
+package mpi
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// Int is an arbitrary-precision unsigned integer. The zero value is 0.
+// Limbs are little-endian base-2^64 digits with no trailing zero limbs
+// (normalized).
+type Int struct {
+	limbs []uint64
+}
+
+// New returns an Int holding v.
+func New(v uint64) *Int {
+	if v == 0 {
+		return &Int{}
+	}
+	return &Int{limbs: []uint64{v}}
+}
+
+// Clone returns a deep copy of x.
+func (x *Int) Clone() *Int {
+	return &Int{limbs: append([]uint64(nil), x.limbs...)}
+}
+
+// Set makes x a copy of y and returns x.
+func (x *Int) Set(y *Int) *Int {
+	x.limbs = append(x.limbs[:0], y.limbs...)
+	return x
+}
+
+// SetUint64 makes x hold v and returns x.
+func (x *Int) SetUint64(v uint64) *Int {
+	x.limbs = x.limbs[:0]
+	if v != 0 {
+		x.limbs = append(x.limbs, v)
+	}
+	return x
+}
+
+// Uint64 returns the low 64 bits of x.
+func (x *Int) Uint64() uint64 {
+	if len(x.limbs) == 0 {
+		return 0
+	}
+	return x.limbs[0]
+}
+
+// normalize strips trailing zero limbs.
+func (x *Int) normalize() {
+	for len(x.limbs) > 0 && x.limbs[len(x.limbs)-1] == 0 {
+		x.limbs = x.limbs[:len(x.limbs)-1]
+	}
+}
+
+// IsZero reports whether x == 0.
+func (x *Int) IsZero() bool { return len(x.limbs) == 0 }
+
+// BitLen returns the length of x in bits (0 for x == 0).
+func (x *Int) BitLen() int {
+	if len(x.limbs) == 0 {
+		return 0
+	}
+	top := x.limbs[len(x.limbs)-1]
+	return (len(x.limbs)-1)*64 + bits.Len64(top)
+}
+
+// Bit returns bit i of x (0 or 1).
+func (x *Int) Bit(i int) uint {
+	limb, off := i/64, uint(i%64)
+	if limb >= len(x.limbs) {
+		return 0
+	}
+	return uint(x.limbs[limb]>>off) & 1
+}
+
+// TrailingZeros returns the number of trailing zero bits of x (the
+// mbedtls_mpi_lsb of a non-zero value). It returns 0 for x == 0.
+func (x *Int) TrailingZeros() int {
+	for i, l := range x.limbs {
+		if l != 0 {
+			return i*64 + bits.TrailingZeros64(l)
+		}
+	}
+	return 0
+}
+
+// Cmp compares x and y: -1 if x<y, 0 if equal, +1 if x>y.
+func (x *Int) Cmp(y *Int) int {
+	if len(x.limbs) != len(y.limbs) {
+		if len(x.limbs) < len(y.limbs) {
+			return -1
+		}
+		return 1
+	}
+	for i := len(x.limbs) - 1; i >= 0; i-- {
+		if x.limbs[i] != y.limbs[i] {
+			if x.limbs[i] < y.limbs[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	return 0
+}
+
+// Add sets x = a + b and returns x.
+func (x *Int) Add(a, b *Int) *Int {
+	if len(a.limbs) < len(b.limbs) {
+		a, b = b, a
+	}
+	out := make([]uint64, len(a.limbs)+1)
+	var carry uint64
+	for i := range a.limbs {
+		var bb uint64
+		if i < len(b.limbs) {
+			bb = b.limbs[i]
+		}
+		s, c1 := bits.Add64(a.limbs[i], bb, carry)
+		out[i] = s
+		carry = c1
+	}
+	out[len(a.limbs)] = carry
+	x.limbs = out
+	x.normalize()
+	return x
+}
+
+// Sub sets x = a − b and returns x. It panics if a < b (the unsigned
+// domain, like mbedtls_mpi_sub_abs with a guaranteed ordering).
+func (x *Int) Sub(a, b *Int) *Int {
+	if a.Cmp(b) < 0 {
+		panic("mpi: Sub underflow")
+	}
+	out := make([]uint64, len(a.limbs))
+	var borrow uint64
+	for i := range a.limbs {
+		var bb uint64
+		if i < len(b.limbs) {
+			bb = b.limbs[i]
+		}
+		d, br := bits.Sub64(a.limbs[i], bb, borrow)
+		out[i] = d
+		borrow = br
+	}
+	if borrow != 0 {
+		panic("mpi: Sub underflow")
+	}
+	x.limbs = out
+	x.normalize()
+	return x
+}
+
+// Mul sets x = a × b (schoolbook) and returns x.
+func (x *Int) Mul(a, b *Int) *Int {
+	if a.IsZero() || b.IsZero() {
+		x.limbs = x.limbs[:0]
+		return x
+	}
+	out := make([]uint64, len(a.limbs)+len(b.limbs))
+	for i, ai := range a.limbs {
+		var carry uint64
+		for j, bj := range b.limbs {
+			hi, lo := bits.Mul64(ai, bj)
+			lo, c1 := bits.Add64(lo, out[i+j], 0)
+			lo, c2 := bits.Add64(lo, carry, 0)
+			out[i+j] = lo
+			carry = hi + c1 + c2
+		}
+		out[i+len(b.limbs)] += carry
+	}
+	x.limbs = out
+	x.normalize()
+	return x
+}
+
+// Rsh sets x = a >> n and returns x.
+func (x *Int) Rsh(a *Int, n int) *Int {
+	if n < 0 {
+		panic("mpi: negative shift")
+	}
+	limbShift, bitShift := n/64, uint(n%64)
+	if limbShift >= len(a.limbs) {
+		x.limbs = x.limbs[:0]
+		return x
+	}
+	out := make([]uint64, len(a.limbs)-limbShift)
+	copy(out, a.limbs[limbShift:])
+	if bitShift > 0 {
+		for i := 0; i < len(out); i++ {
+			out[i] >>= bitShift
+			if i+1 < len(out) {
+				out[i] |= out[i+1] << (64 - bitShift)
+			}
+		}
+	}
+	x.limbs = out
+	x.normalize()
+	return x
+}
+
+// Lsh sets x = a << n and returns x.
+func (x *Int) Lsh(a *Int, n int) *Int {
+	if n < 0 {
+		panic("mpi: negative shift")
+	}
+	if a.IsZero() {
+		x.limbs = x.limbs[:0]
+		return x
+	}
+	limbShift, bitShift := n/64, uint(n%64)
+	out := make([]uint64, len(a.limbs)+limbShift+1)
+	copy(out[limbShift:], a.limbs)
+	if bitShift > 0 {
+		for i := len(out) - 1; i >= limbShift; i-- {
+			out[i] <<= bitShift
+			if i > limbShift {
+				out[i] |= out[i-1] >> (64 - bitShift)
+			}
+		}
+	}
+	x.limbs = out
+	x.normalize()
+	return x
+}
+
+// SetBytes interprets buf as a big-endian unsigned integer and returns x.
+func (x *Int) SetBytes(buf []byte) *Int {
+	x.limbs = x.limbs[:0]
+	n := (len(buf) + 7) / 8
+	x.limbs = make([]uint64, n)
+	for i, b := range buf {
+		shift := uint((len(buf) - 1 - i) % 8 * 8)
+		x.limbs[(len(buf)-1-i)/8] |= uint64(b) << shift
+	}
+	x.normalize()
+	return x
+}
+
+// Bytes returns the big-endian encoding of x, with no leading zeros (empty
+// for 0).
+func (x *Int) Bytes() []byte {
+	if x.IsZero() {
+		return nil
+	}
+	n := (x.BitLen() + 7) / 8
+	out := make([]byte, n)
+	for i := 0; i < n; i++ {
+		byteIdx := n - 1 - i
+		out[byteIdx] = byte(x.limbs[i/8] >> (uint(i%8) * 8))
+	}
+	return out
+}
+
+// String renders x in hexadecimal.
+func (x *Int) String() string {
+	if x.IsZero() {
+		return "0x0"
+	}
+	var b strings.Builder
+	b.WriteString("0x")
+	first := true
+	for i := len(x.limbs) - 1; i >= 0; i-- {
+		if first {
+			fmt.Fprintf(&b, "%x", x.limbs[i])
+			first = false
+		} else {
+			fmt.Fprintf(&b, "%016x", x.limbs[i])
+		}
+	}
+	return b.String()
+}
+
+// GCDStep is one iteration of the binary GCD loop, recording which
+// direction the secret-dependent branch took — exactly the information the
+// BTB side channel extracts (§5.3, Figure 5.4).
+type GCDStep struct {
+	// TookIf is true when |TA| ≥ |TB| (the "if" block: TA = (TA−TB)/2)
+	// and false for the "else" block (TB = (TB−TA)/2).
+	TookIf bool
+	// ShiftA and ShiftB are the lsb-normalization shifts applied at the
+	// head of the iteration.
+	ShiftA, ShiftB int
+}
+
+// GCD computes gcd(a, b) with the mbedtls_mpi_gcd binary algorithm and
+// returns the result together with the per-iteration branch record.
+func GCD(a, b *Int) (*Int, []GCDStep) {
+	ta, tb := a.Clone(), b.Clone()
+	if ta.IsZero() {
+		return tb, nil
+	}
+	if tb.IsZero() {
+		return ta, nil
+	}
+	lz := ta.TrailingZeros()
+	if z := tb.TrailingZeros(); z < lz {
+		lz = z
+	}
+	ta.Rsh(ta, lz)
+	tb.Rsh(tb, lz)
+
+	var steps []GCDStep
+	for !ta.IsZero() {
+		sa := ta.TrailingZeros()
+		ta.Rsh(ta, sa)
+		sb := tb.TrailingZeros()
+		tb.Rsh(tb, sb)
+		var step GCDStep
+		step.ShiftA, step.ShiftB = sa, sb
+		if ta.Cmp(tb) >= 0 {
+			step.TookIf = true
+			ta.Sub(ta, tb)
+			ta.Rsh(ta, 1)
+		} else {
+			step.TookIf = false
+			tb.Sub(tb, ta)
+			tb.Rsh(tb, 1)
+		}
+		steps = append(steps, step)
+	}
+	return tb.Lsh(tb, lz), steps
+}
+
+// BranchTrace extracts the branch-direction sequence from GCD steps (true =
+// "if" block executed).
+func BranchTrace(steps []GCDStep) []bool {
+	out := make([]bool, len(steps))
+	for i, s := range steps {
+		out[i] = s.TookIf
+	}
+	return out
+}

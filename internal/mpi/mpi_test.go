@@ -1,0 +1,221 @@
+package mpi
+
+import (
+	"bytes"
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+func fromBig(b *big.Int) *Int          { return new(Int).SetBytes(b.Bytes()) }
+func toBig(x *Int) *big.Int            { return new(big.Int).SetBytes(x.Bytes()) }
+func bigOf(bs []byte) *big.Int         { return new(big.Int).SetBytes(bs) }
+func equalBig(x *Int, b *big.Int) bool { return toBig(x).Cmp(b) == 0 }
+
+func TestBasics(t *testing.T) {
+	if !New(0).IsZero() {
+		t.Fatal("New(0) not zero")
+	}
+	x := New(0xdeadbeef)
+	if x.Uint64() != 0xdeadbeef {
+		t.Fatalf("Uint64 = %#x", x.Uint64())
+	}
+	if x.BitLen() != 32 {
+		t.Fatalf("BitLen = %d", x.BitLen())
+	}
+	if New(12).Cmp(New(13)) != -1 || New(13).Cmp(New(12)) != 1 || New(5).Cmp(New(5)) != 0 {
+		t.Fatal("Cmp broken")
+	}
+}
+
+func TestBytesRoundTrip(t *testing.T) {
+	f := func(bs []byte) bool {
+		x := new(Int).SetBytes(bs)
+		want := bigOf(bs)
+		return equalBig(x, want) && bytes.Equal(x.Bytes(), want.Bytes())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddMatchesBig(t *testing.T) {
+	f := func(a, b []byte) bool {
+		x := new(Int).Add(new(Int).SetBytes(a), new(Int).SetBytes(b))
+		return equalBig(x, new(big.Int).Add(bigOf(a), bigOf(b)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSubMatchesBig(t *testing.T) {
+	f := func(a, b []byte) bool {
+		ba, bb := bigOf(a), bigOf(b)
+		if ba.Cmp(bb) < 0 {
+			ba, bb = bb, ba
+			a, b = b, a
+		}
+		x := new(Int).Sub(new(Int).SetBytes(a), new(Int).SetBytes(b))
+		return equalBig(x, new(big.Int).Sub(ba, bb))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSubUnderflowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic on underflow")
+		}
+	}()
+	new(Int).Sub(New(1), New(2))
+}
+
+func TestMulMatchesBig(t *testing.T) {
+	f := func(a, b []byte) bool {
+		x := new(Int).Mul(new(Int).SetBytes(a), new(Int).SetBytes(b))
+		return equalBig(x, new(big.Int).Mul(bigOf(a), bigOf(b)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShiftsMatchBig(t *testing.T) {
+	f := func(a []byte, nRaw uint8) bool {
+		n := int(nRaw) % 130
+		x := new(Int).SetBytes(a)
+		r := new(Int).Rsh(x, n)
+		l := new(Int).Lsh(x, n)
+		return equalBig(r, new(big.Int).Rsh(bigOf(a), uint(n))) &&
+			equalBig(l, new(big.Int).Lsh(bigOf(a), uint(n)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTrailingZeros(t *testing.T) {
+	cases := []struct {
+		v    uint64
+		want int
+	}{{1, 0}, {2, 1}, {8, 3}, {0x8000000000000000, 63}, {0, 0}}
+	for _, c := range cases {
+		if got := New(c.v).TrailingZeros(); got != c.want {
+			t.Errorf("TrailingZeros(%#x) = %d, want %d", c.v, got, c.want)
+		}
+	}
+	// Cross-limb.
+	x := new(Int).Lsh(New(1), 100)
+	if got := x.TrailingZeros(); got != 100 {
+		t.Errorf("TrailingZeros(1<<100) = %d", got)
+	}
+}
+
+func TestBit(t *testing.T) {
+	x := new(Int).Lsh(New(1), 70)
+	if x.Bit(70) != 1 || x.Bit(69) != 0 || x.Bit(200) != 0 {
+		t.Fatal("Bit broken")
+	}
+}
+
+func TestGCDPaperExample(t *testing.T) {
+	// Figure 5.4's inputs: a = 1001941, b = 300463.
+	g, steps := GCD(New(1001941), New(300463))
+	want := new(big.Int).GCD(nil, nil, big.NewInt(1001941), big.NewInt(300463))
+	if !equalBig(g, want) {
+		t.Fatalf("gcd = %v, want %v", g, want)
+	}
+	if len(steps) == 0 {
+		t.Fatal("no branch steps recorded")
+	}
+	// The paper reports 20–30 loop iterations for its prime pairs; this
+	// composite example lands in the same ballpark.
+	if len(steps) < 10 || len(steps) > 40 {
+		t.Fatalf("gcd iterations = %d, outside plausible range", len(steps))
+	}
+}
+
+func TestGCDMatchesBig(t *testing.T) {
+	f := func(a, b uint64) bool {
+		g, _ := GCD(New(a), New(b))
+		want := new(big.Int).GCD(nil, nil,
+			new(big.Int).SetUint64(a), new(big.Int).SetUint64(b))
+		return equalBig(g, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGCDLargeMatchesBig(t *testing.T) {
+	f := func(a, b []byte) bool {
+		g, _ := GCD(new(Int).SetBytes(a), new(Int).SetBytes(b))
+		want := new(big.Int).GCD(nil, nil, bigOf(a), bigOf(b))
+		return equalBig(g, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGCDZeroCases(t *testing.T) {
+	g, steps := GCD(New(0), New(42))
+	if g.Uint64() != 42 || steps != nil {
+		t.Fatalf("gcd(0,42) = %v with %d steps", g, len(steps))
+	}
+	g, _ = GCD(New(42), New(0))
+	if g.Uint64() != 42 {
+		t.Fatalf("gcd(42,0) = %v", g)
+	}
+}
+
+// TestBranchTraceDeterminesRecovery: the branch trace plus the public shift
+// amounts fully replay the GCD, which is why leaking branch directions
+// recovers the computation (§5.3).
+func TestBranchTraceDeterminesRecovery(t *testing.T) {
+	a, b := New(1001941), New(300463)
+	_, steps := GCD(a, b)
+	dirs := BranchTrace(steps)
+	if len(dirs) != len(steps) {
+		t.Fatal("length mismatch")
+	}
+	// Replay using only the recorded directions: must reach the same gcd.
+	ta, tb := a.Clone(), b.Clone()
+	lz := ta.TrailingZeros()
+	if z := tb.TrailingZeros(); z < lz {
+		lz = z
+	}
+	ta.Rsh(ta, lz)
+	tb.Rsh(tb, lz)
+	for _, dir := range dirs {
+		ta.Rsh(ta, ta.TrailingZeros())
+		tb.Rsh(tb, tb.TrailingZeros())
+		if dir {
+			ta.Sub(ta, tb)
+			ta.Rsh(ta, 1)
+		} else {
+			tb.Sub(tb, ta)
+			tb.Rsh(tb, 1)
+		}
+	}
+	if !ta.IsZero() {
+		t.Fatal("replay did not terminate with TA=0")
+	}
+	g, _ := GCD(a, b)
+	if tb.Lsh(tb, lz).Cmp(g) != 0 {
+		t.Fatal("replayed gcd differs")
+	}
+}
+
+func TestString(t *testing.T) {
+	if s := New(0).String(); s != "0x0" {
+		t.Fatalf("String(0) = %q", s)
+	}
+	x := new(Int).Lsh(New(0xab), 64)
+	if s := x.String(); s != "0xab0000000000000000" {
+		t.Fatalf("String = %q", s)
+	}
+}

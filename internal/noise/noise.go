@@ -1,0 +1,71 @@
+// Package noise generates the background workloads of §4.3's noise
+// analysis. Scheduling noise (extra runnable threads in the victim's
+// runqueue) is covered by the Figure 4.6 experiment; this package provides
+// *channel* noise: threads on other cores whose random memory traffic
+// pollutes the shared LLC, flipping side-channel readings. The paper
+// counters it by majority-voting across victim runs or by moving to
+// core-private channels (BTB, TLB) — both reproduced in the ext.noise
+// experiment.
+package noise
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/kern"
+	"repro/internal/timebase"
+)
+
+// Arena is where noise traffic lands. It deliberately spans every LLC set
+// so that, statistically, it collides with whatever the attacker monitors.
+const Arena uint64 = 0x7d00_0000_0000
+
+// LLCNoiseConfig tunes one noise thread.
+type LLCNoiseConfig struct {
+	// TouchesPerBurst is how many random lines each burst touches.
+	TouchesPerBurst int
+	// Gap is the pause between bursts: smaller gap = more pollution.
+	Gap timebase.Duration
+	// Span is the arena size in bytes the touches are drawn from; it
+	// should exceed the LLC capacity for worst-case pollution.
+	Span uint64
+}
+
+// DefaultLLCNoise is a moderate polluter.
+var DefaultLLCNoise = LLCNoiseConfig{
+	TouchesPerBurst: 64,
+	Gap:             20 * timebase.Microsecond,
+	Span:            64 << 20,
+}
+
+// Body returns a thread body that pollutes the shared LLC from whatever
+// core it runs on. It never exits.
+func (c LLCNoiseConfig) Body() kern.Func {
+	return func(e *kern.Env) {
+		r := e.RNG().Fork(uint64(e.Thread().ID()))
+		lines := c.Span / cache.LineSize
+		for {
+			for i := 0; i < c.TouchesPerBurst; i++ {
+				off := uint64(r.Int63n(int64(lines))) * cache.LineSize
+				e.Load(Arena + off)
+			}
+			e.Burn(c.Gap)
+		}
+	}
+}
+
+// SpawnPolluters starts n noise threads pinned to cores other than
+// avoidCore, round-robin.
+func SpawnPolluters(m *kern.Machine, cfg LLCNoiseConfig, n, avoidCore int) []*kern.Thread {
+	cores := len(m.Cores())
+	var out []*kern.Thread
+	c := 0
+	for len(out) < n {
+		if c%cores != avoidCore {
+			out = append(out, m.Spawn(fmt.Sprintf("polluter-%d", len(out)),
+				cfg.Body(), kern.WithPin(c%cores)))
+		}
+		c++
+	}
+	return out
+}

@@ -1,0 +1,94 @@
+package noise
+
+import (
+	"testing"
+
+	"repro/internal/cfs"
+	"repro/internal/kern"
+	"repro/internal/sched"
+	"repro/internal/timebase"
+)
+
+func newMachine(t *testing.T, cores int) *kern.Machine {
+	t.Helper()
+	sp := sched.DefaultParams(cores)
+	m := kern.NewMachine(kern.DefaultParams(cores, func() sched.Scheduler { return cfs.New(sp) }))
+	t.Cleanup(m.Shutdown)
+	return m
+}
+
+func TestSpawnPollutersAvoidsCore(t *testing.T) {
+	m := newMachine(t, 4)
+	ps := SpawnPolluters(m, DefaultLLCNoise, 5, 2)
+	if len(ps) != 5 {
+		t.Fatalf("polluters = %d", len(ps))
+	}
+	for _, p := range ps {
+		if p.Pinned() == 2 {
+			t.Fatal("polluter on the avoided core")
+		}
+	}
+}
+
+func TestPolluterFillsLLC(t *testing.T) {
+	m := newMachine(t, 2)
+	cfg := LLCNoiseConfig{TouchesPerBurst: 256, Gap: timebase.Microsecond, Span: 8 << 20}
+	SpawnPolluters(m, cfg, 1, 0)
+	m.RunFor(2 * timebase.Millisecond)
+	// Sample a few arena lines: some must be cached now.
+	hits := 0
+	for i := 0; i < 64; i++ {
+		set := m.Caches().LLCSetIndex(Arena + uint64(i*4096))
+		if m.Caches().LLC().OccupancyOfSet(set) > 0 {
+			hits++
+		}
+	}
+	if hits == 0 {
+		t.Fatal("polluter produced no LLC footprint")
+	}
+}
+
+// TestAmbientNoiseEvictsMonitoredLines: the kernel-level noise knob flips
+// Flush+Reload readings by evicting cached lines between observations.
+func TestAmbientNoiseEvictsMonitoredLines(t *testing.T) {
+	sp := sched.DefaultParams(1)
+	p := kern.DefaultParams(1, func() sched.Scheduler { return cfs.New(sp) })
+	p.NoiseEvictionsPerWake = 500 // extreme, to make the effect certain
+	m := kern.NewMachine(p)
+	t.Cleanup(m.Shutdown)
+
+	line := uint64(0x60_0000)
+	evicted := false
+	m.Spawn("observer", func(e *kern.Env) {
+		for i := 0; i < 200 && !evicted; i++ {
+			e.Load(line) // cache it
+			e.Nanosleep(10 * timebase.Microsecond)
+			if e.TimedLoad(line) > e.HitThreshold() {
+				evicted = true
+			}
+		}
+	}, kern.WithPin(0))
+	m.RunFor(50 * timebase.Millisecond)
+	if !evicted {
+		t.Fatal("ambient noise never evicted the monitored line")
+	}
+}
+
+func TestNoNoiseByDefault(t *testing.T) {
+	m := newMachine(t, 1)
+	line := uint64(0x60_0000)
+	flipped := false
+	m.Spawn("observer", func(e *kern.Env) {
+		e.Load(line)
+		for i := 0; i < 50; i++ {
+			e.Nanosleep(10 * timebase.Microsecond)
+			if e.TimedLoad(line) > e.HitThreshold() {
+				flipped = true
+			}
+		}
+	}, kern.WithPin(0))
+	m.RunFor(50 * timebase.Millisecond)
+	if flipped {
+		t.Fatal("line evicted on a quiescent machine")
+	}
+}

@@ -1,0 +1,187 @@
+package rbtree
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+type it struct {
+	key int64
+	id  int
+}
+
+func (i it) Key() int64 { return i.key }
+func (i it) ID() int    { return i.id }
+
+func TestEmpty(t *testing.T) {
+	tr := New()
+	if tr.Len() != 0 || tr.Min() != nil {
+		t.Fatal("empty tree state")
+	}
+	if tr.Delete(it{1, 1}) {
+		t.Fatal("delete from empty succeeded")
+	}
+	if err := tr.validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInsertMinDelete(t *testing.T) {
+	tr := New()
+	items := []it{{5, 1}, {3, 2}, {8, 3}, {3, 1}, {1, 4}}
+	for _, i := range items {
+		tr.Insert(i)
+		if err := tr.validate(); err != nil {
+			t.Fatalf("after insert %v: %v", i, err)
+		}
+	}
+	if tr.Len() != 5 {
+		t.Fatalf("len = %d", tr.Len())
+	}
+	if m := tr.Min().(it); m != (it{1, 4}) {
+		t.Fatalf("min = %v", m)
+	}
+	// Tie-break by ID: delete the leftmost repeatedly, expect sorted order.
+	want := []it{{1, 4}, {3, 1}, {3, 2}, {5, 1}, {8, 3}}
+	for _, w := range want {
+		m := tr.Min().(it)
+		if m != w {
+			t.Fatalf("min = %v, want %v", m, w)
+		}
+		if !tr.Delete(m) {
+			t.Fatalf("delete %v failed", m)
+		}
+		if err := tr.validate(); err != nil {
+			t.Fatalf("after delete %v: %v", m, err)
+		}
+	}
+	if tr.Len() != 0 || tr.Min() != nil {
+		t.Fatal("tree not empty at end")
+	}
+}
+
+func TestContainsAndMiss(t *testing.T) {
+	tr := New()
+	tr.Insert(it{10, 1})
+	tr.Insert(it{20, 2})
+	if !tr.Contains(it{10, 1}) || tr.Contains(it{10, 2}) || tr.Contains(it{15, 1}) {
+		t.Fatal("contains broken")
+	}
+	if tr.Delete(it{10, 2}) {
+		t.Fatal("deleted a missing item")
+	}
+}
+
+func TestEachAscendingAndEarlyStop(t *testing.T) {
+	tr := New()
+	for i := 0; i < 20; i++ {
+		tr.Insert(it{int64((i * 7) % 20), i})
+	}
+	var keys []int64
+	tr.Each(func(x Item) bool {
+		keys = append(keys, x.Key())
+		return true
+	})
+	if !sort.SliceIsSorted(keys, func(a, b int) bool { return keys[a] < keys[b] }) {
+		t.Fatalf("not ascending: %v", keys)
+	}
+	n := 0
+	tr.Each(func(Item) bool { n++; return n < 3 })
+	if n != 3 {
+		t.Fatalf("early stop visited %d", n)
+	}
+}
+
+// TestRandomOpsAgainstSortedSlice drives random inserts/deletes against a
+// reference model while checking invariants continuously.
+func TestRandomOpsAgainstSortedSlice(t *testing.T) {
+	r := rng.New(99)
+	tr := New()
+	ref := map[it]bool{}
+	for op := 0; op < 5000; op++ {
+		x := it{key: r.Int63n(50), id: int(r.Int63n(50))}
+		if ref[x] {
+			if !tr.Delete(x) {
+				t.Fatalf("op %d: delete %v missing", op, x)
+			}
+			delete(ref, x)
+		} else {
+			tr.Insert(x)
+			ref[x] = true
+		}
+		if op%37 == 0 {
+			if err := tr.validate(); err != nil {
+				t.Fatalf("op %d: %v", op, err)
+			}
+			if tr.Len() != len(ref) {
+				t.Fatalf("op %d: len %d vs ref %d", op, tr.Len(), len(ref))
+			}
+		}
+	}
+	if err := tr.validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Final: ascending traversal equals sorted reference.
+	var want []it
+	for x := range ref {
+		want = append(want, x)
+	}
+	sort.Slice(want, func(a, b int) bool {
+		if want[a].key != want[b].key {
+			return want[a].key < want[b].key
+		}
+		return want[a].id < want[b].id
+	})
+	got := tr.Items()
+	if len(got) != len(want) {
+		t.Fatalf("len %d vs %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].(it) != want[i] {
+			t.Fatalf("item %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestQuickMinIsSmallest: property check that Min equals the model's
+// minimum after a random insert batch.
+func TestQuickMinIsSmallest(t *testing.T) {
+	f := func(keys []int16) bool {
+		tr := New()
+		for i, k := range keys {
+			tr.Insert(it{int64(k), i})
+		}
+		if len(keys) == 0 {
+			return tr.Min() == nil
+		}
+		min := keys[0]
+		for _, k := range keys {
+			if k < min {
+				min = k
+			}
+		}
+		return tr.Min().Key() == int64(min) && tr.validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkInsertDelete(b *testing.B) {
+	r := rng.New(1)
+	tr := New()
+	items := make([]it, 1024)
+	for i := range items {
+		items[i] = it{key: r.Int63n(1 << 30), id: i}
+		tr.Insert(items[i])
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x := items[i%len(items)]
+		tr.Delete(x)
+		tr.Insert(x)
+	}
+}

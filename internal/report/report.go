@@ -1,0 +1,161 @@
+// Package report renders experiment results as terminal-friendly text: the
+// histograms of Figures 4.3/4.7, the Flush+Reload heatmap of Figure 5.1,
+// the probe-latency traces of Figure 5.2, and generic series/key-value
+// tables. The benchmark harness and cplab CLI print these so every paper
+// artifact regenerates as a readable figure.
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// KV renders aligned "name: value" lines.
+func KV(pairs [][2]string) string {
+	w := 0
+	for _, p := range pairs {
+		if len(p[0]) > w {
+			w = len(p[0])
+		}
+	}
+	var b strings.Builder
+	for _, p := range pairs {
+		fmt.Fprintf(&b, "  %-*s  %s\n", w+1, p[0]+":", p[1])
+	}
+	return b.String()
+}
+
+// MultiHist renders several histograms (one per labelled line of a figure,
+// e.g. per-ε) side by side as a percentage table over [0, maxBucket], with
+// an overflow row.
+func MultiHist(labels []string, hists []*stats.Hist, maxBucket int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%8s", "steps")
+	for _, l := range labels {
+		fmt.Fprintf(&b, " %12s", l)
+	}
+	b.WriteByte('\n')
+	for v := 0; v <= maxBucket; v++ {
+		any := false
+		for _, h := range hists {
+			if h.Count(v) > 0 {
+				any = true
+				break
+			}
+		}
+		if !any {
+			continue
+		}
+		fmt.Fprintf(&b, "%8d", v)
+		for _, h := range hists {
+			fmt.Fprintf(&b, " %11.2f%%", 100*h.Frac(v))
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "%8s", ">")
+	for _, h := range hists {
+		over := 1 - h.FracAtMost(maxBucket)
+		fmt.Fprintf(&b, " %11.2f%%", 100*over)
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "%8s", "mean")
+	for _, h := range hists {
+		fmt.Fprintf(&b, " %12.2f", h.Mean())
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// Heatmap renders a boolean matrix (rows × samples) with one character per
+// cell: '#' for true (hit), '.' for false — Figure 5.1's yellow/purple.
+// rowLabel names each row.
+func Heatmap(rows [][]bool, rowLabel func(i int) string) string {
+	var b strings.Builder
+	for i, row := range rows {
+		fmt.Fprintf(&b, "%8s |", rowLabel(i))
+		for _, v := range row {
+			if v {
+				b.WriteByte('#')
+			} else {
+				b.WriteByte('.')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// SeriesTable renders aligned columns for one or more series sharing X
+// values (union of Xs, sorted).
+func SeriesTable(xName string, series ...*stats.Series) string {
+	xsSet := map[float64]bool{}
+	for _, s := range series {
+		for _, p := range s.Points {
+			xsSet[p.X] = true
+		}
+	}
+	xs := make([]float64, 0, len(xsSet))
+	for x := range xsSet {
+		xs = append(xs, x)
+	}
+	sort.Float64s(xs)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%14s", xName)
+	for _, s := range series {
+		fmt.Fprintf(&b, " %14s", s.Name)
+	}
+	b.WriteByte('\n')
+	for _, x := range xs {
+		fmt.Fprintf(&b, "%14.3f", x)
+		for _, s := range series {
+			if y, ok := s.YAt(x); ok {
+				fmt.Fprintf(&b, " %14.2f", y)
+			} else {
+				fmt.Fprintf(&b, " %14s", "-")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// LatencyTrace renders named per-sample integer traces (Figure 5.2's probe
+// latencies) as rows of banded characters: ' ' low, '▒' mid, '█' high —
+// with the numeric scale printed alongside.
+func LatencyTrace(names []string, traces [][]int64, lowHi [2]int64) string {
+	var b strings.Builder
+	lo, hi := lowHi[0], lowHi[1]
+	for i, name := range names {
+		fmt.Fprintf(&b, "%10s |", name)
+		for _, v := range traces[i] {
+			switch {
+			case v <= lo:
+				b.WriteByte('.')
+			case v >= hi:
+				b.WriteByte('#')
+			default:
+				b.WriteByte('+')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "%10s  (. <= %d cycles < + < %d cycles <= #)\n", "", lo, hi)
+	return b.String()
+}
+
+// PercentBar renders a labelled percentage with a bar, for headline
+// accuracy numbers.
+func PercentBar(label string, frac float64) string {
+	n := int(frac * 40)
+	if n < 0 {
+		n = 0
+	}
+	if n > 40 {
+		n = 40
+	}
+	return fmt.Sprintf("  %-32s %6.2f%% |%s%s|\n", label, frac*100,
+		strings.Repeat("=", n), strings.Repeat(" ", 40-n))
+}

@@ -1,0 +1,97 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestKVAligns(t *testing.T) {
+	s := KV([][2]string{{"short", "1"}, {"a longer name", "2"}})
+	lines := strings.Split(strings.TrimSuffix(s, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if strings.Index(lines[0], "1") != strings.Index(lines[1], "2") {
+		t.Fatal("values not aligned")
+	}
+}
+
+func TestMultiHist(t *testing.T) {
+	h1 := stats.NewHist()
+	h1.AddN(0, 50)
+	h1.AddN(1, 50)
+	h2 := stats.NewHist()
+	h2.AddN(1, 25)
+	h2.AddN(40, 75) // beyond maxBucket
+	s := MultiHist([]string{"a", "b"}, []*stats.Hist{h1, h2}, 10)
+	if !strings.Contains(s, "50.00%") || !strings.Contains(s, "25.00%") {
+		t.Fatalf("percentages missing:\n%s", s)
+	}
+	if !strings.Contains(s, "75.00%") {
+		t.Fatalf("overflow row missing:\n%s", s)
+	}
+	if !strings.Contains(s, "mean") {
+		t.Fatal("mean row missing")
+	}
+	// Empty buckets between 2 and 10 must be skipped.
+	if strings.Contains(s, "\n       5") {
+		t.Fatal("empty bucket rendered")
+	}
+}
+
+func TestHeatmap(t *testing.T) {
+	rows := [][]bool{{true, false}, {false, true}}
+	s := Heatmap(rows, func(i int) string { return "r" })
+	if !strings.Contains(s, "#.") || !strings.Contains(s, ".#") {
+		t.Fatalf("heatmap cells wrong:\n%s", s)
+	}
+}
+
+func TestSeriesTable(t *testing.T) {
+	a := &stats.Series{Name: "obs"}
+	a.Add(1, 10)
+	a.Add(2, 20)
+	b := &stats.Series{Name: "exp"}
+	b.Add(2, 21)
+	s := SeriesTable("x", a, b)
+	if !strings.Contains(s, "obs") || !strings.Contains(s, "exp") {
+		t.Fatal("headers missing")
+	}
+	// Missing point rendered as '-'.
+	lines := strings.Split(s, "\n")
+	var row1 string
+	for _, l := range lines {
+		if strings.Contains(l, "1.000") {
+			row1 = l
+		}
+	}
+	if !strings.Contains(row1, "-") {
+		t.Fatalf("missing point not dashed: %q", row1)
+	}
+}
+
+func TestLatencyTrace(t *testing.T) {
+	s := LatencyTrace([]string{"x"}, [][]int64{{5, 50, 500}}, [2]int64{10, 100})
+	if !strings.Contains(s, ".+#") {
+		t.Fatalf("banding wrong:\n%s", s)
+	}
+}
+
+func TestPercentBar(t *testing.T) {
+	s := PercentBar("acc", 0.5)
+	if !strings.Contains(s, "50.00%") {
+		t.Fatalf("bar: %q", s)
+	}
+	if strings.Count(s, "=") != 20 {
+		t.Fatalf("bar length: %q", s)
+	}
+	// Clamping.
+	if !strings.Contains(PercentBar("x", 2.0), strings.Repeat("=", 40)) {
+		t.Fatal("over-100% not clamped")
+	}
+	if strings.Contains(PercentBar("x", -1), "=") {
+		t.Fatal("negative not clamped")
+	}
+}

@@ -1,0 +1,169 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	if New(1).Uint64() == New(2).Uint64() {
+		t.Fatal("different seeds agree on first draw")
+	}
+}
+
+func TestForkIndependence(t *testing.T) {
+	r := New(7)
+	f1 := r.Fork(1)
+	r2 := New(7)
+	f2 := r2.Fork(2)
+	if f1.Uint64() == f2.Uint64() {
+		t.Fatal("forks with different tags agree")
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(3)
+	seen := map[int]bool{}
+	for i := 0; i < 1000; i++ {
+		v := r.Intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 10 {
+		t.Fatalf("only %d distinct values in 1000 draws", len(seen))
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(5)
+	var sum float64
+	const n = 10000
+	for i := 0; i < n; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %f", v)
+		}
+		sum += v
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.02 {
+		t.Fatalf("mean = %f, want ≈0.5", mean)
+	}
+}
+
+func TestRangeInclusive(t *testing.T) {
+	r := New(9)
+	sawLo, sawHi := false, false
+	for i := 0; i < 2000; i++ {
+		v := r.Range(3, 6)
+		if v < 3 || v > 6 {
+			t.Fatalf("Range out of bounds: %d", v)
+		}
+		sawLo = sawLo || v == 3
+		sawHi = sawHi || v == 6
+	}
+	if !sawLo || !sawHi {
+		t.Fatal("bounds never drawn")
+	}
+	if r.Range(5, 5) != 5 {
+		t.Fatal("degenerate range")
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	r := New(11)
+	const n = 20000
+	var sum, sq float64
+	for i := 0; i < n; i++ {
+		v := r.Normal(100, 15)
+		sum += v
+		sq += v * v
+	}
+	mean := sum / n
+	std := math.Sqrt(sq/n - mean*mean)
+	if math.Abs(mean-100) > 1 {
+		t.Fatalf("mean = %f", mean)
+	}
+	if math.Abs(std-15) > 1 {
+		t.Fatalf("stddev = %f", std)
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	r := New(13)
+	const n = 20000
+	var sum float64
+	for i := 0; i < n; i++ {
+		v := r.Exponential(50)
+		if v < 0 {
+			t.Fatal("negative exponential draw")
+		}
+		sum += v
+	}
+	if mean := sum / n; math.Abs(mean-50) > 2.5 {
+		t.Fatalf("mean = %f", mean)
+	}
+}
+
+func TestBool(t *testing.T) {
+	r := New(17)
+	hits := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		if r.Bool(0.3) {
+			hits++
+		}
+	}
+	if frac := float64(hits) / n; math.Abs(frac-0.3) > 0.02 {
+		t.Fatalf("Bool(0.3) frequency = %f", frac)
+	}
+}
+
+func TestBytesFills(t *testing.T) {
+	r := New(19)
+	b := make([]byte, 33)
+	r.Bytes(b)
+	zero := 0
+	for _, v := range b {
+		if v == 0 {
+			zero++
+		}
+	}
+	if zero > 5 {
+		t.Fatalf("too many zero bytes: %d", zero)
+	}
+	// Deterministic refill.
+	b2 := make([]byte, 33)
+	New(19).Bytes(b2)
+	if string(b) != string(b2) {
+		t.Fatal("Bytes not deterministic")
+	}
+}
+
+func TestPerm(t *testing.T) {
+	r := New(23)
+	p := r.Perm(20)
+	seen := make([]bool, 20)
+	for _, v := range p {
+		if v < 0 || v >= 20 || seen[v] {
+			t.Fatalf("bad permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}

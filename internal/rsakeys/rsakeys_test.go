@@ -1,0 +1,88 @@
+package rsakeys
+
+import (
+	"crypto/x509"
+	"strings"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/victim/base64"
+)
+
+func TestGenerateAndMarshalParsesWithStdlib(t *testing.T) {
+	k, err := Generate(rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	der := k.MarshalPKCS1()
+	parsed, err := x509.ParsePKCS1PrivateKey(der)
+	if err != nil {
+		t.Fatalf("stdlib cannot parse our DER: %v", err)
+	}
+	if parsed.N.Cmp(k.N) != 0 || parsed.D.Cmp(k.D) != 0 {
+		t.Fatal("parsed key differs")
+	}
+	if err := parsed.Validate(); err != nil {
+		t.Fatalf("generated key invalid: %v", err)
+	}
+	if k.N.BitLen() != Bits {
+		t.Fatalf("modulus bits = %d", k.N.BitLen())
+	}
+}
+
+func TestGenerateIsDeterministic(t *testing.T) {
+	a, err := Generate(rng.New(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(rng.New(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.N.Cmp(b.N) != 0 {
+		t.Fatal("same seed produced different keys")
+	}
+	c, err := Generate(rng.New(43))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.N.Cmp(c.N) == 0 {
+		t.Fatal("different seeds produced the same key")
+	}
+}
+
+func TestPEMBodyShape(t *testing.T) {
+	k, err := Generate(rng.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := k.PEMBody()
+	// The paper's 1024-bit keys average ~872 base64 characters; ours are
+	// PKCS#1 too, so the body must be in the same range.
+	if len(body) < 700 || len(body) > 1000 {
+		t.Fatalf("PEM body length = %d, want ~800-900", len(body))
+	}
+	for i, line := range strings.Split(strings.TrimSuffix(body, "\n"), "\n") {
+		if len(line) > 64 {
+			t.Fatalf("line %d longer than 64 chars", i)
+		}
+	}
+	// Round trip through the victim decoder recovers the DER.
+	got, _, err := base64.Decode(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	der := k.MarshalPKCS1()
+	if len(got) != len(der) {
+		t.Fatalf("decoded %d bytes, want %d", len(got), len(der))
+	}
+	for i := range got {
+		if got[i] != der[i] {
+			t.Fatalf("decode mismatch at %d", i)
+		}
+	}
+	pem := k.PEM()
+	if !strings.HasPrefix(pem, PEMHeader) || !strings.Contains(pem, PEMFooter) {
+		t.Fatal("PEM framing missing")
+	}
+}

@@ -1,0 +1,123 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/timebase"
+)
+
+func TestWeightTable(t *testing.T) {
+	if WeightOf(0) != 1024 {
+		t.Fatalf("weight(0) = %d", WeightOf(0))
+	}
+	if WeightOf(-20) != 88761 {
+		t.Fatalf("weight(-20) = %d", WeightOf(-20))
+	}
+	if WeightOf(19) != 15 {
+		t.Fatalf("weight(19) = %d", WeightOf(19))
+	}
+	// Each step ≈ 1.25×.
+	for n := NiceMin; n < NiceMax; n++ {
+		ratio := float64(WeightOf(n)) / float64(WeightOf(n+1))
+		if ratio < 1.15 || ratio > 1.35 {
+			t.Fatalf("weight ratio at nice %d = %f", n, ratio)
+		}
+	}
+	// Clamping.
+	if WeightOf(-100) != WeightOf(-20) || WeightOf(100) != WeightOf(19) {
+		t.Fatal("clamping broken")
+	}
+}
+
+func TestCalcDeltaFair(t *testing.T) {
+	d := 1000 * timebase.Nanosecond
+	if CalcDeltaFair(d, Nice0Load) != d {
+		t.Fatal("nice-0 must be identity")
+	}
+	// High priority advances slower.
+	if CalcDeltaFair(d, WeightOf(-20)) >= d/10 {
+		t.Fatalf("nice -20 vruntime rate = %v", CalcDeltaFair(d, WeightOf(-20)))
+	}
+	// Low priority advances faster.
+	if CalcDeltaFair(d, WeightOf(19)) <= 50*d {
+		t.Fatalf("nice 19 vruntime rate = %v", CalcDeltaFair(d, WeightOf(19)))
+	}
+}
+
+func TestScalingFactor(t *testing.T) {
+	cases := map[int]int{1: 1, 2: 2, 4: 3, 8: 4, 16: 4, 64: 4}
+	for cores, want := range cases {
+		if got := ScalingFactor(cores); got != want {
+			t.Errorf("ScalingFactor(%d) = %d, want %d", cores, got, want)
+		}
+	}
+}
+
+func TestDefaultParamsTable21(t *testing.T) {
+	p := DefaultParams(16)
+	if p.Latency != 24*timebase.Millisecond {
+		t.Fatalf("S_bnd = %v", p.Latency)
+	}
+	if p.MinGranularity != 3*timebase.Millisecond {
+		t.Fatalf("S_min = %v", p.MinGranularity)
+	}
+	if p.WakeupGranularity != 4*timebase.Millisecond {
+		t.Fatalf("S_preempt = %v", p.WakeupGranularity)
+	}
+	if p.SleeperSlack() != 12*timebase.Millisecond {
+		t.Fatalf("S_slack = %v", p.SleeperSlack())
+	}
+	if p.PreemptionBudget() != 8*timebase.Millisecond {
+		t.Fatalf("budget = %v", p.PreemptionBudget())
+	}
+	if !p.GentleFairSleepers || !p.WakeupPreemption {
+		t.Fatal("default features")
+	}
+}
+
+func TestSleeperSlackWithoutGentle(t *testing.T) {
+	p := DefaultParams(16)
+	p.GentleFairSleepers = false
+	if p.SleeperSlack() != p.Latency {
+		t.Fatal("non-gentle slack should equal S_bnd")
+	}
+	if p.PreemptionBudget() != 20*timebase.Millisecond {
+		t.Fatalf("non-gentle budget = %v", p.PreemptionBudget())
+	}
+}
+
+func TestExpectedPreemptions(t *testing.T) {
+	p := DefaultParams(16)
+	if got := p.ExpectedPreemptions(10 * timebase.Microsecond); got != 800 {
+		t.Fatalf("expected(10µs) = %d", got)
+	}
+	// Ceiling behaviour.
+	if got := p.ExpectedPreemptions(7 * timebase.Microsecond); got != 1143 {
+		t.Fatalf("expected(7µs) = %d", got)
+	}
+	if p.ExpectedPreemptions(0) != 0 {
+		t.Fatal("zero ΔI")
+	}
+}
+
+func TestTaskNice(t *testing.T) {
+	task := NewTask(1, "t", 0)
+	if task.Weight != 1024 {
+		t.Fatal("initial weight")
+	}
+	task.SetNice(-10)
+	if task.Nice != -10 || task.Weight != WeightOf(-10) {
+		t.Fatal("SetNice")
+	}
+}
+
+func TestStateStrings(t *testing.T) {
+	for s, want := range map[State]string{
+		StateBlocked: "blocked", StateRunnable: "runnable",
+		StateRunning: "running", StateDone: "done",
+	} {
+		if s.String() != want {
+			t.Fatalf("State %d = %q", s, s.String())
+		}
+	}
+}

@@ -1,0 +1,189 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistBasics(t *testing.T) {
+	h := NewHist()
+	if h.Total() != 0 || h.Max() != -1 || h.Mode() != -1 {
+		t.Fatal("empty histogram state")
+	}
+	h.Add(0)
+	h.Add(1)
+	h.Add(1)
+	h.Add(5)
+	if h.Total() != 4 {
+		t.Fatalf("total = %d", h.Total())
+	}
+	if h.Count(1) != 2 || h.Count(9) != 0 {
+		t.Fatal("counts wrong")
+	}
+	if h.Max() != 5 || h.Mode() != 1 {
+		t.Fatalf("max=%d mode=%d", h.Max(), h.Mode())
+	}
+	if h.Frac(1) != 0.5 {
+		t.Fatalf("frac = %f", h.Frac(1))
+	}
+	if h.FracAtMost(1) != 0.75 {
+		t.Fatalf("fracAtMost = %f", h.FracAtMost(1))
+	}
+	if h.Mean() != (0+1+1+5)/4.0 {
+		t.Fatalf("mean = %f", h.Mean())
+	}
+}
+
+func TestHistClamping(t *testing.T) {
+	h := NewHist()
+	h.Add(-5)
+	if h.Count(0) != 1 {
+		t.Fatal("negative not clamped to 0")
+	}
+	h.Add(HistMaxValue + 1000000)
+	if h.Count(HistMaxValue) != 1 {
+		t.Fatal("huge value not clamped to max bucket")
+	}
+	if h.Total() != 2 {
+		t.Fatal("clamped values not counted")
+	}
+}
+
+func TestHistQuantile(t *testing.T) {
+	h := NewHist()
+	for v := 1; v <= 100; v++ {
+		h.Add(v)
+	}
+	if q := h.Quantile(0.5); q != 50 {
+		t.Fatalf("median = %d", q)
+	}
+	if q := h.Quantile(0.9); q != 90 {
+		t.Fatalf("p90 = %d", q)
+	}
+	if q := h.Quantile(0); q != 1 {
+		t.Fatalf("p0 = %d", q)
+	}
+}
+
+func TestHistString(t *testing.T) {
+	h := NewHist()
+	h.AddN(2, 10)
+	h.AddN(4, 5)
+	s := h.String()
+	if !strings.Contains(s, "66.67%") || !strings.Contains(s, "33.33%") {
+		t.Fatalf("rendering wrong:\n%s", s)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]int64{5, 1, 3, 2, 4})
+	if s.N != 5 || s.Min != 1 || s.Max != 5 || s.Median != 3 || s.Mean != 3 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if z := Summarize(nil); z.N != 0 {
+		t.Fatal("empty summary")
+	}
+}
+
+func TestMedianInt64(t *testing.T) {
+	if MedianInt64([]int64{3, 1, 2}) != 2 {
+		t.Fatal("odd median")
+	}
+	if MedianInt64([]int64{4, 1, 2, 3}) != 3 {
+		t.Fatal("even (upper) median")
+	}
+	if MedianInt64(nil) != 0 {
+		t.Fatal("empty median")
+	}
+	// Must not mutate the input.
+	in := []int64{9, 1, 5}
+	MedianInt64(in)
+	if in[0] != 9 || in[1] != 1 || in[2] != 5 {
+		t.Fatal("median mutated input")
+	}
+}
+
+func TestMajorityVote(t *testing.T) {
+	w, c := MajorityVote([]int{1, 2, 2, 3, 2})
+	if w != 2 || c != 3 {
+		t.Fatalf("vote = %d/%d", w, c)
+	}
+	// Deterministic tie-break toward the smaller value.
+	w, _ = MajorityVote([]int{5, 3, 5, 3})
+	if w != 3 {
+		t.Fatalf("tie-break = %d", w)
+	}
+	if w, c := MajorityVote(nil); w != -1 || c != 0 {
+		t.Fatal("empty vote")
+	}
+}
+
+func TestAccuracy(t *testing.T) {
+	if a := Accuracy([]int{1, 2, 3}, []int{1, 2, 3}); a != 1 {
+		t.Fatalf("perfect = %f", a)
+	}
+	if a := Accuracy([]int{1, 9, 3}, []int{1, 2, 3}); a != 2.0/3 {
+		t.Fatalf("one wrong = %f", a)
+	}
+	// Missing positions count against the target length.
+	if a := Accuracy([]int{1}, []int{1, 2}); a != 0.5 {
+		t.Fatalf("short = %f", a)
+	}
+	if Accuracy([]int{1}, nil) != 0 {
+		t.Fatal("empty want")
+	}
+	if AccuracyBytes([]byte{1, 2}, []byte{1, 2}) != 1 {
+		t.Fatal("bytes variant")
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Fatal("mean")
+	}
+	if Mean(nil) != 0 {
+		t.Fatal("empty mean")
+	}
+}
+
+func TestSeries(t *testing.T) {
+	s := &Series{Name: "s"}
+	s.Add(1, 10)
+	s.Add(2, 20)
+	if y, ok := s.YAt(2); !ok || y != 20 {
+		t.Fatal("YAt hit")
+	}
+	if _, ok := s.YAt(3); ok {
+		t.Fatal("YAt miss")
+	}
+}
+
+// Property: histogram total equals the number of Adds, and quantiles are
+// monotone.
+func TestHistProperties(t *testing.T) {
+	f := func(vals []uint8) bool {
+		h := NewHist()
+		for _, v := range vals {
+			h.Add(int(v))
+		}
+		if h.Total() != int64(len(vals)) {
+			return false
+		}
+		if len(vals) == 0 {
+			return true
+		}
+		last := 0
+		for _, q := range []float64{0.1, 0.25, 0.5, 0.75, 0.9, 1} {
+			v := h.Quantile(q)
+			if v < last {
+				return false
+			}
+			last = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,142 @@
+package tlb
+
+import "testing"
+
+func TestGeometry(t *testing.T) {
+	c := I9900KTLBs()
+	if c.ITLB.Config().Sets() != 16 {
+		t.Fatalf("iTLB sets = %d, want 16", c.ITLB.Config().Sets())
+	}
+	if c.STLB.Config().Sets() != 128 {
+		t.Fatalf("sTLB sets = %d, want 128", c.STLB.Config().Sets())
+	}
+	if c.DTLB.Config().Sets() != 16 {
+		t.Fatalf("dTLB sets = %d, want 16", c.DTLB.Config().Sets())
+	}
+}
+
+func TestNewRejectsBadGeometry(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	New(Config{Name: "bad", Entries: 48, Ways: 16}) // 3 sets
+}
+
+func TestVPNHelpers(t *testing.T) {
+	if VPN(0x1234_5678) != 0x12345 {
+		t.Fatalf("VPN = %#x", VPN(0x1234_5678))
+	}
+	if PageAddr(0x1234_5678) != 0x1234_5000 {
+		t.Fatalf("PageAddr = %#x", PageAddr(0x1234_5678))
+	}
+}
+
+func TestInsertTouchFlush(t *testing.T) {
+	tl := New(Config{Name: "t", Entries: 8, Ways: 2}) // 4 sets
+	vpn := uint64(0x40)
+	if tl.Touch(vpn) || tl.Contains(vpn) {
+		t.Fatal("empty TLB hit")
+	}
+	tl.Insert(vpn)
+	if !tl.Touch(vpn) {
+		t.Fatal("inserted VPN missing")
+	}
+	tl.Flush()
+	if tl.Contains(vpn) {
+		t.Fatal("VPN survived flush")
+	}
+}
+
+func TestSetAssocEviction(t *testing.T) {
+	tl := New(Config{Name: "t", Entries: 8, Ways: 2}) // 4 sets
+	// Three congruent VPNs in a 2-way set: the LRU one must go.
+	a, b, c := uint64(0), uint64(4), uint64(8)
+	tl.Insert(a)
+	tl.Insert(b)
+	tl.Touch(a)
+	tl.Insert(c)
+	if tl.Contains(b) {
+		t.Fatal("LRU entry survived")
+	}
+	if !tl.Contains(a) || !tl.Contains(c) {
+		t.Fatal("wrong entry evicted")
+	}
+}
+
+func TestTranslateFetchLatencies(t *testing.T) {
+	c := I9900KTLBs()
+	pc := uint64(0x40_0000)
+	if lat := c.TranslateFetch(pc); lat != c.Lat.Walk {
+		t.Fatalf("cold fetch translation = %d, want walk %d", lat, c.Lat.Walk)
+	}
+	if lat := c.TranslateFetch(pc); lat != c.Lat.L1Hit {
+		t.Fatalf("warm fetch translation = %d, want L1 hit", lat)
+	}
+	// Evict from iTLB only: should be an sTLB hit.
+	c.ITLB.Invalidate(VPN(pc))
+	if lat := c.TranslateFetch(pc); lat != c.Lat.L2Hit {
+		t.Fatalf("iTLB-evicted translation = %d, want sTLB hit %d", lat, c.Lat.L2Hit)
+	}
+}
+
+func TestTranslateDataSharesSTLB(t *testing.T) {
+	c := I9900KTLBs()
+	addr := uint64(0x60_0000)
+	c.TranslateData(addr)
+	// Instruction-side access to the same page should hit the shared
+	// second level.
+	if lat := c.TranslateFetch(addr); lat != c.Lat.L2Hit {
+		t.Fatalf("fetch after data walk = %d, want sTLB hit", lat)
+	}
+}
+
+func TestFlushAll(t *testing.T) {
+	c := I9900KTLBs()
+	c.TranslateFetch(0x40_0000)
+	c.TranslateData(0x60_0000)
+	c.FlushAll()
+	if lat := c.TranslateFetch(0x40_0000); lat != c.Lat.Walk {
+		t.Fatal("iTLB survived FlushAll")
+	}
+	if lat := c.TranslateData(0x60_0000); lat != c.Lat.Walk {
+		t.Fatal("dTLB/sTLB survived FlushAll")
+	}
+}
+
+// TestEvictionPagesEvict verifies the Gras-et-al-style eviction set: after
+// touching the congruent pages, the target's translation is gone.
+func TestEvictionPagesEvict(t *testing.T) {
+	c := I9900KTLBs()
+	target := uint64(0x40_0000)
+	c.TranslateFetch(target) // fill iTLB + sTLB
+
+	itlbPages := EvictionPagesFor(c.ITLB, target, 0x7000_0000_0000, c.ITLB.Config().Ways+1)
+	stlbPages := EvictionPagesFor(c.STLB, target, 0x7100_0000_0000, c.STLB.Config().Ways+1)
+	for _, p := range itlbPages {
+		if c.ITLB.SetIndex(VPN(p)) != c.ITLB.SetIndex(VPN(target)) {
+			t.Fatalf("iTLB eviction page %#x not congruent", p)
+		}
+		if VPN(p) == VPN(target) {
+			t.Fatal("eviction set contains the target page")
+		}
+		c.TranslateFetch(p)
+	}
+	for _, p := range stlbPages {
+		if c.STLB.SetIndex(VPN(p)) != c.STLB.SetIndex(VPN(target)) {
+			t.Fatalf("sTLB eviction page %#x not congruent", p)
+		}
+		c.TranslateFetch(p)
+	}
+	if c.ITLB.Contains(VPN(target)) {
+		t.Fatal("target survived iTLB eviction")
+	}
+	if c.STLB.Contains(VPN(target)) {
+		t.Fatal("target survived sTLB eviction")
+	}
+	// The next victim fetch pays a full walk — the degradation effect.
+	if lat := c.TranslateFetch(target); lat != c.Lat.Walk {
+		t.Fatalf("post-eviction translation = %d, want walk", lat)
+	}
+}

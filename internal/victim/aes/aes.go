@@ -1,0 +1,233 @@
+// Package aes implements the T-table AES-128 encryption the paper's first
+// proof-of-concept attacks (§5.1): the OpenSSL-style implementation whose
+// per-round table lookups T0[x0]⊕T1[x5]⊕T2[x10]⊕T3[x15]⊕K leak the state's
+// upper nibbles through the cache. The cipher itself is a complete,
+// FIPS-197-correct AES-128, and the package can emit the memory-access
+// trace of an encryption as a simulated instruction stream.
+package aes
+
+import "fmt"
+
+// BlockSize is the AES block size in bytes.
+const BlockSize = 16
+
+// KeySize is the AES-128 key size in bytes.
+const KeySize = 16
+
+// sbox is the AES S-box.
+var sbox [256]byte
+
+// te0..te3 are the encryption T-tables: te_i[x] = S[x]·column_i of the
+// MixColumns matrix, rotated. Generated from the S-box at init.
+var te0, te1, te2, te3 [256]uint32
+
+func init() {
+	initSbox()
+	for x := 0; x < 256; x++ {
+		s := uint32(sbox[x])
+		s2 := xtime(uint32(sbox[x]))
+		s3 := s2 ^ s
+		te0[x] = s2<<24 | s<<16 | s<<8 | s3
+		te1[x] = s3<<24 | s2<<16 | s<<8 | s
+		te2[x] = s<<24 | s3<<16 | s2<<8 | s
+		te3[x] = s<<24 | s<<16 | s3<<8 | s2
+	}
+}
+
+// xtime multiplies by 2 in GF(2^8).
+func xtime(b uint32) uint32 {
+	b <<= 1
+	if b&0x100 != 0 {
+		b ^= 0x11b
+	}
+	return b & 0xff
+}
+
+// initSbox builds the AES S-box from the multiplicative inverse in GF(2^8)
+// followed by the affine transform.
+func initSbox() {
+	// Build log/antilog tables over generator 3.
+	var exp, log [256]byte
+	x := byte(1)
+	for i := 0; i < 255; i++ {
+		exp[i] = x
+		log[x] = byte(i)
+		// multiply x by 3 = x ^ xtime(x)
+		x ^= byte(xtime(uint32(x)))
+	}
+	inv := func(b byte) byte {
+		if b == 0 {
+			return 0
+		}
+		return exp[(255-int(log[b]))%255]
+	}
+	for i := 0; i < 256; i++ {
+		b := inv(byte(i))
+		// Affine transform: b ^ rot1 ^ rot2 ^ rot3 ^ rot4 ^ 0x63.
+		s := b ^ rotl8(b, 1) ^ rotl8(b, 2) ^ rotl8(b, 3) ^ rotl8(b, 4) ^ 0x63
+		sbox[i] = s
+	}
+}
+
+func rotl8(b byte, n uint) byte { return b<<n | b>>(8-n) }
+
+// Key is an expanded AES-128 key schedule.
+type Key struct {
+	rk [44]uint32
+	// Raw is the original 16-byte key.
+	Raw [KeySize]byte
+}
+
+// rcon are the round constants.
+var rcon = [10]uint32{
+	0x01000000, 0x02000000, 0x04000000, 0x08000000, 0x10000000,
+	0x20000000, 0x40000000, 0x80000000, 0x1b000000, 0x36000000,
+}
+
+// ExpandKey performs the AES-128 key schedule.
+func ExpandKey(key []byte) (*Key, error) {
+	if len(key) != KeySize {
+		return nil, fmt.Errorf("aes: key size %d, want %d", len(key), KeySize)
+	}
+	k := &Key{}
+	copy(k.Raw[:], key)
+	for i := 0; i < 4; i++ {
+		k.rk[i] = uint32(key[4*i])<<24 | uint32(key[4*i+1])<<16 | uint32(key[4*i+2])<<8 | uint32(key[4*i+3])
+	}
+	for i := 4; i < 44; i++ {
+		t := k.rk[i-1]
+		if i%4 == 0 {
+			t = subWord(rotWord(t)) ^ rcon[i/4-1]
+		}
+		k.rk[i] = k.rk[i-4] ^ t
+	}
+	return k, nil
+}
+
+func rotWord(w uint32) uint32 { return w<<8 | w>>24 }
+
+func subWord(w uint32) uint32 {
+	return uint32(sbox[w>>24])<<24 | uint32(sbox[(w>>16)&0xff])<<16 |
+		uint32(sbox[(w>>8)&0xff])<<8 | uint32(sbox[w&0xff])
+}
+
+// Access is one T-table lookup made during encryption.
+type Access struct {
+	// Table is the T-table index (0..3).
+	Table int
+	// Index is the table index (the secret-dependent state byte).
+	Index byte
+	// Round is the encryption round (0-based; 0 is the first round the
+	// first-round attack targets).
+	Round int
+}
+
+// Encrypt encrypts one 16-byte block, returning the ciphertext and the
+// complete T-table access trace (rounds 0..8; the last round uses the
+// S-box, as in implementations that keep a separate final-round table).
+func (k *Key) Encrypt(pt []byte) (ct []byte, trace []Access) {
+	if len(pt) != BlockSize {
+		panic("aes: plaintext must be 16 bytes")
+	}
+	var s0, s1, s2, s3 uint32
+	s0 = be32(pt[0:4]) ^ k.rk[0]
+	s1 = be32(pt[4:8]) ^ k.rk[1]
+	s2 = be32(pt[8:12]) ^ k.rk[2]
+	s3 = be32(pt[12:16]) ^ k.rk[3]
+
+	look := func(round int, table int, idx uint32) uint32 {
+		b := byte(idx & 0xff)
+		trace = append(trace, Access{Table: table, Index: b, Round: round})
+		switch table {
+		case 0:
+			return te0[b]
+		case 1:
+			return te1[b]
+		case 2:
+			return te2[b]
+		default:
+			return te3[b]
+		}
+	}
+
+	for r := 0; r < 9; r++ {
+		rk := k.rk[4*(r+1):]
+		t0 := look(r, 0, s0>>24) ^ look(r, 1, s1>>16&0xff) ^ look(r, 2, s2>>8&0xff) ^ look(r, 3, s3&0xff) ^ rk[0]
+		t1 := look(r, 0, s1>>24) ^ look(r, 1, s2>>16&0xff) ^ look(r, 2, s3>>8&0xff) ^ look(r, 3, s0&0xff) ^ rk[1]
+		t2 := look(r, 0, s2>>24) ^ look(r, 1, s3>>16&0xff) ^ look(r, 2, s0>>8&0xff) ^ look(r, 3, s1&0xff) ^ rk[2]
+		t3 := look(r, 0, s3>>24) ^ look(r, 1, s0>>16&0xff) ^ look(r, 2, s1>>8&0xff) ^ look(r, 3, s2&0xff) ^ rk[3]
+		s0, s1, s2, s3 = t0, t1, t2, t3
+	}
+
+	// Final round: SubBytes + ShiftRows + AddRoundKey, via the S-box.
+	rk := k.rk[40:]
+	o0 := uint32(sbox[s0>>24])<<24 | uint32(sbox[s1>>16&0xff])<<16 | uint32(sbox[s2>>8&0xff])<<8 | uint32(sbox[s3&0xff])
+	o1 := uint32(sbox[s1>>24])<<24 | uint32(sbox[s2>>16&0xff])<<16 | uint32(sbox[s3>>8&0xff])<<8 | uint32(sbox[s0&0xff])
+	o2 := uint32(sbox[s2>>24])<<24 | uint32(sbox[s3>>16&0xff])<<16 | uint32(sbox[s0>>8&0xff])<<8 | uint32(sbox[s1&0xff])
+	o3 := uint32(sbox[s3>>24])<<24 | uint32(sbox[s0>>16&0xff])<<16 | uint32(sbox[s1>>8&0xff])<<8 | uint32(sbox[s2&0xff])
+	o0 ^= rk[0]
+	o1 ^= rk[1]
+	o2 ^= rk[2]
+	o3 ^= rk[3]
+
+	ct = make([]byte, BlockSize)
+	putBE32(ct[0:4], o0)
+	putBE32(ct[4:8], o1)
+	putBE32(ct[8:12], o2)
+	putBE32(ct[12:16], o3)
+	return ct, trace
+}
+
+func be32(b []byte) uint32 {
+	return uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
+}
+
+func putBE32(b []byte, v uint32) {
+	b[0] = byte(v >> 24)
+	b[1] = byte(v >> 16)
+	b[2] = byte(v >> 8)
+	b[3] = byte(v)
+}
+
+// FirstRoundState returns x(0) = p ⊕ k: the state whose upper nibbles the
+// first-round attack recovers.
+func FirstRoundState(key, pt []byte) [16]byte {
+	var x [16]byte
+	for i := range x {
+		x[i] = key[i] ^ pt[i]
+	}
+	return x
+}
+
+// TableOfByte returns which T-table state byte b indexes in the first
+// round, and the position of that access among the table's four first-round
+// lookups (temporal order).
+func TableOfByte(b int) (table, position int) {
+	table = b % 4
+	// T0: x0,x4,x8,x12; T1: x5,x9,x13,x1; T2: x10,x14,x2,x6;
+	// T3: x15,x3,x7,x11.
+	order := [4][4]int{
+		{0, 4, 8, 12},
+		{5, 9, 13, 1},
+		{10, 14, 2, 6},
+		{15, 3, 7, 11},
+	}
+	for pos, byteIdx := range order[table] {
+		if byteIdx == b {
+			return table, pos
+		}
+	}
+	panic("unreachable")
+}
+
+// ByteAtTablePosition is the inverse of TableOfByte: which state byte makes
+// the pos-th first-round access to table t.
+func ByteAtTablePosition(table, pos int) int {
+	order := [4][4]int{
+		{0, 4, 8, 12},
+		{5, 9, 13, 1},
+		{10, 14, 2, 6},
+		{15, 3, 7, 11},
+	}
+	return order[table][pos]
+}

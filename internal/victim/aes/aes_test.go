@@ -1,0 +1,156 @@
+package aes
+
+import (
+	"bytes"
+	"crypto/aes"
+	"encoding/hex"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/isa"
+)
+
+func unhex(t *testing.T, s string) []byte {
+	t.Helper()
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestFIPS197Vector checks the appendix-C.1 example of FIPS-197.
+func TestFIPS197Vector(t *testing.T) {
+	key := unhex(t, "000102030405060708090a0b0c0d0e0f")
+	pt := unhex(t, "00112233445566778899aabbccddeeff")
+	want := unhex(t, "69c4e0d86a7b0430d8cdb78070b4c55a")
+	k, err := ExpandKey(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, _ := k.Encrypt(pt)
+	if !bytes.Equal(ct, want) {
+		t.Fatalf("ciphertext = %x, want %x", ct, want)
+	}
+}
+
+// TestAppendixBVector checks the FIPS-197 appendix-B example.
+func TestAppendixBVector(t *testing.T) {
+	key := unhex(t, "2b7e151628aed2a6abf7158809cf4f3c")
+	pt := unhex(t, "3243f6a8885a308d313198a2e0370734")
+	want := unhex(t, "3925841d02dc09fbdc118597196a0b32")
+	k, err := ExpandKey(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, _ := k.Encrypt(pt)
+	if !bytes.Equal(ct, want) {
+		t.Fatalf("ciphertext = %x, want %x", ct, want)
+	}
+}
+
+// TestMatchesStdlib property-tests the T-table implementation against
+// crypto/aes on random keys and plaintexts.
+func TestMatchesStdlib(t *testing.T) {
+	f := func(key [16]byte, pt [16]byte) bool {
+		k, err := ExpandKey(key[:])
+		if err != nil {
+			return false
+		}
+		got, _ := k.Encrypt(pt[:])
+		ref, err := aes.NewCipher(key[:])
+		if err != nil {
+			return false
+		}
+		want := make([]byte, 16)
+		ref.Encrypt(want, pt[:])
+		return bytes.Equal(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKeyExpansionRejectsBadSize(t *testing.T) {
+	if _, err := ExpandKey(make([]byte, 24)); err == nil {
+		t.Fatal("want error for 24-byte key (AES-128 only)")
+	}
+}
+
+func TestTraceShape(t *testing.T) {
+	k, _ := ExpandKey(make([]byte, 16))
+	_, trace := k.Encrypt(make([]byte, 16))
+	if len(trace) != 9*16 {
+		t.Fatalf("trace length = %d, want 144 (9 rounds × 16 lookups)", len(trace))
+	}
+	fr := FirstRoundAccesses(trace)
+	if len(fr) != 16 {
+		t.Fatalf("first-round accesses = %d, want 16", len(fr))
+	}
+	// Per table: 4 first-round accesses.
+	perTable := map[int]int{}
+	for _, a := range fr {
+		perTable[a.Table]++
+	}
+	for tbl := 0; tbl < 4; tbl++ {
+		if perTable[tbl] != 4 {
+			t.Fatalf("table %d first-round accesses = %d, want 4", tbl, perTable[tbl])
+		}
+	}
+}
+
+// TestFirstRoundIndices checks that the first-round access indices are
+// exactly p⊕k in the byte order of the paper's equations.
+func TestFirstRoundIndices(t *testing.T) {
+	key := unhex(t, "000102030405060708090a0b0c0d0e0f")
+	pt := unhex(t, "00112233445566778899aabbccddeeff")
+	k, _ := ExpandKey(key)
+	_, trace := k.Encrypt(pt)
+	x := FirstRoundState(key, pt)
+
+	// Track, per table, the position of each first-round access.
+	pos := map[int]int{}
+	for _, a := range FirstRoundAccesses(trace) {
+		b := ByteAtTablePosition(a.Table, pos[a.Table])
+		pos[a.Table]++
+		if a.Index != x[b] {
+			t.Fatalf("table %d access has index %#x, want x[%d]=%#x", a.Table, a.Index, b, x[b])
+		}
+		tbl, p := TableOfByte(b)
+		if tbl != a.Table || p != pos[a.Table]-1 {
+			t.Fatalf("TableOfByte(%d) = (%d,%d), inconsistent with trace", b, tbl, p)
+		}
+	}
+}
+
+func TestBuildProgramLoads(t *testing.T) {
+	k, _ := ExpandKey(unhex(t, "2b7e151628aed2a6abf7158809cf4f3c"))
+	pt := unhex(t, "3243f6a8885a308d313198a2e0370734")
+	prog, trace := BuildProgram(k, pt, DefaultLayout)
+	var loads []isa.Inst
+	for _, in := range prog.Insts {
+		if in.Kind == isa.Load {
+			loads = append(loads, in)
+		}
+	}
+	if len(loads) != len(trace) {
+		t.Fatalf("program has %d loads, trace has %d accesses", len(loads), len(trace))
+	}
+	for i, in := range loads {
+		want := DefaultLayout.EntryAddr(trace[i].Table, trace[i].Index)
+		if in.Mem != want {
+			t.Fatalf("load %d at %#x, want %#x", i, in.Mem, want)
+		}
+		if int(in.Tag) != trace[i].Round {
+			t.Fatalf("load %d tagged round %d, want %d", i, in.Tag, trace[i].Round)
+		}
+	}
+}
+
+func TestLineOfIndexIsUpperNibble(t *testing.T) {
+	for i := 0; i < 256; i++ {
+		if LineOfIndex(byte(i)) != i>>4 {
+			t.Fatalf("LineOfIndex(%d) = %d", i, LineOfIndex(byte(i)))
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package aes
+
+import (
+	"repro/internal/cache"
+	"repro/internal/isa"
+)
+
+// Layout places the victim's T-tables in the simulated address space. The
+// tables live in the shared crypto library mapping, which is why the
+// attacker can Flush+Reload them (§5.1).
+type Layout struct {
+	// Code is the base PC of the encryption routine.
+	Code uint64
+	// Tables is the base address of T0; each table is 1 KiB (256 × 4 B),
+	// i.e. 16 cache lines, laid out back to back.
+	Tables uint64
+}
+
+// DefaultLayout is used by the experiments.
+var DefaultLayout = Layout{
+	Code:   0x0040_0000,
+	Tables: 0x0060_0000,
+}
+
+// TableSize is the byte size of one T-table.
+const TableSize = 256 * 4
+
+// LinesPerTable is how many cache lines one T-table spans (16): a line
+// holds 16 entries, so a hit reveals the upper nibble of the index.
+const LinesPerTable = TableSize / cache.LineSize
+
+// EntryAddr returns the address of entry idx of table t.
+func (l Layout) EntryAddr(table int, idx byte) uint64 {
+	return l.Tables + uint64(table)*TableSize + uint64(idx)*4
+}
+
+// LineAddr returns the address of cache line ln (0..15) of table t.
+func (l Layout) LineAddr(table, ln int) uint64 {
+	return l.Tables + uint64(table)*TableSize + uint64(ln)*cache.LineSize
+}
+
+// LineOfIndex returns which of a table's 16 lines entry idx occupies: the
+// upper nibble of the index.
+func LineOfIndex(idx byte) int { return int(idx >> 4) }
+
+// BuildProgram emits the instruction stream of one AES-128 encryption of pt
+// under k: per table lookup a data load at the entry's address plus the
+// surrounding arithmetic, so one encryption runs a realistic few-hundred-
+// instruction stream whose loads are exactly the T-table access trace.
+// Loads are tagged with the round number for analysis.
+func BuildProgram(k *Key, pt []byte, l Layout) (*isa.Program, []Access) {
+	_, trace := k.Encrypt(pt)
+	b := isa.NewBuilder("aes-encrypt", l.Code, 4)
+	// Initial AddRoundKey: 4 word xors.
+	b.ALU(8)
+	i := 0
+	for r := 0; r < 9; r++ {
+		for col := 0; col < 4; col++ {
+			for tbl := 0; tbl < 4; tbl++ {
+				a := trace[i]
+				i++
+				b.LoadTagged(l.EntryAddr(a.Table, a.Index), int32(a.Round))
+				b.ALU(2) // shift/mask/xor glue
+			}
+			b.ALU(1) // round-key xor
+		}
+	}
+	// Final round (S-box based in this implementation; its accesses are
+	// not part of the monitored T-tables).
+	b.ALU(40)
+	return b.Build(), trace
+}
+
+// FirstRoundAccesses filters a trace to its first-round lookups, in
+// temporal order (4 per table, 16 total).
+func FirstRoundAccesses(trace []Access) []Access {
+	var out []Access
+	for _, a := range trace {
+		if a.Round == 0 {
+			out = append(out, a)
+		}
+	}
+	return out
+}

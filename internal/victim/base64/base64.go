@@ -1,0 +1,200 @@
+// Package base64 implements the lookup-table base64 decoder the paper's
+// second proof-of-concept attacks inside SGX (§5.2): OpenSSL's
+// EVP_DecodeUpdate processes input in 64-character groups, first running a
+// validity-check loop and then a decode loop, both of which index a
+// 128-byte LUT with the (secret) character value. The LUT spans two cache
+// lines, so each access leaks whether the character value is below or above
+// 64 — enough, per Sieck et al., to shrink the search space of a
+// base64-encoded RSA key to a recoverable size.
+package base64
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+)
+
+// LUTSize is the conversion-table size in bytes; it spans exactly two
+// cache lines.
+const LUTSize = 128
+
+// LUTLines is the number of cache lines the LUT occupies.
+const LUTLines = LUTSize / cache.LineSize // == 2
+
+// Special marker values in the conversion table, mirroring OpenSSL's
+// data_ascii2bin.
+const (
+	markInvalid = 0xFF // B64_ERROR
+	markEOF     = 0xF2 // '=' padding
+	markWS      = 0xE0 // whitespace
+	markCR      = 0xF0 // CR/LF
+)
+
+// ascii2bin is the conversion LUT: index by ASCII code (<128), get the
+// 6-bit value or a marker.
+var ascii2bin [LUTSize]byte
+
+const stdAlphabet = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/"
+
+func init() {
+	for i := range ascii2bin {
+		ascii2bin[i] = markInvalid
+	}
+	for v, c := range []byte(stdAlphabet) {
+		ascii2bin[c] = byte(v)
+	}
+	ascii2bin['='] = markEOF
+	ascii2bin[' '] = markWS
+	ascii2bin['\t'] = markWS
+	ascii2bin['\r'] = markCR
+	ascii2bin['\n'] = markCR
+}
+
+// Encode produces standard base64 text (with padding, no line breaks) —
+// used to build victim inputs from DER key material.
+func Encode(data []byte) string {
+	var out []byte
+	for i := 0; i < len(data); i += 3 {
+		var b [3]byte
+		n := copy(b[:], data[i:])
+		out = append(out,
+			stdAlphabet[b[0]>>2],
+			stdAlphabet[(b[0]&0x03)<<4|b[1]>>4])
+		if n > 1 {
+			out = append(out, stdAlphabet[(b[1]&0x0f)<<2|b[2]>>6])
+		} else {
+			out = append(out, '=')
+		}
+		if n > 2 {
+			out = append(out, stdAlphabet[b[2]&0x3f])
+		} else {
+			out = append(out, '=')
+		}
+	}
+	return string(out)
+}
+
+// Phase labels which loop of EVP_DecodeUpdate made an access.
+type Phase uint8
+
+// Loop phases.
+const (
+	PhaseValidity Phase = iota
+	PhaseDecode
+)
+
+// String names the phase.
+func (p Phase) String() string {
+	if p == PhaseValidity {
+		return "validity"
+	}
+	return "decode"
+}
+
+// Access is one LUT read made by the decoder.
+type Access struct {
+	// Phase is validity or decode.
+	Phase Phase
+	// Chunk is the 64-character group index.
+	Chunk int
+	// Pos is the character's position in the whole input.
+	Pos int
+	// Char is the input character (the secret).
+	Char byte
+	// Line is the LUT cache line the access touched: Char>>6, the bit the
+	// side channel recovers.
+	Line int
+}
+
+// Decode runs the grouped validity+decode algorithm over input, returning
+// the decoded bytes and the full LUT access trace. Invalid characters stop
+// decoding (as OpenSSL reports an error), returning what was decoded so
+// far and the accesses made up to that point.
+func Decode(input string) ([]byte, []Access, error) {
+	var out []byte
+	var trace []Access
+	// The 6-bit accumulator persists across 64-character groups: the
+	// grouping is a processing granularity, not a framing one.
+	var quad [4]byte
+	qn := 0
+	seenEOF := false
+	chunkSize := 64
+	for chunk := 0; chunk*chunkSize < len(input); chunk++ {
+		lo := chunk * chunkSize
+		hi := lo + chunkSize
+		if hi > len(input) {
+			hi = len(input)
+		}
+		group := input[lo:hi]
+		// Validity loop: one LUT read per character.
+		for i := 0; i < len(group); i++ {
+			c := group[i]
+			if c >= LUTSize {
+				return out, trace, fmt.Errorf("base64: non-ASCII byte %#x at %d", c, lo+i)
+			}
+			trace = append(trace, Access{
+				Phase: PhaseValidity, Chunk: chunk, Pos: lo + i, Char: c, Line: int(c >> 6),
+			})
+			v := ascii2bin[c]
+			if v == markInvalid {
+				return out, trace, fmt.Errorf("base64: invalid character %q at %d", c, lo+i)
+			}
+		}
+		// Decode loop: read the LUT again for every character, gathering
+		// 6-bit values into bytes.
+		for i := 0; i < len(group) && !seenEOF; i++ {
+			c := group[i]
+			trace = append(trace, Access{
+				Phase: PhaseDecode, Chunk: chunk, Pos: lo + i, Char: c, Line: int(c >> 6),
+			})
+			v := ascii2bin[c]
+			if v == markWS || v == markCR {
+				continue
+			}
+			if v == markEOF {
+				seenEOF = true
+				break
+			}
+			quad[qn] = v
+			qn++
+			if qn == 4 {
+				out = append(out,
+					quad[0]<<2|quad[1]>>4,
+					quad[1]<<4|quad[2]>>2,
+					quad[2]<<6|quad[3])
+				qn = 0
+			}
+		}
+	}
+	// Handle a trailing partial quad completed by '=' padding.
+	switch qn {
+	case 2:
+		out = append(out, quad[0]<<2|quad[1]>>4)
+	case 3:
+		out = append(out,
+			quad[0]<<2|quad[1]>>4,
+			quad[1]<<4|quad[2]>>2)
+	}
+	return out, trace, nil
+}
+
+// LineBits returns the per-character LUT line bits of input — the ground
+// truth the attack's recovered trace is scored against.
+func LineBits(input string) []int {
+	out := make([]int, len(input))
+	for i := 0; i < len(input); i++ {
+		out[i] = int(input[i] >> 6)
+	}
+	return out
+}
+
+// ValidityAccesses filters a trace to validity-loop accesses only.
+func ValidityAccesses(trace []Access) []Access {
+	var out []Access
+	for _, a := range trace {
+		if a.Phase == PhaseValidity {
+			out = append(out, a)
+		}
+	}
+	return out
+}

@@ -1,0 +1,105 @@
+// Package gcd builds the mbedTLS mpi_gcd victim of the paper's third
+// proof-of-concept (§5.3): RSA key generation computes gcd(a, b) with a
+// binary GCD whose per-iteration branch — if |TA| ≥ |TB| take the "if"
+// block, else the "else" block — is secret-dependent. NightVision showed
+// that executing the non-control-transfer instructions inside either block
+// invalidates colliding BTB entries, so an attacker who primes entries
+// colliding with one instruction in each block can read off the branch
+// direction each iteration. Extracting all directions recovers the RSA
+// secret key (Puddu et al.).
+package gcd
+
+import (
+	"repro/internal/isa"
+	"repro/internal/mpi"
+)
+
+// Layout places the GCD loop's code in the victim address space. The
+// attacker's Train+Probe gadgets live 4 GiB away so their PCs collide in
+// the BTB (same lower 32 bits, §5.3's footnote).
+type Layout struct {
+	// LoopHead is the PC of the loop's first instruction; the attacker
+	// evicts its code line to stall the victim once per iteration.
+	LoopHead uint64
+	// BranchPC is the secret-dependent conditional branch.
+	BranchPC uint64
+	// IfBlock is the PC of a non-control instruction inside the "if"
+	// (TA ≥ TB) block.
+	IfBlock uint64
+	// ElseBlock is the PC of a non-control instruction inside the "else"
+	// block.
+	ElseBlock uint64
+	// Data is the base address of the TA/TB limb buffers.
+	Data uint64
+}
+
+// DefaultLayout is used by the experiments. The two blocks sit on separate
+// cache lines and at BTB-distinct PCs.
+var DefaultLayout = Layout{
+	LoopHead:  0x0041_0000,
+	BranchPC:  0x0041_0040,
+	IfBlock:   0x0041_0080,
+	ElseBlock: 0x0041_0100,
+	Data:      0x0072_0000,
+}
+
+// BuildProgram emits the instruction stream of one gcd(a, b) run: per loop
+// iteration the normalization shifts at the loop head, the secret branch,
+// and the taken block's instructions (several non-control instructions —
+// the NightVision BTB-invalidating ones — plus the subtract/shift work over
+// the limb buffers). Block instructions are tagged with the iteration
+// index. It returns the program and the ground-truth steps.
+func BuildProgram(a, b *mpi.Int, l Layout) (*isa.Program, []mpi.GCDStep) {
+	_, steps := mpi.GCD(a, b)
+	prog := &isa.Program{Name: "mpi-gcd"}
+	emit := func(pc uint64, kind isa.Kind, mem uint64, tag int32) {
+		prog.Insts = append(prog.Insts, isa.Inst{PC: pc, Kind: kind, Mem: mem, Tag: tag, Size: 4})
+	}
+	limbs := func(x int) uint64 { return l.Data + uint64(x)*0x100 }
+
+	for it, s := range steps {
+		tag := int32(it)
+		// Loop head: lsb tests + shifts (touch both operands).
+		emit(l.LoopHead, isa.Load, limbs(0), tag)
+		emit(l.LoopHead+4, isa.ALU, 0, tag)
+		emit(l.LoopHead+8, isa.Load, limbs(1), tag)
+		emit(l.LoopHead+12, isa.ALU, 0, tag)
+		// The comparison feeding the secret branch.
+		emit(l.LoopHead+16, isa.ALU, 0, tag)
+		// The secret-dependent conditional branch: taken jumps to the
+		// "if" block, fall-through reaches the "else" block.
+		prog.Insts = append(prog.Insts, isa.Inst{
+			PC: l.BranchPC, Kind: isa.CondBranch, Target: l.IfBlock, Taken: s.TookIf, Size: 4, Tag: tag,
+		})
+		var block uint64
+		var dst uint64
+		if s.TookIf {
+			block = l.IfBlock
+			dst = limbs(0)
+		} else {
+			block = l.ElseBlock
+			dst = limbs(1)
+		}
+		// Block body: non-control instructions (these invalidate colliding
+		// BTB entries) doing the subtract and halving.
+		emit(block, isa.ALU, 0, tag)
+		emit(block+4, isa.Load, limbs(0), tag)
+		emit(block+8, isa.Load, limbs(1), tag)
+		emit(block+12, isa.ALU, 0, tag)
+		emit(block+16, isa.Store, dst, tag)
+		emit(block+20, isa.ALU, 0, tag)
+		emit(block+24, isa.ALU, 0, tag)
+		emit(block+28, isa.ALU, 0, tag)
+		// Back edge to the loop head. It sits in the next 32-byte fetch
+		// region, so its own BTB entry does not index-conflict with the
+		// block-head entry the attacker's gadget collides with.
+		prog.Insts = append(prog.Insts, isa.Inst{
+			PC: block + 32, Kind: isa.Branch, Target: l.LoopHead, Size: 4, Tag: tag,
+		})
+	}
+	return prog, steps
+}
+
+// IterationInstructions is how many instructions one loop iteration spans
+// in the emitted program.
+const IterationInstructions = 15

@@ -1,0 +1,95 @@
+package gcd
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/mpi"
+)
+
+func TestBuildProgramStructure(t *testing.T) {
+	a, b := mpi.New(1001941), mpi.New(300463)
+	prog, steps := BuildProgram(a, b, DefaultLayout)
+	if len(steps) == 0 {
+		t.Fatal("no steps")
+	}
+	if prog.Len() != len(steps)*IterationInstructions {
+		t.Fatalf("program len %d, want %d×%d", prog.Len(), len(steps), IterationInstructions)
+	}
+
+	// Per iteration: exactly one secret branch, whose resolution matches
+	// the ground truth, and block instructions on the matching side.
+	it := -1
+	branchSeen := map[int]bool{}
+	for _, in := range prog.Insts {
+		if in.PC == DefaultLayout.BranchPC {
+			it = int(in.Tag)
+			if branchSeen[it] {
+				t.Fatalf("iteration %d has two secret branches", it)
+			}
+			branchSeen[it] = true
+			if in.Taken != steps[it].TookIf {
+				t.Fatalf("iteration %d branch taken=%v, truth %v", it, in.Taken, steps[it].TookIf)
+			}
+		}
+		if in.PC == DefaultLayout.IfBlock && !steps[in.Tag].TookIf {
+			t.Fatalf("iteration %d executes if-block but took else", in.Tag)
+		}
+		if in.PC == DefaultLayout.ElseBlock && steps[in.Tag].TookIf {
+			t.Fatalf("iteration %d executes else-block but took if", in.Tag)
+		}
+	}
+	if len(branchSeen) != len(steps) {
+		t.Fatalf("branches = %d, want %d", len(branchSeen), len(steps))
+	}
+}
+
+// TestBlockHeadIndexIsolation: the back-edge must not share a BTB index
+// granule with the block head the attacker's gadget collides with (32-byte
+// granules at IndexShift 5).
+func TestBlockHeadIndexIsolation(t *testing.T) {
+	for _, block := range []uint64{DefaultLayout.IfBlock, DefaultLayout.ElseBlock} {
+		head := block >> 5
+		var backEdge uint64
+		prog, _ := BuildProgram(mpi.New(1001941), mpi.New(300463), DefaultLayout)
+		for _, in := range prog.Insts {
+			if in.Kind == isa.Branch && in.PC > block && in.PC < block+0x80 {
+				backEdge = in.PC
+			}
+		}
+		if backEdge == 0 {
+			t.Fatal("back edge not found")
+		}
+		if backEdge>>5 == head {
+			t.Fatalf("back edge %#x shares index granule with block head %#x", backEdge, block)
+		}
+	}
+}
+
+func TestLayoutDistinctLines(t *testing.T) {
+	l := DefaultLayout
+	lines := map[uint64]string{}
+	for name, pc := range map[string]uint64{
+		"loophead": l.LoopHead, "branch": l.BranchPC,
+		"if": l.IfBlock, "else": l.ElseBlock,
+	} {
+		line := pc >> 6
+		if prev, ok := lines[line]; ok {
+			t.Fatalf("%s and %s share cache line", prev, name)
+		}
+		lines[line] = name
+	}
+}
+
+func TestTagsAreIterations(t *testing.T) {
+	prog, steps := BuildProgram(mpi.New(99991), mpi.New(777), DefaultLayout)
+	maxTag := int32(-1)
+	for _, in := range prog.Insts {
+		if in.Tag > maxTag {
+			maxTag = in.Tag
+		}
+	}
+	if int(maxTag) != len(steps)-1 {
+		t.Fatalf("max tag %d, want %d", maxTag, len(steps)-1)
+	}
+}

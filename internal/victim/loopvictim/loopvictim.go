@@ -1,0 +1,33 @@
+// Package loopvictim provides the synthetic victim of the paper's §4.3
+// characterization: a long sequence of same-byte-length instructions
+// running in an infinite loop, so that the change in PC between two
+// preemptions — or, in this reproduction, the retired-instruction delta the
+// trace recorder measures directly — reports the temporal resolution of the
+// Controlled Preemption primitive.
+package loopvictim
+
+import "repro/internal/isa"
+
+// DefaultBase is the loop's code base address.
+const DefaultBase = 0x0040_0000
+
+// DefaultLength is the number of instructions in the loop body. The paper
+// uses a loop long enough that PC deltas are unambiguous; the trace
+// recorder here counts retirement exactly, so the body only needs to be
+// long enough to exercise instruction-level behaviour.
+const DefaultLength = 64
+
+// Body returns the loop body: n same-size ALU instructions starting at
+// base. Run it with Env.RunLoopForever.
+func Body(base uint64, n int) []isa.Inst {
+	b := isa.NewBuilder("loop-victim", base, 4)
+	b.ALU(n)
+	return b.Build().Insts
+}
+
+// DefaultBody returns the body with default placement and length.
+func DefaultBody() []isa.Inst { return Body(DefaultBase, DefaultLength) }
+
+// PageOf returns the code page base of the loop, the page whose iTLB entry
+// the performance-degradation technique evicts (§4.3).
+func PageOf(base uint64) uint64 { return base &^ 0xfff }

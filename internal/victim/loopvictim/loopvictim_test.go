@@ -1,0 +1,47 @@
+package loopvictim
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func TestBodyLayout(t *testing.T) {
+	b := Body(0x1000, 8)
+	if len(b) != 8 {
+		t.Fatalf("len = %d", len(b))
+	}
+	for i, in := range b {
+		if in.Kind != isa.ALU {
+			t.Fatalf("inst %d kind %v", i, in.Kind)
+		}
+		if in.PC != uint64(0x1000+4*i) {
+			t.Fatalf("inst %d at %#x", i, in.PC)
+		}
+		if in.SizeBytes() != 4 {
+			t.Fatal("same-byte-length property violated")
+		}
+	}
+}
+
+func TestDefaultBody(t *testing.T) {
+	b := DefaultBody()
+	if len(b) != DefaultLength {
+		t.Fatalf("len = %d", len(b))
+	}
+	if b[0].PC != DefaultBase {
+		t.Fatalf("base = %#x", b[0].PC)
+	}
+	// The whole loop fits in one page, so a single iTLB entry covers it
+	// (the property the eviction degradation relies on).
+	last := b[len(b)-1]
+	if PageOf(b[0].PC) != PageOf(last.PC) {
+		t.Fatal("loop spans pages")
+	}
+}
+
+func TestPageOf(t *testing.T) {
+	if PageOf(0x40_0123) != 0x40_0000 {
+		t.Fatalf("PageOf = %#x", PageOf(0x40_0123))
+	}
+}

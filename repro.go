@@ -1,0 +1,373 @@
+package repro
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/exps"
+)
+
+// Scale selects experiment sizes.
+type Scale int
+
+// Scales.
+const (
+	// Quick runs reduced repetition counts that regenerate every figure's
+	// shape in seconds.
+	Quick Scale = iota
+	// Paper runs the paper's sample sizes (80 000-preemption histograms,
+	// 100-key AES sweeps, ...).
+	Paper
+)
+
+// Options configure an experiment run.
+type Options struct {
+	Scale Scale
+	// Seed defaults to 1; every run with the same seed is bit-identical.
+	Seed uint64
+}
+
+func (o Options) seed() uint64 {
+	if o.Seed == 0 {
+		return 1
+	}
+	return o.Seed
+}
+
+// Result is what every experiment returns: a renderable report plus
+// machine-readable headline metrics.
+type Result interface {
+	fmt.Stringer
+}
+
+// Experiment is one reproducible paper artifact.
+type Experiment struct {
+	// ID is the artifact identifier used by the CLI (e.g. "fig4.3a").
+	ID string
+	// Title describes the artifact.
+	Title string
+	// Run executes the experiment.
+	Run func(Options) Result
+	// Metrics extracts headline numbers (for the benchmark harness), as
+	// name → value.
+	Metrics func(Result) map[string]float64
+}
+
+// pick returns q under Quick and p under Paper scale.
+func pick(o Options, q, p int) int {
+	if o.Scale == Paper {
+		return p
+	}
+	return q
+}
+
+// registry lists every artifact in paper order.
+var registry = []Experiment{
+	{
+		ID: "tab2.1", Title: "Relevant CFS configurations",
+		Run: func(o Options) Result { return exps.RunTable21() },
+		Metrics: func(r Result) map[string]float64 {
+			t := r.(*exps.Table21)
+			return map[string]float64{
+				"S_bnd_ms":     t.Params.Latency.Millis(),
+				"S_slack_ms":   t.Params.SleeperSlack().Millis(),
+				"S_preempt_ms": t.Params.WakeupGranularity.Millis(),
+				"budget_ms":    t.Params.PreemptionBudget().Millis(),
+			}
+		},
+	},
+	{
+		ID: "fig1.1", Title: "Prior multi-thread recharging vs Controlled Preemption",
+		Run: func(o Options) Result {
+			return exps.RunFig11(exps.Fig11Config{
+				PriorThreads: pick(o, 10, 40),
+				Target:       pick(o, 150, 400),
+				Seed:         o.seed(),
+			})
+		},
+		Metrics: func(r Result) map[string]float64 {
+			f := r.(*exps.Fig11Result)
+			return map[string]float64{
+				"prior_max_burst": float64(f.MaxPriorBurst()),
+				"cp_burst":        float64(f.CPBurst),
+				"speedup":         float64(f.PriorDuration) / float64(f.CPDuration),
+			}
+		},
+	},
+	{
+		ID: "fig4.1", Title: "Vruntime walk of one preemption budget",
+		Run: func(o Options) Result { return exps.RunFig41(o.seed()) },
+		Metrics: func(r Result) map[string]float64 {
+			f := r.(*exps.Fig41Result)
+			return map[string]float64{
+				"slack_at_wake_ms":    f.SlackAtWake.Millis(),
+				"delta_at_failure_ms": f.DeltaAtFailure.Millis(),
+				"preemptions":         float64(f.Preemptions),
+			}
+		},
+	},
+	{
+		ID: "fig4.3a", Title: "Temporal resolution, Method 1 (nanosleep)",
+		Run: func(o Options) Result {
+			return exps.RunFig43(exps.Fig43Config{Variant: exps.Fig43a, Samples: pick(o, 20000, 80000), Seed: o.seed()})
+		},
+		Metrics: fig43Metrics,
+	},
+	{
+		ID: "fig4.3b", Title: "Temporal resolution, Method 1 + iTLB eviction",
+		Run: func(o Options) Result {
+			return exps.RunFig43(exps.Fig43Config{Variant: exps.Fig43b, Samples: pick(o, 20000, 80000), Seed: o.seed()})
+		},
+		Metrics: fig43Metrics,
+	},
+	{
+		ID: "fig4.3c", Title: "Temporal resolution, Method 2 (POSIX timer)",
+		Run: func(o Options) Result {
+			return exps.RunFig43(exps.Fig43Config{Variant: exps.Fig43c, Samples: pick(o, 20000, 80000), Seed: o.seed()})
+		},
+		Metrics: fig43Metrics,
+	},
+	{
+		ID: "fig4.4", Title: "Repeated preemptions vs ΔI, with expected curve",
+		Run: func(o Options) Result {
+			return exps.RunFig44(exps.Fig44Config{Trials: pick(o, 10, 50), Seed: o.seed()})
+		},
+		Metrics: func(r Result) map[string]float64 {
+			f := r.(*exps.Fig44Result)
+			return map[string]float64{"fit_error": f.FitError()}
+		},
+	},
+	{
+		ID: "fig4.5", Title: "Repeated preemptions vs victim nice value",
+		Run: func(o Options) Result {
+			return exps.RunFig45(exps.Fig45Config{Trials: pick(o, 5, 15), Seed: o.seed()})
+		},
+		Metrics: func(r Result) map[string]float64 {
+			f := r.(*exps.Fig45Result)
+			out := map[string]float64{}
+			for i, n := range f.Nices {
+				out[fmt.Sprintf("median_nice_%d", n)] = float64(f.Medians[i])
+			}
+			return out
+		},
+	},
+	{
+		ID: "fig4.6", Title: "Noisy system: vruntime convergence, ((V|N)A)+ and presence oracle",
+		Run: func(o Options) Result {
+			return exps.RunFig46(exps.Fig46Config{Seed: o.seed()})
+		},
+		Metrics: func(r Result) map[string]float64 {
+			f := r.(*exps.Fig46Result)
+			ok := 0.0
+			if f.PatternOK {
+				ok = 1
+			}
+			return map[string]float64{
+				"oracle_precision": f.OracleAccuracy,
+				"pattern_ok":       ok,
+				"preemptions":      float64(f.Preemptions),
+			}
+		},
+	},
+	{
+		ID: "fig4.7", Title: "Temporal resolution on EEVDF (fig4.3b setup)",
+		Run: func(o Options) Result {
+			return exps.RunFig43(exps.Fig43Config{Variant: exps.Fig47, Samples: pick(o, 20000, 80000), Seed: o.seed()})
+		},
+		Metrics: fig43Metrics,
+	},
+	{
+		ID: "sec4.5", Title: "EEVDF preemption budget (paper median: 219)",
+		Run: func(o Options) Result {
+			return exps.RunSec45(exps.Sec45Config{Trials: pick(o, 60, 165), Seed: o.seed()})
+		},
+		Metrics: func(r Result) map[string]float64 {
+			f := r.(*exps.Sec45Result)
+			return map[string]float64{"median": float64(f.Median())}
+		},
+	},
+	{
+		ID: "sec4.4", Title: "Core colocation via load balancing",
+		Run: func(o Options) Result {
+			return exps.RunColo(exps.ColoConfig{Trials: pick(o, 5, 16), Seed: o.seed()})
+		},
+		Metrics: func(r Result) map[string]float64 {
+			f := r.(*exps.ColoResult)
+			return map[string]float64{
+				"landed_frac": float64(f.Landed) / float64(f.Trials),
+				"stayed_frac": float64(f.Stayed) / float64(f.Trials),
+			}
+		},
+	},
+	{
+		ID: "fig5.1", Title: "AES T-table first-round attack, CFS (paper: 98.9%)",
+		Run: func(o Options) Result {
+			return exps.RunFig51(exps.Fig51Config{Keys: pick(o, 10, 100), Sched: exps.CFS, Seed: o.seed()})
+		},
+		Metrics: fig51Metrics,
+	},
+	{
+		ID: "fig5.1e", Title: "AES T-table first-round attack, EEVDF (paper: 98.1%)",
+		Run: func(o Options) Result {
+			return exps.RunFig51(exps.Fig51Config{Keys: pick(o, 10, 100), Sched: exps.EEVDF, Seed: o.seed()})
+		},
+		Metrics: fig51Metrics,
+	},
+	{
+		ID: "fig5.2", Title: "SGX base64 PEM decode via LLC Prime+Probe (paper: 61.5%/99.2%/98.9%)",
+		Run: func(o Options) Result {
+			return exps.RunFig52(exps.Fig52Config{Keys: pick(o, 5, 30), Seed: o.seed()})
+		},
+		Metrics: func(r Result) map[string]float64 {
+			f := r.(*exps.Fig52Result)
+			return map[string]float64{
+				"coverage_single": f.SingleCoverage,
+				"accuracy_single": f.SingleAccuracy,
+				"accuracy_full":   f.FullAccuracy,
+				"mean_chars":      f.MeanChars,
+			}
+		},
+	},
+	{
+		ID: "fig5.4", Title: "mbedtls_mpi_gcd control flow via BTB (paper: 97.3%)",
+		Run: func(o Options) Result {
+			return exps.RunFig54(exps.Fig54Config{Pairs: pick(o, 8, 30), Seed: o.seed()})
+		},
+		Metrics: func(r Result) map[string]float64 {
+			f := r.(*exps.Fig54Result)
+			return map[string]float64{
+				"branch_accuracy": f.BranchAccuracy,
+				"mean_iterations": f.MeanIterations,
+			}
+		},
+	},
+	{
+		ID: "ext.noise", Title: "Extension: AES accuracy under LLC channel noise + multi-run voting",
+		Run: func(o Options) Result {
+			return exps.RunExtNoise(exps.ExtNoiseConfig{Keys: pick(o, 4, 12), Seed: o.seed()})
+		},
+		Metrics: func(r Result) map[string]float64 {
+			f := r.(*exps.ExtNoiseResult)
+			return map[string]float64{
+				"quiet_1trace": f.QuietOneTrace,
+				"noisy_1trace": f.NoisyOneTrace,
+				"noisy_5trace": f.NoisyFiveTraces,
+			}
+		},
+	},
+	{
+		ID: "ext.eevdf", Title: "Extension: EEVDF budget vs ΔI sweep (paper future work)",
+		Run: func(o Options) Result {
+			return exps.RunExtEEVDF(exps.ExtEEVDFConfig{Trials: pick(o, 8, 25), Seed: o.seed()})
+		},
+		Metrics: func(r Result) map[string]float64 {
+			f := r.(*exps.ExtEEVDFResult)
+			lo, hi := f.BudgetSpread()
+			return map[string]float64{
+				"budget_lo_ms": lo.Millis(),
+				"budget_hi_ms": hi.Millis(),
+			}
+		},
+	},
+	{
+		ID: "abl.mitigation", Title: "Ablation: NO_WAKEUP_PREEMPTION mitigation",
+		Run: func(o Options) Result { return exps.RunAblationNoWakeupPreemption(o.seed()) },
+		Metrics: func(r Result) map[string]float64 {
+			f := r.(*exps.AblationResult)
+			return map[string]float64{
+				"baseline_burst": float64(f.BaselineBurst),
+				"variant_burst":  float64(f.VariantBurst),
+			}
+		},
+	},
+	{
+		ID: "abl.gentle", Title: "Ablation: GENTLE_FAIR_SLEEPERS off",
+		Run: func(o Options) Result { return exps.RunAblationGentleFairSleepers(o.seed()) },
+		Metrics: func(r Result) map[string]float64 {
+			f := r.(*exps.AblationResult)
+			return map[string]float64{
+				"baseline_burst": float64(f.BaselineBurst),
+				"variant_burst":  float64(f.VariantBurst),
+			}
+		},
+	},
+	{
+		ID: "abl.slack", Title: "Ablation: default timer slack",
+		Run: func(o Options) Result { return exps.RunAblationDefaultTimerSlack(o.seed()) },
+		Metrics: func(r Result) map[string]float64 {
+			f := r.(*exps.AblationResult)
+			return map[string]float64{
+				"baseline_step": float64(f.BaselineStep),
+				"variant_step":  float64(f.VariantStep),
+			}
+		},
+	},
+	{
+		ID: "abl.roundrobin", Title: "Ablation: round-robin budget extension",
+		Run: func(o Options) Result {
+			return exps.RunAblationRoundRobin(o.seed(), pick(o, 2000, 5000))
+		},
+		Metrics: func(r Result) map[string]float64 {
+			f := r.(*exps.AblationResult)
+			return map[string]float64{
+				"single_ms":     float64(f.BaselineBurst),
+				"roundrobin_ms": float64(f.VariantBurst),
+			}
+		},
+	},
+}
+
+func fig43Metrics(r Result) map[string]float64 {
+	f := r.(*exps.Fig43Result)
+	out := map[string]float64{}
+	for i, e := range f.Epsilons {
+		us := e.Micros()
+		out[fmt.Sprintf("zero_frac_eps%.1fus", us)] = f.ZeroFrac(i)
+		out[fmt.Sprintf("single_frac_eps%.1fus", us)] = f.SingleFrac(i)
+	}
+	return out
+}
+
+func fig51Metrics(r Result) map[string]float64 {
+	f := r.(*exps.Fig51Result)
+	return map[string]float64{
+		"nibble_accuracy":   f.NibbleAccuracy,
+		"samples_per_trace": f.PerTraceSamples,
+	}
+}
+
+// Experiments returns the artifact registry in paper order.
+func Experiments() []Experiment {
+	out := make([]Experiment, len(registry))
+	copy(out, registry)
+	return out
+}
+
+// IDs returns the registered experiment IDs, sorted.
+func IDs() []string {
+	ids := make([]string, 0, len(registry))
+	for _, e := range registry {
+		ids = append(ids, e.ID)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Lookup finds an experiment by ID.
+func Lookup(id string) (Experiment, bool) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// Run executes the experiment with the given ID.
+func Run(id string, o Options) (Result, error) {
+	e, ok := Lookup(id)
+	if !ok {
+		return nil, fmt.Errorf("repro: unknown experiment %q (known: %v)", id, IDs())
+	}
+	return e.Run(o), nil
+}
