@@ -66,6 +66,8 @@ func BenchmarkAblationGentleSleepers(b *testing.B) { benchExperiment(b, "abl.gen
 func BenchmarkAblationTimerSlack(b *testing.B)     { benchExperiment(b, "abl.slack") }
 func BenchmarkAblationRoundRobin(b *testing.B)     { benchExperiment(b, "abl.roundrobin") }
 
+func BenchmarkChaos(b *testing.B) { benchExperiment(b, "chaos") }
+
 // TestRegistryComplete pins the experiment inventory to DESIGN.md's index.
 func TestRegistryComplete(t *testing.T) {
 	want := []string{
@@ -74,6 +76,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig5.1", "fig5.1e", "fig5.2", "fig5.4",
 		"ext.noise", "ext.eevdf",
 		"abl.mitigation", "abl.gentle", "abl.slack", "abl.roundrobin",
+		"chaos",
 	}
 	for _, id := range want {
 		if _, ok := Lookup(id); !ok {

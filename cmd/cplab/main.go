@@ -9,9 +9,13 @@
 //
 // Flags:
 //
-//	-paper    run at the paper's sample sizes (default: quick shapes)
-//	-seed N   deterministic seed (default 1)
-//	-json     emit headline metrics as JSON instead of rendered figures
+//	-paper     run at the paper's sample sizes (default: quick shapes)
+//	-seed N    deterministic seed (default 1)
+//	-json      emit headline metrics as JSON instead of rendered figures
+//	-faults R  inject faults at per-opportunity rate R (chaos mode)
+//
+// Output on stdout is bit-for-bit deterministic for a given seed and flag
+// set; wall-clock timings go to stderr.
 package main
 
 import (
@@ -25,6 +29,10 @@ import (
 	"repro"
 )
 
+// guardedRetries is how many bumped-seed re-runs a crashing experiment gets
+// under `all` before it is reported as failed.
+const guardedRetries = 2
+
 func main() {
 	if len(os.Args) < 2 {
 		usage()
@@ -35,6 +43,7 @@ func main() {
 	paper := fs.Bool("paper", false, "run at the paper's sample sizes")
 	seed := fs.Uint64("seed", 1, "deterministic seed")
 	asJSON := fs.Bool("json", false, "emit metrics as JSON instead of the rendered figure")
+	faults := fs.Float64("faults", 0, "fault-injection rate per opportunity (0 disables)")
 
 	switch cmd {
 	case "list":
@@ -50,7 +59,7 @@ func main() {
 		if err := fs.Parse(os.Args[3:]); err != nil {
 			os.Exit(2)
 		}
-		if err := runOne(id, options(*paper, *seed), *asJSON); err != nil {
+		if err := runOne(id, options(*paper, *seed, *faults), *asJSON); err != nil {
 			fmt.Fprintln(os.Stderr, "cplab:", err)
 			os.Exit(1)
 		}
@@ -58,11 +67,8 @@ func main() {
 		if err := fs.Parse(os.Args[2:]); err != nil {
 			os.Exit(2)
 		}
-		for _, e := range repro.Experiments() {
-			if err := runOne(e.ID, options(*paper, *seed), *asJSON); err != nil {
-				fmt.Fprintln(os.Stderr, "cplab:", err)
-				os.Exit(1)
-			}
+		if !runAll(options(*paper, *seed, *faults), *asJSON) {
+			os.Exit(1)
 		}
 	default:
 		usage()
@@ -70,37 +76,99 @@ func main() {
 	}
 }
 
-func options(paper bool, seed uint64) repro.Options {
+func options(paper bool, seed uint64, faults float64) repro.Options {
 	scale := repro.Quick
 	if paper {
 		scale = repro.Paper
 	}
-	return repro.Options{Scale: scale, Seed: seed}
+	return repro.Options{Scale: scale, Seed: seed, FaultRate: faults}
+}
+
+// runAll regenerates every artifact through the guarded runner: an
+// experiment that crashes (possible by design under -faults) is retried
+// with a bumped seed and, failing that, reported — the sweep always reaches
+// the end. It returns false if any experiment produced no result at all.
+func runAll(o repro.Options, asJSON bool) bool {
+	var reports []repro.RunReport
+	for _, e := range repro.Experiments() {
+		start := time.Now()
+		rep := repro.RunGuarded(e.ID, o, guardedRetries)
+		reports = append(reports, rep)
+		wall := time.Since(start).Round(time.Millisecond)
+		fmt.Fprintf(os.Stderr, "cplab: %s finished in %v\n", e.ID, wall)
+		if rep.Result == nil {
+			fmt.Printf("===== %s — %s =====\n", e.ID, e.Title)
+			fmt.Printf("  FAILED after %d attempts: %v\n\n", rep.Attempts, rep.Err)
+			continue
+		}
+		render(e, rep.Result, asJSON)
+	}
+
+	ok := true
+	retried, degraded := 0, 0
+	fmt.Println("===== summary =====")
+	for _, rep := range reports {
+		status := "ok"
+		switch {
+		case rep.Result == nil:
+			status = "failed"
+			ok = false
+		case rep.Degraded:
+			status = "degraded"
+		}
+		if rep.Attempts > 1 {
+			retried++
+		}
+		if rep.Degraded {
+			degraded++
+		}
+		fmt.Printf("  %-14s attempts=%d %s\n", rep.ID, rep.Attempts, status)
+	}
+	fmt.Printf("  %d experiments, %d retried, %d degraded\n", len(reports), retried, degraded)
+	return ok
 }
 
 func runOne(id string, o repro.Options, asJSON bool) error {
 	e, ok := repro.Lookup(id)
 	if !ok {
+		if s := suggest(id); s != "" {
+			return fmt.Errorf("unknown experiment %q (did you mean %q? try `cplab list`)", id, s)
+		}
 		return fmt.Errorf("unknown experiment %q (try `cplab list`)", id)
 	}
 	start := time.Now()
-	res := e.Run(o)
+	rep := repro.RunGuarded(id, o, guardedRetries)
 	wall := time.Since(start).Round(time.Millisecond)
+	fmt.Fprintf(os.Stderr, "cplab: %s finished in %v\n", e.ID, wall)
+	if rep.Result == nil {
+		return fmt.Errorf("%s failed after %d attempts: %w", e.ID, rep.Attempts, rep.Err)
+	}
+	if rep.Attempts > 1 {
+		fmt.Fprintf(os.Stderr, "cplab: %s degraded — needed %d attempts\n", e.ID, rep.Attempts)
+	}
+	render(e, rep.Result, asJSON)
+	return nil
+}
+
+// render writes one experiment's result to stdout.
+func render(e repro.Experiment, res repro.Result, asJSON bool) {
 	if asJSON {
 		out := map[string]any{
 			"id":      e.ID,
 			"title":   e.Title,
-			"wall_ms": wall.Milliseconds(),
 			"metrics": e.Metrics(res),
 		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		return enc.Encode(out)
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, "cplab:", err)
+		}
+		return
 	}
-	fmt.Printf("===== %s — %s (wall %v) =====\n", e.ID, e.Title, wall)
+	fmt.Printf("===== %s — %s =====\n", e.ID, e.Title)
 	fmt.Println(res)
-	names := make([]string, 0)
 	metrics := e.Metrics(res)
+	names := make([]string, 0, len(metrics))
 	for name := range metrics {
 		names = append(names, name)
 	}
@@ -109,13 +177,52 @@ func runOne(id string, o repro.Options, asJSON bool) error {
 		fmt.Printf("  metric %-28s %.4f\n", name, metrics[name])
 	}
 	fmt.Println()
-	return nil
+}
+
+// suggest returns the registered ID closest to the given one, if any is
+// close enough to be a plausible typo.
+func suggest(id string) string {
+	best, bestD := "", 4
+	for _, known := range repro.IDs() {
+		if d := editDistance(id, known); d < bestD {
+			best, bestD = known, d
+		}
+	}
+	return best
+}
+
+// editDistance is the Levenshtein distance between a and b.
+func editDistance(a, b string) int {
+	prev := make([]int, len(b)+1)
+	curr := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		curr[0] = i
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			curr[j] = min(prev[j]+1, min(curr[j-1]+1, prev[j-1]+cost))
+		}
+		prev, curr = curr, prev
+	}
+	return prev[len(b)]
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
 }
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `cplab — Controlled Preemption reproduction lab
 usage:
   cplab list
-  cplab run <id> [-paper] [-seed N]
-  cplab all [-paper] [-seed N]`)
+  cplab run <id> [-paper] [-seed N] [-faults R]
+  cplab all [-paper] [-seed N] [-faults R]`)
 }

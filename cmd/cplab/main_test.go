@@ -1,18 +1,19 @@
 package main
 
 import (
+	"strings"
 	"testing"
 
 	"repro"
 )
 
 func TestOptions(t *testing.T) {
-	o := options(false, 7)
-	if o.Scale != repro.Quick || o.Seed != 7 {
+	o := options(false, 7, 0)
+	if o.Scale != repro.Quick || o.Seed != 7 || o.FaultRate != 0 {
 		t.Fatalf("options = %+v", o)
 	}
-	if o = options(true, 1); o.Scale != repro.Paper {
-		t.Fatalf("paper scale not selected")
+	if o = options(true, 1, 0.05); o.Scale != repro.Paper || o.FaultRate != 0.05 {
+		t.Fatalf("paper scale or fault rate not selected: %+v", o)
 	}
 }
 
@@ -22,11 +23,65 @@ func TestRunOneUnknown(t *testing.T) {
 	}
 }
 
+func TestRunOneUnknownSuggests(t *testing.T) {
+	err := runOne("fig4.3x", repro.Options{}, false)
+	if err == nil {
+		t.Fatal("want error for unknown id")
+	}
+	if !strings.Contains(err.Error(), "did you mean") {
+		t.Fatalf("no suggestion in %q", err)
+	}
+}
+
 func TestRunOneRendersAndJSON(t *testing.T) {
 	if err := runOne("tab2.1", repro.Options{Seed: 1}, false); err != nil {
 		t.Fatal(err)
 	}
 	if err := runOne("tab2.1", repro.Options{Seed: 1}, true); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestEditDistance(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"fig4.3a", "fig4.3a", 0},
+		{"fig4.3x", "fig4.3a", 1},
+		{"chaso", "chaos", 2},
+		{"abc", "", 3},
+	}
+	for _, c := range cases {
+		if got := editDistance(c.a, c.b); got != c.want {
+			t.Errorf("editDistance(%q, %q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestSuggest(t *testing.T) {
+	if s := suggest("fig4.3x"); !strings.HasPrefix(s, "fig4.3") {
+		t.Fatalf("suggest(fig4.3x) = %q", s)
+	}
+	if s := suggest("zzzzzzzzzzzz"); s != "" {
+		t.Fatalf("suggest(garbage) = %q, want none", s)
+	}
+}
+
+func TestRunGuardedUnknown(t *testing.T) {
+	rep := repro.RunGuarded("fig0.0", repro.Options{}, 1)
+	if rep.Err == nil || rep.Result != nil {
+		t.Fatalf("guarded unknown id: %+v", rep)
+	}
+}
+
+func TestRunGuardedSucceeds(t *testing.T) {
+	rep := repro.RunGuarded("tab2.1", repro.Options{Seed: 1}, 1)
+	if rep.Err != nil || rep.Result == nil {
+		t.Fatalf("guarded tab2.1: %+v", rep)
+	}
+	if rep.Attempts != 1 || rep.Degraded {
+		t.Fatalf("clean run retried: %+v", rep)
 	}
 }

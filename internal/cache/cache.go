@@ -73,18 +73,29 @@ type Cache struct {
 	onEvict func(lineAddr uint64)
 }
 
-// New returns an empty cache with the given configuration. It panics if the
-// set count is not a power of two (hardware indexing requires it).
-func New(cfg Config) *Cache {
+// New returns an empty cache with the given configuration. It reports an
+// error if the set count is not a positive power of two (hardware indexing
+// requires it).
+func New(cfg Config) (*Cache, error) {
 	n := cfg.Sets()
 	if n <= 0 || n&(n-1) != 0 {
-		panic(fmt.Sprintf("cache %s: set count %d not a positive power of two", cfg.Name, n))
+		return nil, fmt.Errorf("cache %s: set count %d not a positive power of two", cfg.Name, n)
 	}
 	sets := make([][]way, n)
 	for i := range sets {
 		sets[i] = make([]way, cfg.Ways)
 	}
-	return &Cache{cfg: cfg, sets: sets, setMask: uint64(n - 1)}
+	return &Cache{cfg: cfg, sets: sets, setMask: uint64(n - 1)}, nil
+}
+
+// MustNew is New for statically known-good configurations; it panics on
+// error (use only with compile-time-constant geometries).
+func MustNew(cfg Config) *Cache {
+	c, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
 }
 
 // Config returns the cache's configuration.
@@ -287,12 +298,29 @@ type System struct {
 	fillCount   int
 }
 
-// NewSystem builds the hierarchy described by cfg.
-func NewSystem(cfg SystemConfig) *System {
-	s := &System{cfg: cfg, llc: New(cfg.LLC)}
+// NewSystem builds the hierarchy described by cfg, reporting an error for
+// invalid geometry (non-power-of-two set count at any level).
+func NewSystem(cfg SystemConfig) (*System, error) {
+	llc, err := New(cfg.LLC)
+	if err != nil {
+		return nil, err
+	}
+	s := &System{cfg: cfg, llc: llc}
 	s.cores = make([]corePriv, cfg.Cores)
 	for i := range s.cores {
-		s.cores[i] = corePriv{l1i: New(cfg.L1I), l1d: New(cfg.L1D), l2: New(cfg.L2)}
+		l1i, err := New(cfg.L1I)
+		if err != nil {
+			return nil, err
+		}
+		l1d, err := New(cfg.L1D)
+		if err != nil {
+			return nil, err
+		}
+		l2, err := New(cfg.L2)
+		if err != nil {
+			return nil, err
+		}
+		s.cores[i] = corePriv{l1i: l1i, l1d: l1d, l2: l2}
 	}
 	// Inclusive LLC: a capacity eviction from the LLC removes the line from
 	// every private cache. This is the effect LLC Prime+Probe relies on to
@@ -303,6 +331,16 @@ func NewSystem(cfg SystemConfig) *System {
 			s.cores[i].l1d.Invalidate(line)
 			s.cores[i].l2.Invalidate(line)
 		}
+	}
+	return s, nil
+}
+
+// MustNewSystem is NewSystem for statically known-good configurations; it
+// panics on error.
+func MustNewSystem(cfg SystemConfig) *System {
+	s, err := NewSystem(cfg)
+	if err != nil {
+		panic(err)
 	}
 	return s
 }

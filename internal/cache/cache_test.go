@@ -17,16 +17,16 @@ func TestConfigSets(t *testing.T) {
 }
 
 func TestNewRejectsNonPowerOfTwoSets(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("want panic")
-		}
-	}()
-	New(Config{Name: "bad", Size: 3 * 64, Ways: 1})
+	if _, err := New(Config{Name: "bad", Size: 3 * 64, Ways: 1}); err == nil {
+		t.Fatal("want error for non-power-of-two set count")
+	}
+	if _, err := NewSystem(SystemConfig{Cores: 1, L1I: Config{Name: "bad", Size: 3 * 64, Ways: 1}, L1D: small(), L2: small(), LLC: small()}); err == nil {
+		t.Fatal("want error from NewSystem with bad L1I geometry")
+	}
 }
 
 func TestInsertTouchInvalidate(t *testing.T) {
-	c := New(small())
+	c := MustNew(small())
 	addr := uint64(0x1000)
 	if c.Contains(addr) {
 		t.Fatal("empty cache contains line")
@@ -54,7 +54,7 @@ func TestInsertTouchInvalidate(t *testing.T) {
 }
 
 func TestLRUEviction(t *testing.T) {
-	c := New(small()) // 4 ways
+	c := MustNew(small()) // 4 ways
 	set := c.SetIndex(0)
 	stride := uint64(c.Config().Sets() * LineSize)
 	// Fill one set with 4 lines.
@@ -80,7 +80,7 @@ func TestLRUEviction(t *testing.T) {
 }
 
 func TestEvictionHookFires(t *testing.T) {
-	c := New(small())
+	c := MustNew(small())
 	var evicted []uint64
 	c.onEvict = func(line uint64) { evicted = append(evicted, line) }
 	stride := uint64(c.Config().Sets() * LineSize)
@@ -98,7 +98,7 @@ func TestEvictionHookFires(t *testing.T) {
 }
 
 func TestSystemLoadLevels(t *testing.T) {
-	s := NewSystem(I9900K(2))
+	s := MustNewSystem(I9900K(2))
 	addr := uint64(0x1234_5678) &^ 63
 	lat, lvl := s.Load(0, addr)
 	if lvl != LevelMem || lat != s.Config().Lat.Mem {
@@ -116,7 +116,7 @@ func TestSystemLoadLevels(t *testing.T) {
 }
 
 func TestFlushIsCoherenceWide(t *testing.T) {
-	s := NewSystem(I9900K(2))
+	s := MustNewSystem(I9900K(2))
 	addr := uint64(0x40_0000)
 	s.Load(0, addr)
 	s.Load(1, addr)
@@ -129,7 +129,7 @@ func TestFlushIsCoherenceWide(t *testing.T) {
 }
 
 func TestInclusiveBackInvalidation(t *testing.T) {
-	s := NewSystem(I9900K(1))
+	s := MustNewSystem(I9900K(1))
 	victim := uint64(0x40_0000)
 	s.Load(0, victim)
 	if s.Present(0, victim) != LevelL1 {
@@ -154,7 +154,7 @@ func TestInclusiveBackInvalidation(t *testing.T) {
 }
 
 func TestFetchFillsSharedLevels(t *testing.T) {
-	s := NewSystem(I9900K(1))
+	s := MustNewSystem(I9900K(1))
 	pc := uint64(0x40_1000)
 	s.Fetch(0, pc)
 	// A later DATA load of the same line should hit L2 (code fill reaches
@@ -167,7 +167,7 @@ func TestFetchFillsSharedLevels(t *testing.T) {
 }
 
 func TestPrefetchSideEffects(t *testing.T) {
-	s := NewSystem(I9900K(1))
+	s := MustNewSystem(I9900K(1))
 	addr := uint64(0x40_2000)
 	s.Prefetch(0, addr)
 	if _, lvl := s.Load(0, addr); lvl != LevelL2 {
@@ -181,7 +181,7 @@ func TestPrefetchSideEffects(t *testing.T) {
 }
 
 func TestHitThresholdSeparates(t *testing.T) {
-	s := NewSystem(I9900K(1))
+	s := MustNewSystem(I9900K(1))
 	thr := s.HitThreshold()
 	if thr <= s.Config().Lat.LLCHit || thr >= s.Config().Lat.Mem {
 		t.Fatalf("threshold %d not between LLC %d and Mem %d", thr, s.Config().Lat.LLCHit, s.Config().Lat.Mem)
@@ -202,7 +202,7 @@ func TestLineAddr(t *testing.T) {
 // overflows.
 func TestPropertyInsertedLinesFound(t *testing.T) {
 	f := func(raw []uint64) bool {
-		c := New(small())
+		c := MustNew(small())
 		perSet := map[int][]uint64{}
 		for _, a := range raw {
 			a &= 0xFFFF_FFFF

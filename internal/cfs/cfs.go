@@ -15,6 +15,8 @@
 package cfs
 
 import (
+	"fmt"
+
 	"repro/internal/rbtree"
 	"repro/internal/sched"
 	"repro/internal/timebase"
@@ -194,6 +196,35 @@ func (c *CFS) Detach(t *sched.Task) { t.Vruntime -= c.minVruntime }
 func (c *CFS) Attach(t *sched.Task) {
 	t.Vruntime += c.minVruntime
 	c.observeMin()
+}
+
+// CheckInvariants implements sched.Checker: the runqueue tree is in
+// vruntime order, holds no duplicate tasks, and every queued task passes
+// the shared task validation. The current task is audited by the kernel.
+func (c *CFS) CheckInvariants() error {
+	var err error
+	var prev int64
+	first := true
+	seen := make(map[int]bool, c.tree.Len())
+	c.tree.Each(func(i rbtree.Item) bool {
+		t := i.(rqItem).t
+		if err = sched.ValidateTask(t); err != nil {
+			return false
+		}
+		if seen[t.ID] {
+			err = fmt.Errorf("cfs: task %d (%s) queued twice", t.ID, t.Name)
+			return false
+		}
+		seen[t.ID] = true
+		if !first && t.Vruntime < prev {
+			err = fmt.Errorf("cfs: runqueue out of vruntime order at task %d (%s): %d < %d",
+				t.ID, t.Name, t.Vruntime, prev)
+			return false
+		}
+		prev, first = t.Vruntime, false
+		return true
+	})
+	return err
 }
 
 // NrQueued implements sched.Scheduler.

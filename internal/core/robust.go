@@ -1,0 +1,190 @@
+package core
+
+import (
+	"repro/internal/kern"
+	"repro/internal/timebase"
+)
+
+// RetryPolicy governs the RobustAttacker's recalibration loop: when an
+// attack attempt ends without reaching its goal (the environment was too
+// hostile — fault injection, ambient noise, a mis-tuned ε), the attacker
+// re-measures itself, widens its parameters, and tries again, up to a bound.
+type RetryPolicy struct {
+	// MinConfidence is the minimum acceptable preemption confidence
+	// (successful preemptions over all wake-ups) for an attempt to count as
+	// a success.
+	MinConfidence float64
+	// MinPreemptions is the minimum number of successful preemptions for an
+	// attempt to count as a success.
+	MinPreemptions int64
+	// MaxRetries bounds the number of recalibrated re-attempts after the
+	// first try (so MaxRetries+1 attempts total).
+	MaxRetries int
+	// BackoffFactor scales Hibernate up between attempts: a longer recharge
+	// opens a larger preemption budget and rides out transient hostility.
+	BackoffFactor float64
+	// EpsilonStep widens ε between attempts: a larger victim window costs
+	// resolution but tolerates more wake-latency variance.
+	EpsilonStep timebase.Duration
+	// AttemptBursts caps bursts per attempt when the wrapped Config leaves
+	// MaxBursts unlimited, so a failing attempt terminates and the loop can
+	// recalibrate.
+	AttemptBursts int
+}
+
+// DefaultRetryPolicy matches the reproduction's experiments: succeed on
+// majority-preempting attempts, back off twice as long, widen ε by half a
+// microsecond per retry, give up after three retries.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{
+		MinConfidence:  0.5,
+		MinPreemptions: 1,
+		MaxRetries:     3,
+		BackoffFactor:  2,
+		EpsilonStep:    500 * timebase.Nanosecond,
+		AttemptBursts:  8,
+	}
+}
+
+// RunReport summarizes a robust attack run across all its attempts.
+type RunReport struct {
+	// Attempts is how many attack attempts ran (1 = no retry needed).
+	Attempts int
+	// Preemptions and FailedWakes aggregate over all attempts.
+	Preemptions int64
+	FailedWakes int64
+	// Confidence is the last attempt's preemption confidence.
+	Confidence float64
+	// Completed reports that the measurement callback declared the attack
+	// finished (returned false) — the attack got what it came for.
+	Completed bool
+	// Degraded reports that every attempt fell short and the results are
+	// partial: whatever samples were collected stand, with this flag raised.
+	Degraded bool
+	// MeasuredIAtt is the longest observed measurement-callback time
+	// (I_attacker), re-measured live for recalibrating ε.
+	MeasuredIAtt timebase.Duration
+	// EpsilonFinal and HibernateFinal are the parameters of the last
+	// attempt, after recalibration.
+	EpsilonFinal   timebase.Duration
+	HibernateFinal timebase.Duration
+}
+
+// RobustAttacker wraps an Attacker Config with a recalibration-and-retry
+// loop. Where the plain Attacker assumes a quiescent machine and simply
+// reports what happened, the robust variant notices a failing attack (low
+// preemption confidence), re-measures its own I_attacker, backs off its
+// hibernation, widens ε, and retries a bounded number of times before
+// declaring the run degraded — partial results instead of none.
+type RobustAttacker struct {
+	cfg    Config
+	policy RetryPolicy
+	stats  Stats
+	report RunReport
+}
+
+// NewRobustAttacker wraps cfg with the given retry policy (zero-value
+// policy fields take defaults).
+func NewRobustAttacker(cfg Config, policy RetryPolicy) *RobustAttacker {
+	d := DefaultRetryPolicy()
+	if policy.MinConfidence <= 0 {
+		policy.MinConfidence = d.MinConfidence
+	}
+	if policy.MinPreemptions <= 0 {
+		policy.MinPreemptions = d.MinPreemptions
+	}
+	if policy.MaxRetries < 0 {
+		policy.MaxRetries = 0
+	}
+	if policy.BackoffFactor < 1 {
+		policy.BackoffFactor = d.BackoffFactor
+	}
+	if policy.EpsilonStep <= 0 {
+		policy.EpsilonStep = d.EpsilonStep
+	}
+	if policy.AttemptBursts <= 0 {
+		policy.AttemptBursts = d.AttemptBursts
+	}
+	return &RobustAttacker{cfg: cfg, policy: policy}
+}
+
+// Stats returns the aggregated outcome counters over all attempts.
+func (r *RobustAttacker) Stats() Stats { return r.stats }
+
+// Report returns the retry-loop summary.
+func (r *RobustAttacker) Report() RunReport { return r.report }
+
+// Run is the robust attacker thread body; spawn it pinned to the victim's
+// core like Attacker.Run.
+func (r *RobustAttacker) Run(env *kern.Env) {
+	cfg := r.cfg
+	for attempt := 0; ; attempt++ {
+		r.report.Attempts = attempt + 1
+		acfg := cfg
+		if acfg.MaxBursts == 0 {
+			acfg.MaxBursts = r.policy.AttemptBursts
+		}
+		if attempt > 0 {
+			acfg.StartDelay = 0 // the delay applies to the first attempt only
+		}
+		userMeasure := cfg.Measure
+		acfg.Measure = func(e *kern.Env, s Sample) bool {
+			start := e.Now()
+			ok := true
+			if userMeasure != nil {
+				ok = userMeasure(e, s)
+			}
+			if d := e.Now().Sub(start); d > r.report.MeasuredIAtt {
+				r.report.MeasuredIAtt = d
+			}
+			if !ok {
+				r.report.Completed = true
+			}
+			return ok
+		}
+
+		a := NewAttacker(acfg)
+		a.Run(env)
+		st := a.Stats()
+		r.stats.Bursts += st.Bursts
+		r.stats.BurstLengths = append(r.stats.BurstLengths, st.BurstLengths...)
+		r.stats.Preemptions += st.Preemptions
+		r.stats.FailedWakes += st.FailedWakes
+		r.report.Preemptions = r.stats.Preemptions
+		r.report.FailedWakes = r.stats.FailedWakes
+		r.report.Confidence = confidence(st)
+		r.report.EpsilonFinal = a.cfg.Epsilon
+		r.report.HibernateFinal = a.cfg.Hibernate
+
+		if r.report.Completed {
+			return
+		}
+		if r.report.Confidence >= r.policy.MinConfidence && st.Preemptions >= r.policy.MinPreemptions {
+			return
+		}
+		if attempt >= r.policy.MaxRetries {
+			r.report.Degraded = true
+			return
+		}
+
+		// Recalibrate: longer recharge (bigger budget), wider ε (more
+		// wake-latency headroom); Method 2's interval must additionally
+		// cover the re-measured I_attacker with the §4.2 safety margin.
+		cfg.Epsilon = a.cfg.Epsilon + r.policy.EpsilonStep
+		cfg.Hibernate = timebase.Duration(float64(a.cfg.Hibernate) * r.policy.BackoffFactor)
+		if cfg.Method == MethodTimer && r.report.MeasuredIAtt > 0 {
+			if min := r.report.MeasuredIAtt * 6 / 5; cfg.Epsilon < min {
+				cfg.Epsilon = min
+			}
+		}
+	}
+}
+
+// confidence is the fraction of wake-ups that successfully preempted.
+func confidence(st Stats) float64 {
+	total := st.Preemptions + st.FailedWakes
+	if total == 0 {
+		return 0
+	}
+	return float64(st.Preemptions) / float64(total)
+}

@@ -1,0 +1,148 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/cfs"
+	"repro/internal/fault"
+	"repro/internal/kern"
+	"repro/internal/sched"
+	"repro/internal/timebase"
+)
+
+func TestRobustCleanRunSingleAttempt(t *testing.T) {
+	m := newCFSMachine(t, 3)
+	spawnLoopVictim(m, 0)
+	samples := 0
+	r := NewRobustAttacker(Config{
+		Method:    MethodNanosleep,
+		Epsilon:   2 * timebase.Microsecond,
+		Hibernate: 60 * timebase.Millisecond,
+		Measure: func(e *kern.Env, s Sample) bool {
+			samples++
+			return samples < 50
+		},
+	}, DefaultRetryPolicy())
+	m.Spawn("attacker", r.Run, kern.WithPin(0))
+	m.RunFor(2 * timebase.Second)
+
+	rep := r.Report()
+	if !rep.Completed {
+		t.Fatalf("clean attack did not complete: %+v", rep)
+	}
+	if rep.Attempts != 1 {
+		t.Fatalf("clean attack needed %d attempts", rep.Attempts)
+	}
+	if rep.Degraded {
+		t.Fatal("clean attack marked degraded")
+	}
+	if rep.Confidence < 0.9 {
+		t.Fatalf("clean attack confidence %.2f", rep.Confidence)
+	}
+	if samples != 50 {
+		t.Fatalf("collected %d samples, want 50", samples)
+	}
+}
+
+func TestRobustDegradesWhenPreemptionImpossible(t *testing.T) {
+	// NO_WAKEUP_PREEMPTION (the paper's mitigation) makes every wake fail:
+	// the robust attacker must retry its bounded number of times, then
+	// degrade instead of hanging or panicking.
+	sp := sched.DefaultParams(1)
+	sp.WakeupPreemption = false
+	p := kern.DefaultParams(1, func() sched.Scheduler { return cfs.New(sp) })
+	p.Sched = sp
+	p.Seed = 3
+	m := kern.NewMachine(p)
+	t.Cleanup(m.Shutdown)
+	spawnLoopVictim(m, 0)
+
+	pol := DefaultRetryPolicy()
+	pol.MaxRetries = 2
+	r := NewRobustAttacker(Config{
+		Method:    MethodNanosleep,
+		Epsilon:   2 * timebase.Microsecond,
+		Hibernate: 20 * timebase.Millisecond,
+	}, pol)
+	m.Spawn("attacker", r.Run, kern.WithPin(0))
+	m.RunFor(3 * timebase.Second)
+
+	rep := r.Report()
+	if !rep.Degraded {
+		t.Fatalf("attack against NO_WAKEUP_PREEMPTION not degraded: %+v", rep)
+	}
+	if rep.Attempts != pol.MaxRetries+1 {
+		t.Fatalf("got %d attempts, want %d", rep.Attempts, pol.MaxRetries+1)
+	}
+	if rep.Preemptions != 0 {
+		t.Fatalf("impossible preemptions recorded: %d", rep.Preemptions)
+	}
+	if rep.HibernateFinal <= 20*timebase.Millisecond {
+		t.Fatalf("hibernate did not back off: %v", rep.HibernateFinal)
+	}
+	if rep.EpsilonFinal <= 2*timebase.Microsecond {
+		t.Fatalf("epsilon did not widen: %v", rep.EpsilonFinal)
+	}
+}
+
+func TestRobustMeasuresIAtt(t *testing.T) {
+	m := newCFSMachine(t, 5)
+	spawnLoopVictim(m, 0)
+	const work = 8 * timebase.Microsecond
+	samples := 0
+	r := NewRobustAttacker(Config{
+		Method:    MethodNanosleep,
+		Epsilon:   2 * timebase.Microsecond,
+		Hibernate: 60 * timebase.Millisecond,
+		Measure: func(e *kern.Env, s Sample) bool {
+			e.Burn(work)
+			samples++
+			return samples < 20
+		},
+	}, DefaultRetryPolicy())
+	m.Spawn("attacker", r.Run, kern.WithPin(0))
+	m.RunFor(2 * timebase.Second)
+
+	rep := r.Report()
+	if rep.MeasuredIAtt < work || rep.MeasuredIAtt > 3*work {
+		t.Fatalf("measured I_att %v, want ≈%v", rep.MeasuredIAtt, work)
+	}
+}
+
+func TestRobustSurvivesFaultsDeterministically(t *testing.T) {
+	run := func() (RunReport, Stats) {
+		sp := sched.DefaultParams(1)
+		p := kern.DefaultParams(1, func() sched.Scheduler { return cfs.New(sp) })
+		p.Sched = sp
+		p.Seed = 11
+		p.Faults = fault.Config{Rate: 0.1}
+		m := kern.NewMachine(p)
+		defer m.Shutdown()
+		spawnLoopVictim(m, 0)
+		samples := 0
+		r := NewRobustAttacker(Config{
+			Method:    MethodNanosleep,
+			Epsilon:   2 * timebase.Microsecond,
+			Hibernate: 60 * timebase.Millisecond,
+			Measure: func(e *kern.Env, s Sample) bool {
+				samples++
+				return samples < 100
+			},
+		}, DefaultRetryPolicy())
+		m.Spawn("attacker", r.Run, kern.WithPin(0))
+		m.RunFor(5 * timebase.Second)
+		return r.Report(), r.Stats()
+	}
+
+	rep1, st1 := run()
+	rep2, st2 := run()
+	if rep1 != rep2 {
+		t.Fatalf("faulty robust run not deterministic:\n%+v\n%+v", rep1, rep2)
+	}
+	if st1.Preemptions != st2.Preemptions || st1.FailedWakes != st2.FailedWakes {
+		t.Fatalf("stats diverged: %+v vs %+v", st1, st2)
+	}
+	if rep1.Preemptions == 0 && !rep1.Degraded {
+		t.Fatalf("no preemptions yet not degraded: %+v", rep1)
+	}
+}

@@ -9,7 +9,7 @@ import (
 )
 
 func newCore() *Core {
-	return NewCore(0, cache.NewSystem(cache.I9900K(1)))
+	return NewCore(0, cache.MustNewSystem(cache.I9900K(1)))
 }
 
 func TestColdPenaltyShape(t *testing.T) {

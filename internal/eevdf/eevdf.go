@@ -27,6 +27,8 @@
 package eevdf
 
 import (
+	"fmt"
+
 	"repro/internal/sched"
 	"repro/internal/timebase"
 )
@@ -264,6 +266,32 @@ func (e *EEVDF) Attach(t *sched.Task) {
 	ref := e.AvgVruntime()
 	t.Vruntime += ref
 	t.Deadline += ref
+}
+
+// CheckInvariants implements sched.Checker: no duplicate queued tasks,
+// every deadline at or ahead of its task's vruntime (placement and the
+// UpdateCurr refresh both guarantee it), recorded lag within the ±2-slice
+// clamp, and the shared task validation.
+func (e *EEVDF) CheckInvariants() error {
+	seen := make(map[int]bool, len(e.queue))
+	for _, t := range e.queue {
+		if err := sched.ValidateTask(t); err != nil {
+			return err
+		}
+		if seen[t.ID] {
+			return fmt.Errorf("eevdf: task %d (%s) queued twice", t.ID, t.Name)
+		}
+		seen[t.ID] = true
+		if t.Deadline < t.Vruntime {
+			return fmt.Errorf("eevdf: task %d (%s) deadline %d behind vruntime %d",
+				t.ID, t.Name, t.Deadline, t.Vruntime)
+		}
+		if lim := e.lagLimit(t); t.VLag > lim || t.VLag < -lim {
+			return fmt.Errorf("eevdf: task %d (%s) lag %d outside clamp ±%d",
+				t.ID, t.Name, t.VLag, lim)
+		}
+	}
+	return nil
 }
 
 // NrQueued implements sched.Scheduler.

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/cfs"
 	"repro/internal/eevdf"
+	"repro/internal/fault"
 	"repro/internal/isa"
 	"repro/internal/kern"
 	"repro/internal/sched"
@@ -52,6 +53,25 @@ func WithKernParams(mut func(*kern.Params)) MachineOption {
 	return func(kp *kern.Params, _ *sched.Params) { mut(kp) }
 }
 
+// chaos is the package-wide fault configuration applied to every machine
+// NewMachine builds (unless the experiment sets its own). The cplab CLI's
+// -faults flag and the chaos tests set it; experiments stay oblivious.
+// Determinism is unaffected: each machine forks its injector stream off its
+// own seed.
+var chaos fault.Config
+
+// SetChaos installs cfg as the ambient fault configuration for subsequently
+// built experiment machines and returns the previous configuration (restore
+// it when done). The zero Config turns injection off.
+func SetChaos(cfg fault.Config) fault.Config {
+	prev := chaos
+	chaos = cfg
+	return prev
+}
+
+// Chaos returns the ambient fault configuration.
+func Chaos() fault.Config { return chaos }
+
 // NewMachine builds the experiment machine for the given scheduler and
 // seed.
 func NewMachine(kind Sched, seed uint64, opts ...MachineOption) *kern.Machine {
@@ -64,11 +84,34 @@ func NewMachine(kind Sched, seed uint64, opts ...MachineOption) *kern.Machine {
 		p = kern.DefaultParams(Cores, func() sched.Scheduler { return cfs.New(sp) })
 	}
 	p.Seed = seed
+	p.Faults = chaos
 	for _, o := range opts {
 		o(&p, &sp)
 	}
 	p.Sched = sp
 	return kern.NewMachine(p)
+}
+
+// Watchdog bounds an experiment phase by a simulated-time budget, so a
+// machine perturbed into unproductiveness (heavy fault injection starving
+// the attacker) ends with partial results instead of running forever.
+type Watchdog struct {
+	// Budget is the simulated-time allowance per Run call.
+	Budget timebase.Duration
+	// TimedOut is latched when any Run call exhausts its budget before its
+	// condition held.
+	TimedOut bool
+}
+
+// Run drives m until cond holds or the budget elapses, and reports whether
+// the condition was reached in time.
+func (w *Watchdog) Run(m *kern.Machine, cond func() bool) bool {
+	m.Run(m.Now().Add(w.Budget), cond)
+	if cond() {
+		return true
+	}
+	w.TimedOut = true
+	return false
 }
 
 // InvokedVictim is a victim thread that busy-waits (accumulating vruntime,

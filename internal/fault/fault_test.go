@@ -1,0 +1,109 @@
+package fault
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/timebase"
+)
+
+func TestDisabledInjectsNothing(t *testing.T) {
+	in := NewInjector(Config{}, rng.New(1))
+	for i := 0; i < 1000; i++ {
+		if _, _, ok := in.NanosleepFault(timebase.Time(i)); ok {
+			t.Fatal("zero-rate injector produced a fault")
+		}
+		if _, ok := in.SchedFault(timebase.Time(i)); ok {
+			t.Fatal("zero-rate injector produced a sched fault")
+		}
+	}
+	if in.Total() != 0 {
+		t.Fatalf("Total = %d, want 0", in.Total())
+	}
+}
+
+func TestRateRoughlyHonoured(t *testing.T) {
+	in := NewInjector(Config{Rate: 0.2}, rng.New(7))
+	hits := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if _, _, ok := in.NanosleepFault(timebase.Time(i)); ok {
+			hits++
+		}
+	}
+	frac := float64(hits) / n
+	if frac < 0.15 || frac > 0.25 {
+		t.Fatalf("injection fraction %.3f far from rate 0.2", frac)
+	}
+	if in.Total() != int64(hits) {
+		t.Fatalf("Total = %d, want %d", in.Total(), hits)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []int64 {
+		in := NewInjector(Config{Rate: 0.3}, rng.New(42))
+		var out []int64
+		for i := 0; i < 5000; i++ {
+			if k, d, ok := in.NanosleepFault(timebase.Time(i)); ok {
+				out = append(out, int64(k), int64(d))
+			}
+			if k, ok := in.SchedFault(timebase.Time(i)); ok {
+				in.Record(k)
+				out = append(out, int64(k), int64(in.Pick(16)))
+			}
+		}
+		return out
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d differs: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestWindowRestricts(t *testing.T) {
+	w := Window{Start: 1000, End: 2000}
+	in := NewInjector(Config{Rate: 1, Window: w}, rng.New(3))
+	if _, _, ok := in.NanosleepFault(500); ok {
+		t.Fatal("fault before window start")
+	}
+	if _, _, ok := in.NanosleepFault(2500); ok {
+		t.Fatal("fault after window end")
+	}
+	if _, _, ok := in.NanosleepFault(1500); !ok {
+		t.Fatal("no fault inside window at rate 1")
+	}
+}
+
+func TestKindRestriction(t *testing.T) {
+	in := NewInjector(Config{Rate: 1, Kinds: []Kind{SlackSpike}}, rng.New(5))
+	for i := 0; i < 2000; i++ {
+		if k, _, ok := in.NanosleepFault(timebase.Time(i)); ok && k != SlackSpike {
+			t.Fatalf("kind %v injected despite restriction to slack-spike", k)
+		}
+		if _, ok := in.SchedFault(timebase.Time(i)); ok {
+			t.Fatal("sched fault injected despite timer-only kind restriction")
+		}
+	}
+	if in.Count(SlackSpike) == 0 {
+		t.Fatal("restricted kind never injected at rate 1")
+	}
+}
+
+func TestCountsShapeStable(t *testing.T) {
+	in := NewInjector(Config{Rate: 0.5}, rng.New(9))
+	counts := in.Counts()
+	if len(counts) != len(Kinds()) {
+		t.Fatalf("Counts has %d entries, want %d", len(counts), len(Kinds()))
+	}
+	for _, k := range Kinds() {
+		if _, ok := counts[k.String()]; !ok {
+			t.Fatalf("Counts missing kind %v", k)
+		}
+	}
+}

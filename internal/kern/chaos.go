@@ -1,0 +1,113 @@
+package kern
+
+import (
+	"repro/internal/fault"
+	"repro/internal/sched"
+)
+
+// Scheduler-level fault injection (package fault): on evFault cadence the
+// injector may demand a spurious wakeup, a surprise preemption, or a forced
+// migration. Timer-level faults (drop/delay/slack) are applied where timers
+// are armed, in timer.go. Targets are selected from the injector's own
+// random stream, so chaotic runs replay bit-for-bit under the same seed.
+
+// handleFaultCheck processes one evFault opportunity and re-arms the next.
+func (m *Machine) handleFaultCheck() {
+	if k, ok := m.faults.SchedFault(m.now); ok {
+		switch k {
+		case fault.SpuriousWake:
+			m.injectSpuriousWake()
+		case fault.Preempt:
+			m.injectPreempt()
+		case fault.Migrate:
+			m.injectMigration()
+		}
+	}
+	m.schedule(&event{at: m.now.Add(m.faults.CheckPeriod()), kind: evFault})
+}
+
+// injectSpuriousWake wakes one thread blocked in nanosleep or pause before
+// its timer or signal arrives (EINTR-style early return). Threads blocked in
+// IO are exempt: a read that returns without data would corrupt the pipe
+// protocol rather than merely perturb timing. A pending nanosleep wake event
+// is cancelled so the original expiry cannot later wake an unrelated sleep.
+func (m *Machine) injectSpuriousWake() {
+	var cands []*Thread
+	for _, t := range m.threads {
+		if t.done || t.task.State != sched.StateBlocked {
+			continue
+		}
+		if t.blockedIn == blockSleep || t.blockedIn == blockPause {
+			cands = append(cands, t)
+		}
+	}
+	if len(cands) == 0 {
+		return
+	}
+	t := cands[m.faults.Pick(len(cands))]
+	if t.wakeEvent != nil {
+		t.wakeEvent.cancelled = true
+		t.wakeEvent = nil
+	}
+	m.faults.Record(fault.SpuriousWake)
+	m.wake(t)
+}
+
+// injectPreempt forces the current thread of one busy core off the CPU, as
+// an invisible interfering thread or long-running interrupt would, and
+// immediately reschedules — the victim may be re-picked, but it pays the
+// switch cost and its microarchitectural context restarts cold.
+func (m *Machine) injectPreempt() {
+	var cands []*Core
+	for _, c := range m.cores {
+		if c.curr != nil {
+			cands = append(cands, c)
+		}
+	}
+	if len(cands) == 0 {
+		return
+	}
+	c := cands[m.faults.Pick(len(cands))]
+	m.faults.Record(fault.Preempt)
+	at := c.deschedCurr(m.now, OutPreemptedFault)
+	c.pickAndSwitch(at)
+}
+
+// injectMigration moves one queued, unpinned thread to a random other core,
+// as an aggressive load balancer would. Pinned threads are never moved — the
+// injector perturbs the schedule, it does not break the affinity contract
+// the invariant checker enforces.
+func (m *Machine) injectMigration() {
+	if len(m.cores) < 2 {
+		return
+	}
+	type cand struct {
+		src *Core
+		t   *Thread
+	}
+	var cands []cand
+	for _, c := range m.cores {
+		for _, task := range c.rq.Queued() {
+			t := m.threadByTask(task)
+			if t.pinned >= 0 {
+				continue
+			}
+			cands = append(cands, cand{c, t})
+		}
+	}
+	if len(cands) == 0 {
+		return
+	}
+	pick := cands[m.faults.Pick(len(cands))]
+	// Choose a destination among the other cores.
+	di := m.faults.Pick(len(m.cores) - 1)
+	if di >= pick.src.id {
+		di++
+	}
+	dst := m.cores[di]
+	m.faults.Record(fault.Migrate)
+	m.migrate(pick.src, dst, pick.t, m.now)
+	if dst.curr == nil {
+		dst.pickAndSwitch(m.now)
+	}
+}

@@ -15,6 +15,7 @@ const (
 	evBalance                    // periodic load balancing
 	evSignal                     // userspace signal delivery (Env.Signal)
 	evIOWake                     // blocking-IO completion (pipe write)
+	evFault                      // fault-injection scheduler check (package fault)
 )
 
 // event is one entry in the machine's time-ordered event queue.
@@ -31,6 +32,9 @@ type event struct {
 	core *Core
 	// cancelled events are skipped on pop.
 	cancelled bool
+	// dropped marks a periodic-timer expiry swallowed by a DropIRQ fault:
+	// the cadence continues but the expiry is not delivered.
+	dropped bool
 }
 
 // eventHeap is a min-heap over (at, seq).

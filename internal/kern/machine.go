@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/cpu"
+	"repro/internal/fault"
 	"repro/internal/isa"
 	"repro/internal/rng"
 	"repro/internal/sched"
@@ -87,6 +88,22 @@ type Params struct {
 	// CacheConfig overrides the cache geometry; zero value uses I9900K.
 	CacheConfig cache.SystemConfig
 
+	// Faults configures deterministic fault injection (package fault): at
+	// the configured rate the kernel drops or delays timer IRQs, spikes
+	// timer slack, spuriously wakes blocked threads, preempts running
+	// threads with invisible interfering work, and force-migrates queued
+	// threads. The zero value disables injection. The injector draws from
+	// its own stream forked off Seed, so faulty runs stay reproducible and
+	// fault-free runs consume no extra randomness.
+	Faults fault.Config
+
+	// InvariantsEvery is the cadence, in processed events, of the full
+	// kernel invariant scan (runqueue membership, thread accounting,
+	// pinning, scheduler self-checks). 0 selects the default (2048);
+	// negative disables all invariant checking. A violation panics with a
+	// structured *InvariantError carrying a machine-state dump.
+	InvariantsEvery int
+
 	// Seed drives all simulation jitter.
 	Seed uint64
 }
@@ -126,6 +143,9 @@ const (
 	OutPreemptedWakeup
 	OutPreemptedTick
 	OutExited
+	// OutPreemptedFault is an injected surprise preemption (package fault):
+	// an invisible interfering thread stole the CPU.
+	OutPreemptedFault
 )
 
 // String names the reason.
@@ -139,6 +159,8 @@ func (r SchedOutReason) String() string {
 		return "tick-preempt"
 	case OutExited:
 		return "exited"
+	case OutPreemptedFault:
+		return "fault-preempt"
 	}
 	return fmt.Sprintf("reason(%d)", uint8(r))
 }
@@ -219,6 +241,13 @@ type Machine struct {
 	// fast-forward in Env.RunLoopForever uses it to detect disturbance.
 	yieldCount int64
 	nextTID    int
+
+	// faults is the fault injector, nil when disabled.
+	faults *fault.Injector
+	// invarEvery is the full invariant-scan cadence in events (<=0 means
+	// checking is disabled); sinceCheck counts events since the last scan.
+	invarEvery int64
+	sinceCheck int64
 }
 
 // NewMachine builds a machine.
@@ -235,14 +264,22 @@ func NewMachine(p Params) *Machine {
 	if p.CacheConfig.Cores == 0 {
 		p.CacheConfig = cache.I9900K(p.Cores)
 	}
+	caches, err := cache.NewSystem(p.CacheConfig)
+	if err != nil {
+		panic(fmt.Sprintf("kern: invalid cache config: %v", err))
+	}
 	root := rng.New(p.Seed)
 	m := &Machine{
 		p:       p,
-		caches:  cache.NewSystem(p.CacheConfig),
+		caches:  caches,
 		tracer:  nopTracer{},
 		simRNG:  root.Fork(1),
 		progRNG: root.Fork(2),
 		nextTID: 1,
+	}
+	m.invarEvery = int64(p.InvariantsEvery)
+	if m.invarEvery == 0 {
+		m.invarEvery = defaultInvariantInterval
 	}
 	m.cores = make([]*Core, p.Cores)
 	for i := range m.cores {
@@ -252,6 +289,10 @@ func NewMachine(p Params) *Machine {
 			rq:  p.NewSched(),
 			cpu: cpu.NewCore(i, m.caches),
 		}
+	}
+	if p.Faults.Enabled() {
+		m.faults = fault.NewInjector(p.Faults, root.Fork(3))
+		m.schedule(&event{at: m.now.Add(m.faults.CheckPeriod()), kind: evFault})
 	}
 	return m
 }
@@ -273,6 +314,19 @@ func (m *Machine) Caches() *cache.System { return m.caches }
 
 // Threads returns all spawned threads.
 func (m *Machine) Threads() []*Thread { return m.threads }
+
+// FaultInjector returns the machine's fault injector, or nil when fault
+// injection is disabled.
+func (m *Machine) FaultInjector() *fault.Injector { return m.faults }
+
+// FaultCounts returns the applied-fault counters by kind name, or nil when
+// fault injection is disabled.
+func (m *Machine) FaultCounts() map[string]int64 {
+	if m.faults == nil {
+		return nil
+	}
+	return m.faults.Counts()
+}
 
 // SetTracer installs a Tracer (nil restores the no-op tracer).
 func (m *Machine) SetTracer(tr Tracer) {
@@ -419,8 +473,21 @@ func (m *Machine) Run(deadline timebase.Time, cond func() bool) timebase.Time {
 			return m.now
 		}
 		m.events.pop()
+		if m.invarEvery > 0 && ev.at < m.now {
+			panic(m.invariantError("time-monotonic",
+				fmt.Sprintf("event at %s behind machine time %s", ev.at, m.now)))
+		}
 		m.now = ev.at
 		m.dispatch(ev)
+		if m.invarEvery > 0 {
+			m.sinceCheck++
+			if m.sinceCheck >= m.invarEvery {
+				m.sinceCheck = 0
+				if err := m.CheckInvariants(); err != nil {
+					panic(err)
+				}
+			}
+		}
 		if cond != nil && cond() {
 			m.syncAccounting()
 			return m.now
@@ -511,14 +578,22 @@ func (m *Machine) advanceCore(c *Core, T timebase.Time) {
 	}
 }
 
-// chargeCurr charges the current thread's vruntime up to time x.
+// chargeCurr charges the current thread's vruntime up to time x. Charging
+// real time must never move a task's virtual time backwards; the inline
+// check converts a policy bug into a structured invariant failure.
 func (c *Core) chargeCurr(x timebase.Time) {
 	if c.curr == nil {
 		return
 	}
 	if d := x.Sub(c.lastUpdate); d > 0 {
+		before := c.curr.task.Vruntime
 		c.rq.UpdateCurr(c.curr.task, d)
 		c.lastUpdate = x
+		if c.m.invarEvery > 0 && c.curr.task.Vruntime < before {
+			panic(c.m.invariantError("vruntime-monotonic",
+				fmt.Sprintf("charging %s to task %d (%s) moved vruntime %d -> %d",
+					d, c.curr.task.ID, c.curr.task.Name, before, c.curr.task.Vruntime)))
+		}
 	}
 }
 
@@ -583,14 +658,25 @@ func (c *Core) deschedCurr(at timebase.Time, reason SchedOutReason) timebase.Tim
 	return eff
 }
 
-// threadByTask maps a scheduler task back to its thread.
+// threadByTask maps a scheduler task back to its thread. An unknown task
+// means a runqueue holds state the kernel never created — a structural
+// invariant violation, reported with a machine dump.
 func (m *Machine) threadByTask(task *sched.Task) *Thread {
+	if t := m.lookupTask(task); t != nil {
+		return t
+	}
+	panic(m.invariantError("task-thread-mapping",
+		fmt.Sprintf("unknown task %d (%s)", task.ID, task.Name)))
+}
+
+// lookupTask is threadByTask without the violation panic.
+func (m *Machine) lookupTask(task *sched.Task) *Thread {
 	for _, t := range m.threads {
 		if t.task == task {
 			return t
 		}
 	}
-	panic(fmt.Sprintf("kern: unknown task %d", task.ID))
+	return nil
 }
 
 // applySpeculation models transient execution at preemption: some of the
@@ -635,6 +721,8 @@ func (m *Machine) dispatch(ev *event) {
 		m.handleSignal(ev.thread)
 	case evIOWake:
 		m.handleIOWake(ev.thread)
+	case evFault:
+		m.handleFaultCheck()
 	}
 }
 

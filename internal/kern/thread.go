@@ -45,6 +45,21 @@ const (
 	blockIO              // blocking read: waiting for data (§2.1's IO wait)
 )
 
+// String names the block reason, for machine-state dumps.
+func (b blockKind) String() string {
+	switch b {
+	case blockNone:
+		return "-"
+	case blockSleep:
+		return "sleep"
+	case blockPause:
+		return "pause"
+	case blockIO:
+		return "io"
+	}
+	return fmt.Sprintf("block(%d)", uint8(b))
+}
+
 // yieldReq is the thread→kernel message relinquishing the CPU.
 type yieldReq struct {
 	kind yieldKind

@@ -1,6 +1,7 @@
 package kern
 
 import (
+	"repro/internal/fault"
 	"repro/internal/sched"
 	"repro/internal/timebase"
 )
@@ -17,7 +18,15 @@ func (m *Machine) armNanosleep(t *Thread, at timebase.Time, d timebase.Duration)
 		slackDelay = timebase.Duration(m.simRNG.Int63n(int64(t.timerSlack)))
 	}
 	irq := m.jitterNormal(m.p.TimerIRQLat, m.p.TimerIRQJitter)
-	ev := &event{at: fire.Add(slackDelay + irq), kind: evTimerFire, thread: t}
+	deliver := fire.Add(slackDelay + irq)
+	if m.faults != nil {
+		// Injected timer faults (package fault): a dropped IRQ is recovered
+		// DropRetry later; delay and slack-spike faults stretch delivery.
+		if _, extra, ok := m.faults.NanosleepFault(at); ok {
+			deliver = deliver.Add(extra)
+		}
+	}
+	ev := &event{at: deliver, kind: evTimerFire, thread: t}
 	t.wakeEvent = ev
 	m.schedule(ev)
 }
@@ -47,10 +56,28 @@ func (m *Machine) newPeriodicTimer(t *Thread, interval timebase.Duration) *PTime
 	return pt
 }
 
-// armNext schedules the next expiry with fresh delivery jitter.
+// armNext schedules the next expiry with fresh delivery jitter. Under fault
+// injection the expiry can be delayed, or dropped outright — the cadence
+// continues but the expiry is never delivered (ev.dropped).
 func (pt *PTimer) armNext() {
 	irq := pt.m.jitterNormal(pt.m.p.TimerIRQLat, pt.m.p.TimerIRQJitter)
-	pt.m.schedule(&event{at: pt.base.Add(irq), kind: evTimerFire, thread: pt.owner, timer: pt})
+	ev := &event{at: pt.base.Add(irq), kind: evTimerFire, thread: pt.owner, timer: pt}
+	if f := pt.m.faults; f != nil {
+		if k, extra, ok := f.PeriodicTimerFault(pt.base); ok {
+			if k == fault.DropIRQ {
+				ev.dropped = true
+			} else {
+				ev.at = ev.at.Add(extra)
+			}
+		}
+	}
+	// A delivery delayed past the next ideal expiry (possible under DelayIRQ
+	// with a short interval) fires the missed expiry immediately, as a
+	// re-programmed hrtimer would — simulated time must not run backwards.
+	if ev.at < pt.m.now {
+		ev.at = pt.m.now
+	}
+	pt.m.schedule(ev)
 }
 
 // Stop disarms the timer; pending expiries are ignored.
@@ -67,9 +94,14 @@ func (m *Machine) handleTimerFire(ev *event) {
 		if pt.stopped {
 			return
 		}
-		pt.Fires++
 		pt.base = pt.base.Add(pt.interval)
 		pt.armNext()
+		if ev.dropped {
+			// DropIRQ fault: the expiry was swallowed — no signal, no Fires
+			// accounting — but the absolute cadence continues.
+			return
+		}
+		pt.Fires++
 		if t.done || t.task.State != sched.StateBlocked || t.blockedIn != blockPause {
 			// The thread is not paused (running, runnable, or inside a
 			// nanosleep, which timer signals do not interrupt —

@@ -178,6 +178,33 @@ type Scheduler interface {
 	Queued() []*Task
 }
 
+// Checker is an optional Scheduler extension: policies that can audit their
+// own internal consistency implement it, and the simulation kernel's
+// periodic invariant scan invokes it (see kern.Machine.CheckInvariants).
+type Checker interface {
+	// CheckInvariants returns the first internal inconsistency found, or
+	// nil when the runqueue state is coherent.
+	CheckInvariants() error
+}
+
+// ValidateTask checks the policy-independent task invariants: a derived
+// weight, a known state, and non-negative accumulated execution time.
+func ValidateTask(t *Task) error {
+	if t == nil {
+		return fmt.Errorf("sched: nil task")
+	}
+	if t.Weight <= 0 {
+		return fmt.Errorf("sched: task %d (%s) has non-positive weight %d", t.ID, t.Name, t.Weight)
+	}
+	if t.State > StateDone {
+		return fmt.Errorf("sched: task %d (%s) has unknown state %d", t.ID, t.Name, uint8(t.State))
+	}
+	if t.SumExec < 0 {
+		return fmt.Errorf("sched: task %d (%s) has negative SumExec %s", t.ID, t.Name, t.SumExec)
+	}
+	return nil
+}
+
 // Params holds the scheduler tunables of Table 2.1, after core-count
 // scaling.
 type Params struct {

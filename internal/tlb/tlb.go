@@ -47,18 +47,28 @@ type TLB struct {
 	tick    uint64
 }
 
-// New returns an empty TLB. It panics if the set count is not a power of
-// two.
-func New(cfg Config) *TLB {
+// New returns an empty TLB. It reports an error if the set count is not a
+// positive power of two.
+func New(cfg Config) (*TLB, error) {
 	n := cfg.Sets()
 	if n <= 0 || n&(n-1) != 0 {
-		panic(fmt.Sprintf("tlb %s: set count %d not a positive power of two", cfg.Name, n))
+		return nil, fmt.Errorf("tlb %s: set count %d not a positive power of two", cfg.Name, n)
 	}
 	sets := make([][]entry, n)
 	for i := range sets {
 		sets[i] = make([]entry, cfg.Ways)
 	}
-	return &TLB{cfg: cfg, sets: sets, setMask: uint64(n - 1)}
+	return &TLB{cfg: cfg, sets: sets, setMask: uint64(n - 1)}, nil
+}
+
+// MustNew is New for statically known-good configurations; it panics on
+// error (use only with compile-time-constant geometries).
+func MustNew(cfg Config) *TLB {
+	t, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return t
 }
 
 // Config returns the TLB's configuration.
@@ -166,9 +176,9 @@ type CoreTLBs struct {
 // 128-entry L1 iTLB, 4-way 64-entry L1 dTLB, 12-way 1536-entry unified sTLB.
 func I9900KTLBs() *CoreTLBs {
 	return &CoreTLBs{
-		ITLB: New(Config{Name: "iTLB", Entries: 128, Ways: 8}),
-		DTLB: New(Config{Name: "dTLB", Entries: 64, Ways: 4}),
-		STLB: New(Config{Name: "sTLB", Entries: 1536, Ways: 12}),
+		ITLB: MustNew(Config{Name: "iTLB", Entries: 128, Ways: 8}),
+		DTLB: MustNew(Config{Name: "dTLB", Entries: 64, Ways: 4}),
+		STLB: MustNew(Config{Name: "sTLB", Entries: 1536, Ways: 12}),
 		Lat:  DefaultLatencies,
 	}
 }

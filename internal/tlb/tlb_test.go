@@ -16,12 +16,9 @@ func TestGeometry(t *testing.T) {
 }
 
 func TestNewRejectsBadGeometry(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("want panic")
-		}
-	}()
-	New(Config{Name: "bad", Entries: 48, Ways: 16}) // 3 sets
+	if _, err := New(Config{Name: "bad", Entries: 48, Ways: 16}); err == nil { // 3 sets
+		t.Fatal("want error for non-power-of-two set count")
+	}
 }
 
 func TestVPNHelpers(t *testing.T) {
@@ -34,7 +31,7 @@ func TestVPNHelpers(t *testing.T) {
 }
 
 func TestInsertTouchFlush(t *testing.T) {
-	tl := New(Config{Name: "t", Entries: 8, Ways: 2}) // 4 sets
+	tl := MustNew(Config{Name: "t", Entries: 8, Ways: 2}) // 4 sets
 	vpn := uint64(0x40)
 	if tl.Touch(vpn) || tl.Contains(vpn) {
 		t.Fatal("empty TLB hit")
@@ -50,7 +47,7 @@ func TestInsertTouchFlush(t *testing.T) {
 }
 
 func TestSetAssocEviction(t *testing.T) {
-	tl := New(Config{Name: "t", Entries: 8, Ways: 2}) // 4 sets
+	tl := MustNew(Config{Name: "t", Entries: 8, Ways: 2}) // 4 sets
 	// Three congruent VPNs in a 2-way set: the LRU one must go.
 	a, b, c := uint64(0), uint64(4), uint64(8)
 	tl.Insert(a)

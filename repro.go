@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/exps"
+	"repro/internal/fault"
 )
 
 // Scale selects experiment sizes.
@@ -25,6 +26,12 @@ type Options struct {
 	Scale Scale
 	// Seed defaults to 1; every run with the same seed is bit-identical.
 	Seed uint64
+	// FaultRate, when positive, enables ambient fault injection (package
+	// fault) in every machine the experiment builds: timer drops and
+	// delays, slack spikes, spurious wake-ups, surprise preemptions and
+	// forced migrations at this per-opportunity probability. Runs stay
+	// deterministic per seed.
+	FaultRate float64
 }
 
 func (o Options) seed() uint64 {
@@ -315,6 +322,21 @@ var registry = []Experiment{
 			}
 		},
 	},
+	{
+		ID: "chaos", Title: "Robustness: attack success rate vs injected fault rate",
+		Run: func(o Options) Result {
+			return exps.RunChaos(exps.ChaosConfig{Target: pick(o, 1000, 5000), Seed: o.seed()})
+		},
+		Metrics: func(r Result) map[string]float64 {
+			f := r.(*exps.ChaosResult)
+			out := map[string]float64{}
+			for _, row := range f.Rows {
+				out[fmt.Sprintf("success_rate_%.2f", row.Rate)] = row.SuccessRate
+				out[fmt.Sprintf("attempts_%.2f", row.Rate)] = float64(row.Attempts)
+			}
+			return out
+		},
+	},
 }
 
 func fig43Metrics(r Result) map[string]float64 {
@@ -369,5 +391,78 @@ func Run(id string, o Options) (Result, error) {
 	if !ok {
 		return nil, fmt.Errorf("repro: unknown experiment %q (known: %v)", id, IDs())
 	}
+	defer o.applyChaos()()
+	return e.Run(o), nil
+}
+
+// applyChaos installs the ambient fault configuration requested by the
+// options and returns the restore function.
+func (o Options) applyChaos() func() {
+	if o.FaultRate <= 0 {
+		return func() {}
+	}
+	prev := exps.SetChaos(fault.Config{Rate: o.FaultRate})
+	return func() { exps.SetChaos(prev) }
+}
+
+// RunReport is the outcome of a guarded experiment run.
+type RunReport struct {
+	// ID is the experiment.
+	ID string
+	// Result is the (possibly partial) result, nil when every attempt
+	// failed.
+	Result Result
+	// Err is the last failure, nil when the final attempt succeeded.
+	Err error
+	// Attempts counts runs, including the successful one.
+	Attempts int
+	// Degraded marks a result obtained only after retrying (under a bumped
+	// seed), or no result at all.
+	Degraded bool
+}
+
+// RunGuarded executes an experiment with panic isolation and bounded
+// retries: a run that dies (an invariant violation under fault injection, a
+// driver bug on a hostile schedule) is retried up to retries times with a
+// deterministically bumped seed, so a chaotic `cplab all` completes with
+// partial results instead of crashing.
+func RunGuarded(id string, o Options, retries int) RunReport {
+	e, ok := Lookup(id)
+	if !ok {
+		return RunReport{ID: id, Err: fmt.Errorf("repro: unknown experiment %q (known: %v)", id, IDs())}
+	}
+	defer o.applyChaos()()
+	rep := RunReport{ID: id}
+	seed := o.seed()
+	for attempt := 0; attempt <= retries; attempt++ {
+		rep.Attempts = attempt + 1
+		oa := o
+		// Bump the seed per retry: deterministic, but a different schedule —
+		// the point of a retry under injected faults.
+		oa.Seed = seed + uint64(attempt)*1_000_003
+		res, err := runRecovering(e, oa)
+		if err == nil {
+			rep.Result = res
+			rep.Err = nil
+			rep.Degraded = attempt > 0
+			return rep
+		}
+		rep.Err = err
+	}
+	rep.Degraded = true
+	return rep
+}
+
+// runRecovering converts an experiment panic into an error.
+func runRecovering(e Experiment, o Options) (res Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if perr, ok := r.(error); ok {
+				err = fmt.Errorf("experiment %s panicked: %w", e.ID, perr)
+				return
+			}
+			err = fmt.Errorf("experiment %s panicked: %v", e.ID, r)
+		}
+	}()
 	return e.Run(o), nil
 }
