@@ -1,0 +1,320 @@
+// Package campaign supervises long experiment sweeps: it runs a set of
+// experiments with per-entry panic containment (a crash becomes a
+// structured failure record with the kernel invariant dump attached, and
+// the campaign continues), checkpoints every outcome to a JSON manifest the
+// moment it lands, and resumes an interrupted or crashed campaign from that
+// manifest, re-running only the missing and failed entries — with bumped
+// seeds for the failed ones, so a retry explores a different schedule.
+//
+// The package is deliberately generic: an Entry is any ID plus a run
+// closure. The glue binding entries to the experiment registry (via the
+// guarded retry runner) lives in the root repro package; the cplab CLI's
+// campaign/resume subcommands sit on top of that.
+package campaign
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/kern"
+)
+
+// defaultBump is the seed offset applied per previously failed session when
+// a failed entry is re-run on resume. It is co-prime with (and far from)
+// the guarded runner's per-attempt bump, so resume schedules never collide
+// with in-session retry schedules.
+const defaultBump = 7_777_777
+
+// ErrHalted reports a campaign that checkpointed and stopped before
+// completing its plan (wall deadline or injected halt); resuming it
+// continues from the manifest.
+var ErrHalted = errors.New("campaign halted before completion (resumable)")
+
+// Entry is one experiment in the campaign plan. Run executes it under the
+// given base seed and reports the attempt; a nil Run marks the entry
+// skipped (unknown experiment). Run is invoked on a dedicated goroutine and
+// may panic — the campaign contains it.
+type Entry struct {
+	ID  string
+	Run func(seed uint64) Attempt
+}
+
+// Attempt is what one contained execution reports back.
+type Attempt struct {
+	// Rendered is the experiment's full figure/table text.
+	Rendered string
+	// Metrics are the headline numbers.
+	Metrics map[string]float64
+	// Attempts counts guarded-runner attempts (retries included).
+	Attempts int
+	// Degraded marks a result that needed bumped-seed retries.
+	Degraded bool
+	// Err is the final failure; nil means Rendered/Metrics are valid.
+	Err error
+}
+
+// Config tunes a campaign.
+type Config struct {
+	// Path is the manifest checkpoint file; "" disables checkpointing (the
+	// campaign still runs, but cannot be resumed).
+	Path string
+	// Seed is the campaign's base seed.
+	Seed uint64
+	// Note pins the non-seed configuration; resume refuses a manifest
+	// recorded under a different note.
+	Note string
+	// Bump is the extra seed offset per previously failed session when
+	// re-running a failed entry (default 7_777_777).
+	Bump uint64
+	// ExpWall bounds each entry's wall-clock time; an entry exceeding it is
+	// recorded failed and its goroutine abandoned (the simulation holds no
+	// locks or external resources). 0 disables the bound.
+	ExpWall time.Duration
+	// Deadline is the campaign-wide wall-clock deadline; when it passes the
+	// campaign checkpoints and returns ErrHalted. Zero disables it.
+	Deadline time.Time
+	// HaltAfter, when positive, checkpoints and returns ErrHalted after
+	// that many entries have run this session — deterministic interruption
+	// injection for the resume tests and CI.
+	HaltAfter int
+	// Log receives progress lines (nil discards them).
+	Log io.Writer
+}
+
+// Campaign is a supervised, resumable experiment sweep.
+type Campaign struct {
+	cfg     Config
+	entries map[string]Entry
+	man     *Manifest
+}
+
+// New starts a fresh campaign over the given entries, discarding any prior
+// manifest state at cfg.Path (the first checkpoint overwrites it).
+func New(cfg Config, entries []Entry) (*Campaign, error) {
+	c := &Campaign{cfg: cfg, entries: indexEntries(entries)}
+	c.man = &Manifest{
+		Version: manifestVersion,
+		Seed:    cfg.Seed,
+		Note:    cfg.Note,
+		IDs:     idsOf(entries),
+		Entries: map[string]*Record{},
+	}
+	return c, nil
+}
+
+// Resume loads the manifest at cfg.Path and continues the campaign: entries
+// with final records are kept as-is, missing entries run normally, and
+// failed entries re-run with a bumped seed. The stored plan must match the
+// given one (same seed, note and IDs).
+func Resume(cfg Config, entries []Entry) (*Campaign, error) {
+	if cfg.Path == "" {
+		return nil, fmt.Errorf("campaign: resume needs a manifest path")
+	}
+	man, err := Load(cfg.Path)
+	if err != nil {
+		return nil, err
+	}
+	if man.Seed != cfg.Seed {
+		return nil, fmt.Errorf("campaign: manifest %s was recorded with seed %d, not %d", cfg.Path, man.Seed, cfg.Seed)
+	}
+	if man.Note != cfg.Note {
+		return nil, fmt.Errorf("campaign: manifest %s was recorded under config %q, not %q", cfg.Path, man.Note, cfg.Note)
+	}
+	want := idsOf(entries)
+	if len(want) != len(man.IDs) {
+		return nil, fmt.Errorf("campaign: manifest %s plans %d experiments, not %d", cfg.Path, len(man.IDs), len(want))
+	}
+	for i, id := range want {
+		if man.IDs[i] != id {
+			return nil, fmt.Errorf("campaign: manifest %s plans %q at position %d, not %q", cfg.Path, man.IDs[i], i, id)
+		}
+	}
+	return &Campaign{cfg: cfg, entries: indexEntries(entries), man: man}, nil
+}
+
+// Manifest returns the campaign's (live) manifest.
+func (c *Campaign) Manifest() *Manifest { return c.man }
+
+// Run executes the plan: every entry without a final record runs contained,
+// its record is checkpointed immediately, and the campaign presses on past
+// failures. It returns the manifest and nil on a completed plan, ErrHalted
+// on a deadline/injected halt (resume later), or the checkpoint I/O error
+// that stopped it.
+func (c *Campaign) Run() (*Manifest, error) {
+	ranThisSession := 0
+	for i, id := range c.man.IDs {
+		rec := c.man.Entries[id]
+		if rec != nil && rec.Status.final() {
+			continue
+		}
+		e, ok := c.entries[id]
+		if !ok || e.Run == nil {
+			c.man.Entries[id] = &Record{ID: id, Status: StatusSkipped,
+				Failure: &Failure{Msg: "no runner (unknown experiment id)"}}
+			if err := c.checkpoint(); err != nil {
+				return c.man, err
+			}
+			continue
+		}
+
+		prevFails := 0
+		if rec != nil {
+			prevFails = rec.FailedSessions
+		}
+		seed := c.cfg.Seed + c.bump()*uint64(prevFails)
+		c.logf("campaign: %s (seed %d, session %d)", id, seed, sessionsOf(rec)+1)
+		start := time.Now()
+		att := c.contain(id, e, seed)
+		c.logf("campaign: %s finished in %v", id, time.Since(start).Round(time.Millisecond))
+
+		c.man.Entries[id] = buildRecord(id, seed, rec, att)
+		if err := c.checkpoint(); err != nil {
+			return c.man, err
+		}
+		ranThisSession++
+
+		if !c.man.Complete() {
+			if c.cfg.HaltAfter > 0 && ranThisSession >= c.cfg.HaltAfter {
+				c.logf("campaign: halting after %d experiments (resumable)", ranThisSession)
+				return c.man, ErrHalted
+			}
+			if !c.cfg.Deadline.IsZero() && time.Now().After(c.cfg.Deadline) {
+				c.logf("campaign: wall deadline passed after %d/%d experiments (resumable)", i+1, len(c.man.IDs))
+				return c.man, ErrHalted
+			}
+		}
+	}
+	return c.man, nil
+}
+
+// contain runs one entry on its own goroutine with panic recovery and the
+// per-entry wall budget. A timed-out runner is abandoned, not killed: the
+// deterministic simulation holds nothing that needs unwinding.
+func (c *Campaign) contain(id string, e Entry, seed uint64) Attempt {
+	ch := make(chan Attempt, 1)
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				err, ok := r.(error)
+				if !ok {
+					err = fmt.Errorf("%v", r)
+				}
+				ch <- Attempt{Attempts: 1, Err: fmt.Errorf("entry %s panicked outside its guarded runner: %w", id, err)}
+			}
+		}()
+		ch <- e.Run(seed)
+	}()
+	if c.cfg.ExpWall <= 0 {
+		return <-ch
+	}
+	timer := time.NewTimer(c.cfg.ExpWall)
+	defer timer.Stop()
+	select {
+	case a := <-ch:
+		return a
+	case <-timer.C:
+		return Attempt{Attempts: 1, Err: fmt.Errorf("entry %s exceeded its wall budget %s (runner abandoned)", id, c.cfg.ExpWall)}
+	}
+}
+
+// buildRecord folds an attempt into the entry's record.
+func buildRecord(id string, seed uint64, prev *Record, att Attempt) *Record {
+	rec := &Record{ID: id, Attempts: att.Attempts, Seed: seed, Sessions: sessionsOf(prev) + 1}
+	if prev != nil {
+		rec.FailedSessions = prev.FailedSessions
+	}
+	if att.Err != nil {
+		rec.Status = StatusFailed
+		rec.FailedSessions++
+		rec.Failure = classify(att.Err)
+		return rec
+	}
+	switch {
+	case rec.FailedSessions > 0:
+		rec.Status = StatusRetried
+	case att.Degraded:
+		rec.Status = StatusDegraded
+	default:
+		rec.Status = StatusOK
+	}
+	rec.Rendered = att.Rendered
+	rec.Metrics = att.Metrics
+	return rec
+}
+
+// classify turns an error into a structured Failure, surfacing a kernel
+// invariant violation (name, time, detail, machine dump) when one is in the
+// cause chain.
+func classify(err error) *Failure {
+	f := &Failure{Msg: firstLine(err.Error())}
+	var inv *kern.InvariantError
+	if errors.As(err, &inv) {
+		f.Invariant = inv.Name
+		f.At = inv.At.String()
+		f.Detail = inv.Detail
+		f.Dump = inv.Dump
+	}
+	return f
+}
+
+// firstLine trims an error message to its headline.
+func firstLine(s string) string {
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			return s[:i]
+		}
+	}
+	return s
+}
+
+// checkpoint saves the manifest if a path is configured.
+func (c *Campaign) checkpoint() error {
+	if c.cfg.Path == "" {
+		return nil
+	}
+	return c.man.Save(c.cfg.Path)
+}
+
+// bump returns the configured or default resume seed stride.
+func (c *Campaign) bump() uint64 {
+	if c.cfg.Bump != 0 {
+		return c.cfg.Bump
+	}
+	return defaultBump
+}
+
+// logf writes one progress line.
+func (c *Campaign) logf(format string, args ...any) {
+	if c.cfg.Log == nil {
+		return
+	}
+	fmt.Fprintf(c.cfg.Log, format+"\n", args...)
+}
+
+// sessionsOf reads a possibly-nil record's session count.
+func sessionsOf(r *Record) int {
+	if r == nil {
+		return 0
+	}
+	return r.Sessions
+}
+
+// indexEntries maps entries by ID.
+func indexEntries(entries []Entry) map[string]Entry {
+	out := make(map[string]Entry, len(entries))
+	for _, e := range entries {
+		out[e.ID] = e
+	}
+	return out
+}
+
+// idsOf lists entry IDs in plan order.
+func idsOf(entries []Entry) []string {
+	out := make([]string, len(entries))
+	for i, e := range entries {
+		out[i] = e.ID
+	}
+	return out
+}

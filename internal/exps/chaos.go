@@ -108,7 +108,7 @@ func runChaosRate(cfg ChaosConfig, rate float64) ChaosRow {
 		finished = true
 	}, kern.WithPin(0))
 
-	wd := &Watchdog{Budget: cfg.Budget}
+	wd := NewWatchdog(cfg.Budget)
 	wd.Run(m, func() bool { return finished })
 
 	rep := att.Report()

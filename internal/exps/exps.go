@@ -15,6 +15,7 @@ import (
 	"repro/internal/kern"
 	"repro/internal/sched"
 	"repro/internal/timebase"
+	"repro/internal/trace"
 )
 
 // Sched selects the scheduler under attack.
@@ -72,6 +73,75 @@ func SetChaos(cfg fault.Config) fault.Config {
 // Chaos returns the ambient fault configuration.
 func Chaos() fault.Config { return chaos }
 
+// traceCap, when non-nil, attaches a passive trace.Collector to every
+// machine NewMachine builds (alongside whatever tracer the experiment
+// installs). Like SetChaos it is ambient package state driven by the
+// harness; experiments stay oblivious and runs are unperturbed (collectors
+// consume no randomness).
+var traceCap *traceCapture
+
+type traceCapture struct {
+	max      int
+	machines []capturedMachine
+}
+
+type capturedMachine struct {
+	seed  uint64
+	label string
+	col   *trace.Collector
+}
+
+// StartTraceCapture begins recording the kernel event stream of every
+// machine built from here on. maxEventsPerMachine bounds each machine's
+// share (0 = unbounded); a capped recording is marked truncated. Not safe
+// for concurrent experiment runs — like SetChaos, it is harness state.
+func StartTraceCapture(maxEventsPerMachine int) {
+	traceCap = &traceCapture{max: maxEventsPerMachine}
+}
+
+// StopTraceCapture ends recording and returns the merged trace: one
+// EvMachine boundary event per machine, in construction order, followed by
+// that machine's scheduling events. It returns an empty trace when capture
+// was never started.
+func StopTraceCapture() *trace.Trace {
+	tc := traceCap
+	traceCap = nil
+	tr := &trace.Trace{}
+	if tc == nil {
+		return tr
+	}
+	for _, cm := range tc.machines {
+		tr.Events = append(tr.Events, trace.Event{Kind: trace.EvMachine, Seed: cm.seed, Label: cm.label})
+		tr.Events = append(tr.Events, cm.col.Events()...)
+		tr.Truncated = tr.Truncated || cm.col.Truncated()
+	}
+	return tr
+}
+
+// watchdogBudget is the ambient simulated-time deadline for
+// watchdog-guarded experiment phases; 0 leaves each experiment's own
+// default in force. The campaign/trace CLI paths set it via
+// repro.Options.SimBudget.
+var watchdogBudget timebase.Duration
+
+// SetWatchdogBudget installs d as the ambient simulated-time budget for
+// Watchdogs built with NewWatchdog and returns the previous value (restore
+// it when done). 0 disables the override.
+func SetWatchdogBudget(d timebase.Duration) timebase.Duration {
+	prev := watchdogBudget
+	watchdogBudget = d
+	return prev
+}
+
+// NewWatchdog returns a Watchdog honouring the ambient budget, falling back
+// to the experiment's own default when none is set.
+func NewWatchdog(fallback timebase.Duration) *Watchdog {
+	if watchdogBudget > 0 {
+		return &Watchdog{Budget: watchdogBudget}
+	}
+	return &Watchdog{Budget: fallback}
+}
+
 // NewMachine builds the experiment machine for the given scheduler and
 // seed.
 func NewMachine(kind Sched, seed uint64, opts ...MachineOption) *kern.Machine {
@@ -89,7 +159,14 @@ func NewMachine(kind Sched, seed uint64, opts ...MachineOption) *kern.Machine {
 		o(&p, &sp)
 	}
 	p.Sched = sp
-	return kern.NewMachine(p)
+	m := kern.NewMachine(p)
+	if traceCap != nil {
+		col := trace.NewCollector(traceCap.max)
+		m.AttachTracer(col)
+		traceCap.machines = append(traceCap.machines,
+			capturedMachine{seed: seed, label: kind.String(), col: col})
+	}
+	return m
 }
 
 // Watchdog bounds an experiment phase by a simulated-time budget, so a

@@ -24,6 +24,7 @@ package fault
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/rng"
 	"repro/internal/timebase"
@@ -125,6 +126,38 @@ type Config struct {
 // Enabled reports whether the configuration injects anything at all.
 func (c Config) Enabled() bool { return c.Rate > 0 }
 
+// Validate checks the configuration: Rate must be a probability in [0, 1],
+// the duration tunables non-negative, the window ordered, and every listed
+// kind known. NewInjector rejects invalid configurations, so a typo'd rate
+// fails loudly at machine construction instead of silently clamping (the
+// RNG would treat 1.5 as "always" and -0.1 as "never").
+func (c Config) Validate() error {
+	if math.IsNaN(c.Rate) || c.Rate < 0 || c.Rate > 1 {
+		return fmt.Errorf("fault: Rate %v outside [0, 1]", c.Rate)
+	}
+	if c.CheckPeriod < 0 {
+		return fmt.Errorf("fault: negative CheckPeriod %s", c.CheckPeriod)
+	}
+	if c.IRQDelayMax < 0 {
+		return fmt.Errorf("fault: negative IRQDelayMax %s", c.IRQDelayMax)
+	}
+	if c.SlackSpikeMax < 0 {
+		return fmt.Errorf("fault: negative SlackSpikeMax %s", c.SlackSpikeMax)
+	}
+	if c.DropRetry < 0 {
+		return fmt.Errorf("fault: negative DropRetry %s", c.DropRetry)
+	}
+	if c.Window.End != 0 && c.Window.End < c.Window.Start {
+		return fmt.Errorf("fault: window ends (%s) before it starts (%s)", c.Window.End, c.Window.Start)
+	}
+	for _, k := range c.Kinds {
+		if k >= numKinds {
+			return fmt.Errorf("fault: unknown kind %d", uint8(k))
+		}
+	}
+	return nil
+}
+
 // withDefaults fills zero tunables.
 func (c Config) withDefaults() Config {
 	if c.CheckPeriod <= 0 {
@@ -154,7 +187,11 @@ type Injector struct {
 
 // NewInjector builds an injector from a configuration and a dedicated
 // random stream (fork it from the machine seed so faults are reproducible).
-func NewInjector(cfg Config, r *rng.RNG) *Injector {
+// It rejects invalid configurations (see Config.Validate).
+func NewInjector(cfg Config, r *rng.RNG) (*Injector, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	in := &Injector{cfg: cfg.withDefaults(), rng: r}
 	if len(cfg.Kinds) == 0 {
 		for i := range in.enabled {
@@ -166,6 +203,15 @@ func NewInjector(cfg Config, r *rng.RNG) *Injector {
 				in.enabled[k] = true
 			}
 		}
+	}
+	return in, nil
+}
+
+// MustNewInjector is NewInjector for known-good configurations (tests).
+func MustNewInjector(cfg Config, r *rng.RNG) *Injector {
+	in, err := NewInjector(cfg, r)
+	if err != nil {
+		panic(err)
 	}
 	return in
 }

@@ -1,6 +1,7 @@
 package fault
 
 import (
+	"math"
 	"testing"
 
 	"repro/internal/rng"
@@ -8,7 +9,7 @@ import (
 )
 
 func TestDisabledInjectsNothing(t *testing.T) {
-	in := NewInjector(Config{}, rng.New(1))
+	in := MustNewInjector(Config{}, rng.New(1))
 	for i := 0; i < 1000; i++ {
 		if _, _, ok := in.NanosleepFault(timebase.Time(i)); ok {
 			t.Fatal("zero-rate injector produced a fault")
@@ -23,7 +24,7 @@ func TestDisabledInjectsNothing(t *testing.T) {
 }
 
 func TestRateRoughlyHonoured(t *testing.T) {
-	in := NewInjector(Config{Rate: 0.2}, rng.New(7))
+	in := MustNewInjector(Config{Rate: 0.2}, rng.New(7))
 	hits := 0
 	const n = 20000
 	for i := 0; i < n; i++ {
@@ -42,7 +43,7 @@ func TestRateRoughlyHonoured(t *testing.T) {
 
 func TestDeterminism(t *testing.T) {
 	run := func() []int64 {
-		in := NewInjector(Config{Rate: 0.3}, rng.New(42))
+		in := MustNewInjector(Config{Rate: 0.3}, rng.New(42))
 		var out []int64
 		for i := 0; i < 5000; i++ {
 			if k, d, ok := in.NanosleepFault(timebase.Time(i)); ok {
@@ -68,7 +69,7 @@ func TestDeterminism(t *testing.T) {
 
 func TestWindowRestricts(t *testing.T) {
 	w := Window{Start: 1000, End: 2000}
-	in := NewInjector(Config{Rate: 1, Window: w}, rng.New(3))
+	in := MustNewInjector(Config{Rate: 1, Window: w}, rng.New(3))
 	if _, _, ok := in.NanosleepFault(500); ok {
 		t.Fatal("fault before window start")
 	}
@@ -81,7 +82,7 @@ func TestWindowRestricts(t *testing.T) {
 }
 
 func TestKindRestriction(t *testing.T) {
-	in := NewInjector(Config{Rate: 1, Kinds: []Kind{SlackSpike}}, rng.New(5))
+	in := MustNewInjector(Config{Rate: 1, Kinds: []Kind{SlackSpike}}, rng.New(5))
 	for i := 0; i < 2000; i++ {
 		if k, _, ok := in.NanosleepFault(timebase.Time(i)); ok && k != SlackSpike {
 			t.Fatalf("kind %v injected despite restriction to slack-spike", k)
@@ -96,7 +97,7 @@ func TestKindRestriction(t *testing.T) {
 }
 
 func TestCountsShapeStable(t *testing.T) {
-	in := NewInjector(Config{Rate: 0.5}, rng.New(9))
+	in := MustNewInjector(Config{Rate: 0.5}, rng.New(9))
 	counts := in.Counts()
 	if len(counts) != len(Kinds()) {
 		t.Fatalf("Counts has %d entries, want %d", len(counts), len(Kinds()))
@@ -105,5 +106,49 @@ func TestCountsShapeStable(t *testing.T) {
 		if _, ok := counts[k.String()]; !ok {
 			t.Fatalf("Counts missing kind %v", k)
 		}
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	inf := math.Inf(1)
+	cases := []struct {
+		name string
+		cfg  Config
+		ok   bool
+	}{
+		{"zero", Config{}, true},
+		{"rate-0", Config{Rate: 0}, true},
+		{"rate-1", Config{Rate: 1}, true},
+		{"rate-mid", Config{Rate: 0.37}, true},
+		{"rate-negative", Config{Rate: -0.01}, false},
+		{"rate-above-one", Config{Rate: 1.5}, false},
+		{"rate-inf", Config{Rate: inf}, false},
+		{"rate-nan", Config{Rate: math.NaN()}, false},
+		{"negative-check-period", Config{Rate: 0.1, CheckPeriod: -timebase.Microsecond}, false},
+		{"negative-irq-delay", Config{Rate: 0.1, IRQDelayMax: -1}, false},
+		{"negative-slack-spike", Config{Rate: 0.1, SlackSpikeMax: -1}, false},
+		{"negative-drop-retry", Config{Rate: 0.1, DropRetry: -1}, false},
+		{"window-inverted", Config{Rate: 0.1, Window: Window{Start: 100, End: 50}}, false},
+		{"window-open-ended", Config{Rate: 0.1, Window: Window{Start: 100}}, true},
+		{"unknown-kind", Config{Rate: 0.1, Kinds: []Kind{Kind(250)}}, false},
+		{"known-kinds", Config{Rate: 0.1, Kinds: Kinds()}, true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := c.cfg.Validate()
+			if c.ok && err != nil {
+				t.Fatalf("Validate(%+v) = %v, want nil", c.cfg, err)
+			}
+			if !c.ok && err == nil {
+				t.Fatalf("Validate(%+v) = nil, want error", c.cfg)
+			}
+			in, err := NewInjector(c.cfg, rng.New(1))
+			if c.ok && (err != nil || in == nil) {
+				t.Fatalf("NewInjector(%+v) = %v, %v", c.cfg, in, err)
+			}
+			if !c.ok && (err == nil || in != nil) {
+				t.Fatalf("NewInjector(%+v) accepted an invalid config", c.cfg)
+			}
+		})
 	}
 }

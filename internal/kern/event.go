@@ -100,3 +100,26 @@ func (q *eventQueue) skipCancelled() {
 		heap.Pop(&q.h)
 	}
 }
+
+// depth counts live (non-cancelled) queued events.
+func (q *eventQueue) depth() int {
+	n := 0
+	for _, e := range q.h {
+		if !e.cancelled {
+			n++
+		}
+	}
+	return n
+}
+
+// pendingTimers counts live pending hardware-timer expiries (nanosleep
+// wakes and periodic-timer fires).
+func (q *eventQueue) pendingTimers() int {
+	n := 0
+	for _, e := range q.h {
+		if !e.cancelled && e.kind == evTimerFire {
+			n++
+		}
+	}
+	return n
+}

@@ -41,12 +41,16 @@ func (m *Machine) invariantError(name, detail string) *InvariantError {
 	return &InvariantError{Name: name, At: m.now, Detail: detail, Dump: m.DumpState()}
 }
 
-// DumpState renders the machine for diagnosis: per-core current threads and
-// runqueues, then every thread with its scheduler state.
+// DumpState renders the machine for diagnosis: the event-queue load,
+// per-core current threads and runqueues, then every thread with its
+// scheduler state. Failure records carrying this dump (campaign manifests,
+// chaos reports) are self-contained for postmortems.
 func (m *Machine) DumpState() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "machine @ %s (seed %d, %d cores, %d threads)\n",
 		m.now, m.p.Seed, len(m.cores), len(m.threads))
+	fmt.Fprintf(&b, "  events: %d queued, %d pending timers\n",
+		m.events.depth(), m.events.pendingTimers())
 	for _, c := range m.cores {
 		curr := "<idle>"
 		if c.curr != nil {

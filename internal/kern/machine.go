@@ -187,6 +187,28 @@ func (nopTracer) SchedIn(*Thread, int, timebase.Time, timebase.Time)   {}
 func (nopTracer) SchedOut(*Thread, int, timebase.Time, SchedOutReason) {}
 func (nopTracer) Wake(*Thread, int, timebase.Time, bool, *Thread)      {}
 
+// multiTracer fans every hook out to the primary tracer and any attached
+// secondary tracers, in attachment order.
+type multiTracer []Tracer
+
+func (ts multiTracer) SchedIn(t *Thread, core int, decideAt, startAt timebase.Time) {
+	for _, tr := range ts {
+		tr.SchedIn(t, core, decideAt, startAt)
+	}
+}
+
+func (ts multiTracer) SchedOut(t *Thread, core int, at timebase.Time, reason SchedOutReason) {
+	for _, tr := range ts {
+		tr.SchedOut(t, core, at, reason)
+	}
+}
+
+func (ts multiTracer) Wake(t *Thread, core int, at timebase.Time, preempted bool, curr *Thread) {
+	for _, tr := range ts {
+		tr.Wake(t, core, at, preempted, curr)
+	}
+}
+
 // Core is one logical core: a runqueue, the current thread and the
 // microarchitecture.
 type Core struct {
@@ -233,7 +255,11 @@ type Machine struct {
 	cores   []*Core
 	caches  *cache.System
 	threads []*Thread
+	// tracer is what the kernel calls: the primary tracer alone, or a
+	// multiTracer fanning out to the attached secondaries as well.
 	tracer  Tracer
+	primary Tracer
+	extra   []Tracer
 	// simRNG drives kernel-side jitter; progRNG is handed to programs.
 	simRNG  *rng.RNG
 	progRNG *rng.RNG
@@ -273,6 +299,7 @@ func NewMachine(p Params) *Machine {
 		p:       p,
 		caches:  caches,
 		tracer:  nopTracer{},
+		primary: nopTracer{},
 		simRNG:  root.Fork(1),
 		progRNG: root.Fork(2),
 		nextTID: 1,
@@ -291,7 +318,11 @@ func NewMachine(p Params) *Machine {
 		}
 	}
 	if p.Faults.Enabled() {
-		m.faults = fault.NewInjector(p.Faults, root.Fork(3))
+		in, err := fault.NewInjector(p.Faults, root.Fork(3))
+		if err != nil {
+			panic(fmt.Sprintf("kern: invalid fault config: %v", err))
+		}
+		m.faults = in
 		m.schedule(&event{at: m.now.Add(m.faults.CheckPeriod()), kind: evFault})
 	}
 	return m
@@ -328,13 +359,38 @@ func (m *Machine) FaultCounts() map[string]int64 {
 	return m.faults.Counts()
 }
 
-// SetTracer installs a Tracer (nil restores the no-op tracer).
+// SetTracer installs the primary Tracer (nil restores the no-op tracer).
+// Tracers attached with AttachTracer keep observing regardless.
 func (m *Machine) SetTracer(tr Tracer) {
 	if tr == nil {
-		m.tracer = nopTracer{}
+		tr = nopTracer{}
+	}
+	m.primary = tr
+	m.rebuildTracer()
+}
+
+// AttachTracer adds a passive secondary tracer that observes every
+// scheduling event alongside the primary one, surviving SetTracer calls.
+// Experiment drivers own the primary tracer; supervision layers (trace
+// capture, campaign recording) attach here so both see the same stream.
+func (m *Machine) AttachTracer(tr Tracer) {
+	if tr == nil {
 		return
 	}
-	m.tracer = tr
+	m.extra = append(m.extra, tr)
+	m.rebuildTracer()
+}
+
+// rebuildTracer recomputes the fan-out after SetTracer/AttachTracer.
+func (m *Machine) rebuildTracer() {
+	if len(m.extra) == 0 {
+		m.tracer = m.primary
+		return
+	}
+	all := make(multiTracer, 0, 1+len(m.extra))
+	all = append(all, m.primary)
+	all = append(all, m.extra...)
+	m.tracer = all
 }
 
 func (m *Machine) coreOf(t *Thread) *Core { return t.core }

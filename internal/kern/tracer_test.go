@@ -1,0 +1,89 @@
+package kern
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/timebase"
+)
+
+// countTracer tallies every hook invocation.
+type countTracer struct {
+	ins, outs, wakes int
+}
+
+func (c *countTracer) SchedIn(t *Thread, core int, decideAt, startAt timebase.Time) { c.ins++ }
+func (c *countTracer) SchedOut(t *Thread, core int, at timebase.Time, reason SchedOutReason) {
+	c.outs++
+}
+func (c *countTracer) Wake(t *Thread, core int, at timebase.Time, preempted bool, curr *Thread) {
+	c.wakes++
+}
+
+func (c *countTracer) total() int { return c.ins + c.outs + c.wakes }
+
+// TestAttachTracerFanOut checks that an attached secondary tracer sees the
+// same event stream as the primary, and survives the experiment installing
+// its own tracer via SetTracer — the property ambient trace capture relies
+// on.
+func TestAttachTracerFanOut(t *testing.T) {
+	m := newTestMachine(t, 1)
+	attached := &countTracer{}
+	m.AttachTracer(attached)
+	primary := &countTracer{}
+	m.SetTracer(primary) // after AttachTracer, as experiments do
+
+	m.Spawn("worker", func(e *Env) {
+		for i := 0; i < 3; i++ {
+			e.Nanosleep(10 * timebase.Microsecond)
+			e.Burn(5 * timebase.Microsecond)
+		}
+	})
+	m.RunFor(5 * timebase.Millisecond)
+
+	if attached.total() == 0 {
+		t.Fatal("attached tracer saw no events")
+	}
+	if primary.ins != attached.ins || primary.outs != attached.outs || primary.wakes != attached.wakes {
+		t.Fatalf("fan-out mismatch: primary %+v, attached %+v", primary, attached)
+	}
+
+	// Replacing the primary must not detach the secondary.
+	replacement := &countTracer{}
+	m.SetTracer(replacement)
+	before := attached.total()
+	m.Spawn("again", func(e *Env) { e.Burn(5 * timebase.Microsecond) })
+	m.RunFor(5 * timebase.Millisecond)
+	if attached.total() == before {
+		t.Fatal("attached tracer detached by SetTracer")
+	}
+	if replacement.total() == 0 {
+		t.Fatal("replacement primary saw no events")
+	}
+}
+
+// TestDumpStateReportsEventQueue checks the machine dump includes the
+// event-queue depth and pending-timer count, so invariant-failure
+// postmortems show whether the machine died busy or drained.
+func TestDumpStateReportsEventQueue(t *testing.T) {
+	m := newTestMachine(t, 1)
+	m.Spawn("sleeper", func(e *Env) {
+		e.SetTimerSlack(1)
+		e.TimerCreate(100 * timebase.Microsecond)
+		e.RunLoopForever(loopBody(16))
+	})
+	m.RunFor(timebase.Millisecond)
+
+	dump := m.DumpState()
+	if !strings.Contains(dump, "queued") || !strings.Contains(dump, "pending timers") {
+		t.Fatalf("dump missing event-queue line:\n%s", dump)
+	}
+	// A machine with an armed periodic timer must report at least one
+	// pending timer and a non-empty queue.
+	if m.events.depth() == 0 {
+		t.Fatalf("live machine reports empty event queue:\n%s", dump)
+	}
+	if m.events.pendingTimers() == 0 {
+		t.Fatalf("armed periodic timer not counted:\n%s", dump)
+	}
+}

@@ -146,6 +146,43 @@ func LatencyTrace(names []string, traces [][]int64, lowHi [2]int64) string {
 	return b.String()
 }
 
+// CampaignRow is one experiment's line in a campaign summary table.
+type CampaignRow struct {
+	ID       string
+	Status   string
+	Attempts int
+	// Cause is the failure headline ("" for successful entries).
+	Cause string
+}
+
+// CampaignSummary renders the per-experiment campaign outcome table plus
+// the ok/retried/degraded/failed/skipped/pending tally line. Failure causes
+// ride on the right of their rows, so the summary alone localizes what went
+// wrong.
+func CampaignSummary(rows []CampaignRow) string {
+	var b strings.Builder
+	counts := map[string]int{}
+	for _, r := range rows {
+		counts[r.Status]++
+		attempts := "-"
+		if r.Attempts > 0 {
+			attempts = fmt.Sprintf("%d", r.Attempts)
+		}
+		line := fmt.Sprintf("  %-14s attempts=%-3s %-9s", r.ID, attempts, r.Status)
+		if r.Cause != "" {
+			line += " " + r.Cause
+		}
+		b.WriteString(strings.TrimRight(line, " "))
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "  %d experiments:", len(rows))
+	for _, s := range []string{"ok", "retried", "degraded", "failed", "skipped", "pending"} {
+		fmt.Fprintf(&b, " %d %s,", counts[s], s)
+	}
+	out := b.String()
+	return strings.TrimSuffix(out, ",") + "\n"
+}
+
 // PercentBar renders a labelled percentage with a bar, for headline
 // accuracy numbers.
 func PercentBar(label string, frac float64) string {

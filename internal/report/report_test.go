@@ -95,3 +95,29 @@ func TestPercentBar(t *testing.T) {
 		t.Fatal("negative not clamped")
 	}
 }
+
+func TestCampaignSummary(t *testing.T) {
+	rows := []CampaignRow{
+		{ID: "tab2.1", Status: "ok", Attempts: 1},
+		{ID: "fig4.1", Status: "degraded", Attempts: 3},
+		{ID: "fig4.6", Status: "failed", Attempts: 3, Cause: `invariant "runqueue-accounting" at 1.5ms: off by one`},
+		{ID: "nosuch", Status: "skipped"},
+		{ID: "fig5.2", Status: "pending"},
+	}
+	out := CampaignSummary(rows)
+	for _, frag := range []string{
+		"tab2.1", "attempts=1", "degraded", "failed",
+		`invariant "runqueue-accounting"`,
+		"5 experiments: 1 ok, 0 retried, 1 degraded, 1 failed, 1 skipped, 1 pending",
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("summary missing %q:\n%s", frag, out)
+		}
+	}
+	// Unrun entries show "-" for attempts, not a misleading zero.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "nosuch") && !strings.Contains(line, "attempts=-") {
+			t.Errorf("skipped row shows attempt count: %q", line)
+		}
+	}
+}

@@ -3,9 +3,13 @@ package repro
 import (
 	"fmt"
 	"sort"
+	"strings"
 
+	"repro/internal/campaign"
 	"repro/internal/exps"
 	"repro/internal/fault"
+	"repro/internal/timebase"
+	"repro/internal/trace"
 )
 
 // Scale selects experiment sizes.
@@ -32,6 +36,10 @@ type Options struct {
 	// forced migrations at this per-opportunity probability. Runs stay
 	// deterministic per seed.
 	FaultRate float64
+	// SimBudget, when positive, overrides the simulated-time budget of
+	// every watchdog-guarded experiment phase (exps.Watchdog), bounding how
+	// long a perturbed machine may run before settling for partial results.
+	SimBudget timebase.Duration
 }
 
 func (o Options) seed() uint64 {
@@ -391,18 +399,28 @@ func Run(id string, o Options) (Result, error) {
 	if !ok {
 		return nil, fmt.Errorf("repro: unknown experiment %q (known: %v)", id, IDs())
 	}
-	defer o.applyChaos()()
+	defer o.applyAmbient()()
 	return e.Run(o), nil
 }
 
-// applyChaos installs the ambient fault configuration requested by the
-// options and returns the restore function.
-func (o Options) applyChaos() func() {
-	if o.FaultRate <= 0 {
-		return func() {}
+// applyAmbient installs the ambient experiment state the options request —
+// fault injection and the watchdog simulated-time budget — and returns the
+// restore function.
+func (o Options) applyAmbient() func() {
+	restoreChaos := func() {}
+	if o.FaultRate > 0 {
+		prev := exps.SetChaos(fault.Config{Rate: o.FaultRate})
+		restoreChaos = func() { exps.SetChaos(prev) }
 	}
-	prev := exps.SetChaos(fault.Config{Rate: o.FaultRate})
-	return func() { exps.SetChaos(prev) }
+	restoreBudget := func() {}
+	if o.SimBudget > 0 {
+		prev := exps.SetWatchdogBudget(o.SimBudget)
+		restoreBudget = func() { exps.SetWatchdogBudget(prev) }
+	}
+	return func() {
+		restoreBudget()
+		restoreChaos()
+	}
 }
 
 // RunReport is the outcome of a guarded experiment run.
@@ -431,7 +449,7 @@ func RunGuarded(id string, o Options, retries int) RunReport {
 	if !ok {
 		return RunReport{ID: id, Err: fmt.Errorf("repro: unknown experiment %q (known: %v)", id, IDs())}
 	}
-	defer o.applyChaos()()
+	defer o.applyAmbient()()
 	rep := RunReport{ID: id}
 	seed := o.seed()
 	for attempt := 0; attempt <= retries; attempt++ {
@@ -451,6 +469,67 @@ func RunGuarded(id string, o Options, retries int) RunReport {
 	}
 	rep.Degraded = true
 	return rep
+}
+
+// CampaignEntries builds campaign entries for ids (every registered
+// experiment, in paper order, when ids is empty) under options o: each
+// entry executes through the guarded runner with the given retry budget at
+// whatever base seed the campaign assigns (canonical first, bumped on
+// resume of a failed entry). Unknown ids produce runner-less entries the
+// campaign records as skipped.
+func CampaignEntries(ids []string, o Options, retries int) []campaign.Entry {
+	if len(ids) == 0 {
+		for _, e := range registry {
+			ids = append(ids, e.ID)
+		}
+	}
+	out := make([]campaign.Entry, 0, len(ids))
+	for _, id := range ids {
+		e, ok := Lookup(id)
+		if !ok {
+			out = append(out, campaign.Entry{ID: id})
+			continue
+		}
+		exp := e
+		out = append(out, campaign.Entry{ID: exp.ID, Run: func(seed uint64) campaign.Attempt {
+			oa := o
+			oa.Seed = seed
+			rep := RunGuarded(exp.ID, oa, retries)
+			att := campaign.Attempt{Attempts: rep.Attempts, Degraded: rep.Degraded}
+			if rep.Result == nil {
+				att.Err = rep.Err
+				return att
+			}
+			att.Rendered = rep.Result.String()
+			att.Metrics = exp.Metrics(rep.Result)
+			return att
+		}})
+	}
+	return out
+}
+
+// RunTraced executes one experiment with kernel trace capture: every
+// machine it builds streams its scheduling events into a canonical
+// trace.Trace (maxEventsPerMachine bounds each machine's share, 0 keeps
+// everything), and the rendered result rides along, so replay can diff both
+// the schedule and the artifact against a committed golden. A panicking
+// experiment returns the partial trace with the error.
+func RunTraced(id string, o Options, maxEventsPerMachine int) (Result, *trace.Trace, error) {
+	e, ok := Lookup(id)
+	if !ok {
+		return nil, nil, fmt.Errorf("repro: unknown experiment %q (known: %v)", id, IDs())
+	}
+	defer o.applyAmbient()()
+	exps.StartTraceCapture(maxEventsPerMachine)
+	res, err := runRecovering(e, o)
+	tr := exps.StopTraceCapture()
+	tr.Exp = id
+	tr.Seed = o.seed()
+	if err != nil {
+		return nil, tr, err
+	}
+	tr.Result = strings.Split(strings.TrimRight(res.String(), "\n"), "\n")
+	return res, tr, nil
 }
 
 // runRecovering converts an experiment panic into an error.
