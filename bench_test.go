@@ -10,6 +10,9 @@ import (
 	"flag"
 	"fmt"
 	"testing"
+	"time"
+
+	"repro/internal/metrics"
 )
 
 var paperScale = flag.Bool("paperscale", false, "run benchmarks at the paper's sample sizes")
@@ -22,16 +25,26 @@ func benchScale() Scale {
 }
 
 // benchExperiment runs one registered experiment under the benchmark
-// harness, reporting its metrics.
+// harness, reporting its metrics plus the simulator's event throughput
+// (counted through a telemetry registry, which cannot perturb the run).
 func benchExperiment(b *testing.B, id string) {
 	b.Helper()
 	e, ok := Lookup(id)
 	if !ok {
 		b.Fatalf("unknown experiment %q", id)
 	}
+	reg := metrics.New()
+	prev := metrics.SetAmbient(reg)
+	defer metrics.SetAmbient(prev)
 	var res Result
+	start := time.Now()
 	for i := 0; i < b.N; i++ {
 		res = e.Run(Options{Scale: benchScale(), Seed: 1})
+	}
+	wall := time.Since(start)
+	if ev := reg.Total("kern_events_total"); ev > 0 && wall > 0 {
+		b.ReportMetric(float64(wall.Nanoseconds())/float64(ev), "ns/sim-event")
+		b.ReportMetric(float64(ev)/wall.Seconds(), "sim-events/sec")
 	}
 	for name, v := range e.Metrics(res) {
 		b.ReportMetric(v, name)

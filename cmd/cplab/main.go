@@ -10,6 +10,9 @@
 //	cplab resume [flags]           # continue an interrupted campaign
 //	cplab trace record <id> [flags]# record the kernel event stream to a .cptrace
 //	cplab trace diff <got> <want>  # first-divergence report between two traces
+//	cplab metrics -exp <id>        # run instrumented, export telemetry (Prometheus/JSON)
+//	cplab profile -exp <id>        # run profiled, report wall cost by event kind/phase
+//	cplab bench [-o P]             # time the simulator, write BENCH_PR3.json
 //
 // Common flags:
 //
@@ -85,6 +88,12 @@ func run(args []string) int {
 		return campaignCmd(args[1:], false)
 	case "resume":
 		return campaignCmd(args[1:], true)
+	case "metrics":
+		return metricsCmd(args[1:])
+	case "profile":
+		return profileCmd(args[1:])
+	case "bench":
+		return benchCmd(args[1:])
 	case "trace":
 		if len(args) < 2 {
 			usage()
@@ -523,5 +532,8 @@ usage:
   cplab resume [same flags — continues the manifest]
   cplab trace record <id> [-o path] [-maxevents N] [flags]
   cplab trace diff <got.cptrace> <want.cptrace>
+  cplab metrics -exp <id> [-json] [-o path] [flags]
+  cplab profile -exp <id> [-json] [-o path] [flags]
+  cplab bench [-o path] [-paper] [-seed N]
 exit codes: 0 clean, 1 degraded/failed/divergence, 2 usage, 3 halted-but-resumable`)
 }

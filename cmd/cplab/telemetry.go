@@ -1,0 +1,226 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro"
+	"repro/internal/campaign"
+	"repro/internal/metrics"
+)
+
+// metricsCmd runs one experiment with a fresh telemetry registry installed
+// and exports the populated registry as Prometheus text (default) or JSON.
+func metricsCmd(args []string) int {
+	fs := flag.NewFlagSet("metrics", flag.ExitOnError)
+	cf := addCommon(fs)
+	exp := fs.String("exp", "", "experiment ID to instrument (required)")
+	out := fs.String("o", "", "write the export to this file instead of stdout")
+	fs.Parse(args)
+	if *exp == "" {
+		fmt.Fprintln(os.Stderr, "cplab metrics -exp <id> [-json] [-o path] [flags]")
+		return exitUsage
+	}
+	o, err := cf.options()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cplab:", err)
+		return exitUsage
+	}
+	start := time.Now()
+	_, reg, err := repro.RunInstrumented(*exp, o)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cplab:", err)
+		return exitDegraded
+	}
+	fmt.Fprintf(os.Stderr, "cplab: %s finished in %v\n", *exp, time.Since(start).Round(time.Millisecond))
+	var buf bytes.Buffer
+	if *cf.asJSON {
+		err = reg.WriteJSON(&buf)
+	} else {
+		err = reg.WritePrometheus(&buf)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cplab:", err)
+		return exitDegraded
+	}
+	return emit(*out, buf.Bytes())
+}
+
+// profileCmd runs one experiment with a fresh sim-time profiler installed
+// and reports wall-clock cost by kernel event kind and experiment phase.
+func profileCmd(args []string) int {
+	fs := flag.NewFlagSet("profile", flag.ExitOnError)
+	cf := addCommon(fs)
+	exp := fs.String("exp", "", "experiment ID to profile (required)")
+	out := fs.String("o", "", "write the report to this file instead of stdout")
+	fs.Parse(args)
+	if *exp == "" {
+		fmt.Fprintln(os.Stderr, "cplab profile -exp <id> [-json] [-o path] [flags]")
+		return exitUsage
+	}
+	o, err := cf.options()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cplab:", err)
+		return exitUsage
+	}
+	start := time.Now()
+	_, prof, err := repro.RunProfiled(*exp, o)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cplab:", err)
+		return exitDegraded
+	}
+	fmt.Fprintf(os.Stderr, "cplab: %s finished in %v\n", *exp, time.Since(start).Round(time.Millisecond))
+	rep := prof.Report()
+	var buf bytes.Buffer
+	if *cf.asJSON {
+		err = rep.WriteJSON(&buf)
+	} else {
+		err = rep.WriteText(&buf)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cplab:", err)
+		return exitDegraded
+	}
+	return emit(*out, buf.Bytes())
+}
+
+// benchIDs are the experiments the benchmark harness times individually;
+// benchCampaignIDs is the small sweep that exercises the campaign path
+// (checkpointing, containment, record building) end to end.
+var (
+	benchIDs         = []string{"fig4.1"}
+	benchCampaignIDs = []string{"tab2.1", "fig4.1"}
+)
+
+// benchResult is one benchmark row of the BENCH_PR3.json artifact.
+type benchResult struct {
+	Name         string  `json:"name"`
+	WallNS       int64   `json:"wall_ns"`
+	SimEvents    int64   `json:"sim_events"`
+	NSPerEvent   float64 `json:"ns_per_event"`
+	EventsPerSec float64 `json:"events_per_sec"`
+}
+
+// benchFile is the whole artifact.
+type benchFile struct {
+	Seed       uint64        `json:"seed"`
+	Paper      bool          `json:"paper"`
+	Benchmarks []benchResult `json:"benchmarks"`
+}
+
+// benchCmd times the simulator end to end — each benchIDs experiment plus a
+// small checkpointed campaign — counting simulated kernel events through a
+// fresh telemetry registry, and writes ns/sim-event and events/sec rows to
+// BENCH_PR3.json.
+func benchCmd(args []string) int {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	cf := addCommon(fs)
+	out := fs.String("o", "BENCH_PR3.json", "output path (- for stdout)")
+	fs.Parse(args)
+	o, err := cf.options()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cplab:", err)
+		return exitUsage
+	}
+	file := benchFile{Seed: *cf.seed, Paper: *cf.paper}
+	for _, id := range benchIDs {
+		row, err := benchExp(id, o)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cplab:", err)
+			return exitDegraded
+		}
+		file.Benchmarks = append(file.Benchmarks, row)
+		fmt.Fprintf(os.Stderr, "cplab: bench %-10s %8.1f ns/event  %12.0f events/s  (%d events)\n",
+			row.Name, row.NSPerEvent, row.EventsPerSec, row.SimEvents)
+	}
+	row, err := benchCampaign(o, *cf.seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cplab:", err)
+		return exitDegraded
+	}
+	file.Benchmarks = append(file.Benchmarks, row)
+	fmt.Fprintf(os.Stderr, "cplab: bench %-10s %8.1f ns/event  %12.0f events/s  (%d events)\n",
+		row.Name, row.NSPerEvent, row.EventsPerSec, row.SimEvents)
+
+	data, err := json.MarshalIndent(file, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cplab:", err)
+		return exitDegraded
+	}
+	return emit(*out, append(data, '\n'))
+}
+
+// benchExp times one experiment run, counting dispatched kernel events.
+func benchExp(id string, o repro.Options) (benchResult, error) {
+	start := time.Now()
+	_, reg, err := repro.RunInstrumented(id, o)
+	wall := time.Since(start)
+	if err != nil {
+		return benchResult{}, err
+	}
+	return benchRow(id, wall, reg.Total("kern_events_total")), nil
+}
+
+// benchCampaign times a small checkpointed campaign in a throwaway
+// directory, exercising the guarded runner, manifest checkpointing and
+// record building alongside the simulation itself.
+func benchCampaign(o repro.Options, seed uint64) (benchResult, error) {
+	dir, err := os.MkdirTemp("", "cplab-bench-")
+	if err != nil {
+		return benchResult{}, err
+	}
+	defer os.RemoveAll(dir)
+	reg := metrics.New()
+	prev := metrics.SetAmbient(reg)
+	defer metrics.SetAmbient(prev)
+	entries := repro.CampaignEntries(benchCampaignIDs, o, 0)
+	c, err := campaign.New(campaign.Config{
+		Path: filepath.Join(dir, "bench-campaign.json"),
+		Seed: seed,
+		Note: "bench",
+	}, entries)
+	if err != nil {
+		return benchResult{}, err
+	}
+	start := time.Now()
+	man, err := c.Run()
+	wall := time.Since(start)
+	if err != nil {
+		return benchResult{}, err
+	}
+	if !man.Complete() {
+		return benchResult{}, fmt.Errorf("bench campaign did not complete")
+	}
+	return benchRow("campaign", wall, reg.Total("kern_events_total")), nil
+}
+
+// benchRow folds a timing into a result row.
+func benchRow(name string, wall time.Duration, events int64) benchResult {
+	row := benchResult{Name: name, WallNS: wall.Nanoseconds(), SimEvents: events}
+	if events > 0 {
+		row.NSPerEvent = float64(row.WallNS) / float64(events)
+	}
+	if wall > 0 {
+		row.EventsPerSec = float64(events) / wall.Seconds()
+	}
+	return row
+}
+
+// emit writes data to path, or to stdout when path is "" or "-".
+func emit(path string, data []byte) int {
+	if path == "" || path == "-" {
+		os.Stdout.Write(data)
+		return exitOK
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "cplab:", err)
+		return exitDegraded
+	}
+	fmt.Fprintf(os.Stderr, "cplab: wrote %s (%d bytes)\n", path, len(data))
+	return exitOK
+}

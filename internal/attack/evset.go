@@ -3,6 +3,7 @@ package attack
 import (
 	"repro/internal/cache"
 	"repro/internal/kern"
+	"repro/internal/metrics"
 )
 
 // EvictionArena is where the attacker's own eviction-set pages live.
@@ -18,6 +19,9 @@ type EvictionSet struct {
 	Lines []uint64
 	// Threshold separates hit from miss (cycles).
 	Threshold int64
+
+	primes *metrics.Counter
+	probes *metrics.Counter
 }
 
 // BuildEvictionSet constructs an eviction set for target with ways lines.
@@ -36,12 +40,20 @@ func BuildEvictionSet(env *kern.Env, target uint64, ways int) *EvictionSet {
 	for a := first; len(lines) < ways; a += stride {
 		lines = append(lines, a)
 	}
-	return &EvictionSet{Target: target, Lines: lines, Threshold: env.HitThreshold()}
+	r := metrics.Ambient()
+	return &EvictionSet{
+		Target:    target,
+		Lines:     lines,
+		Threshold: env.HitThreshold(),
+		primes:    r.Counter(`attack_probe_total{kind="prime"}`),
+		probes:    r.Counter(`attack_probe_total{kind="probe"}`),
+	}
 }
 
 // Prime accesses every line of the set, filling the LLC set with attacker
 // lines (and evicting the target by inclusivity).
 func (es *EvictionSet) Prime(env *kern.Env) {
+	es.primes.Inc()
 	for _, l := range es.Lines {
 		env.Load(l)
 	}
@@ -51,6 +63,7 @@ func (es *EvictionSet) Prime(env *kern.Env) {
 // primed set that the victim did not disturb probes all-hits; victim
 // accesses to the congruent set evict attacker lines and show up as misses.
 func (es *EvictionSet) Probe(env *kern.Env) (total int64, misses int) {
+	es.probes.Inc()
 	for _, l := range es.Lines {
 		lat := env.TimedLoad(l)
 		total += lat

@@ -10,6 +10,7 @@ package attack
 import (
 	"repro/internal/cache"
 	"repro/internal/kern"
+	"repro/internal/metrics"
 )
 
 // FlushReload monitors a fixed set of shared cache lines (e.g. the 16 lines
@@ -20,17 +21,28 @@ type FlushReload struct {
 	Lines []uint64
 	// Threshold separates hit from miss latencies (cycles).
 	Threshold int64
+
+	flushes *metrics.Counter
+	reloads *metrics.Counter
 }
 
 // NewFlushReload builds a monitor over the given line addresses, taking the
-// hit threshold from the machine's calibrated latencies.
+// hit threshold from the machine's calibrated latencies and its probe
+// counters from the ambient telemetry registry.
 func NewFlushReload(env *kern.Env, lines []uint64) *FlushReload {
-	return &FlushReload{Lines: lines, Threshold: env.HitThreshold()}
+	r := metrics.Ambient()
+	return &FlushReload{
+		Lines:     lines,
+		Threshold: env.HitThreshold(),
+		flushes:   r.Counter(`attack_probe_total{kind="flush"}`),
+		reloads:   r.Counter(`attack_probe_total{kind="reload"}`),
+	}
 }
 
 // Flush evicts every monitored line coherence-wide (the pre-conditioning
 // step, run before the attacker naps).
 func (fr *FlushReload) Flush(env *kern.Env) {
+	fr.flushes.Inc()
 	for _, l := range fr.Lines {
 		env.FlushLine(l)
 	}
@@ -41,6 +53,7 @@ func (fr *FlushReload) Flush(env *kern.Env) {
 // the nap). Reloading re-fills the lines; callers flush again before the
 // next nap.
 func (fr *FlushReload) Reload(env *kern.Env) []bool {
+	fr.reloads.Inc()
 	out := make([]bool, len(fr.Lines))
 	for i, l := range fr.Lines {
 		out[i] = env.TimedLoad(l) <= fr.Threshold

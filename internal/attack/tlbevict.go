@@ -2,6 +2,7 @@ package attack
 
 import (
 	"repro/internal/kern"
+	"repro/internal/metrics"
 	"repro/internal/tlb"
 )
 
@@ -20,6 +21,8 @@ type TLBEvictor struct {
 	ITLBPages []uint64
 	// STLBPages are executed to evict the sTLB set.
 	STLBPages []uint64
+
+	evictions *metrics.Counter
 }
 
 // NewTLBEvictor builds eviction sets for the page containing victimPC,
@@ -31,6 +34,7 @@ func NewTLBEvictor(env *kern.Env, victimPC uint64) *TLBEvictor {
 	return &TLBEvictor{
 		ITLBPages: tlb.EvictionPagesFor(it, victimPC, TLBArena, it.Config().Ways+1),
 		STLBPages: tlb.EvictionPagesFor(st, victimPC, TLBArena+(1<<36), st.Config().Ways+1),
+		evictions: metrics.Ambient().Counter(`attack_probe_total{kind="tlb-evict"}`),
 	}
 }
 
@@ -38,6 +42,7 @@ func NewTLBEvictor(env *kern.Env, victimPC uint64) *TLBEvictor {
 // victim page's translation. The added attacker time is small compared to
 // the measurement procedure (§4.3).
 func (te *TLBEvictor) Evict(env *kern.Env) {
+	te.evictions.Inc()
 	for _, p := range te.ITLBPages {
 		env.FetchTouch(p)
 	}

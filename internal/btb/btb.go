@@ -12,6 +12,8 @@
 //     because the front-end no longer prefetches the jump's target line.
 package btb
 
+import "repro/internal/metrics"
+
 // Config describes the BTB geometry.
 type Config struct {
 	// Entries is the number of direct-mapped entries. Must be a power of
@@ -42,6 +44,26 @@ type BTB struct {
 	cfg     Config
 	entries []entry
 	mask    uint64
+
+	// tel holds prediction metric handles; nil handles (the default) make
+	// every increment a no-op.
+	tel struct {
+		hits          *metrics.Counter
+		misses        *metrics.Counter
+		branchUpdates *metrics.Counter
+		nvInvalidates *metrics.Counter
+	}
+}
+
+// InstrumentMetrics wires BTB telemetry into a registry: prediction
+// hits/misses, branch-resolution updates, and NightVision invalidations
+// (non-branch executions killing a colliding entry). Per-core BTBs share
+// the metric names, so counts aggregate machine-wide.
+func (b *BTB) InstrumentMetrics(r *metrics.Registry) {
+	b.tel.hits = r.Counter(`btb_lookup_total{outcome="hit"}`)
+	b.tel.misses = r.Counter(`btb_lookup_total{outcome="miss"}`)
+	b.tel.branchUpdates = r.Counter("btb_branch_updates_total")
+	b.tel.nvInvalidates = r.Counter("btb_nonbranch_invalidations_total")
 }
 
 // New returns an empty BTB. It panics if Entries is not a power of two.
@@ -72,14 +94,17 @@ func Collide(a, bpc uint64) bool { return uint32(a) == uint32(bpc) }
 func (b *BTB) Lookup(pc uint64) (target uint64, hit bool) {
 	e := b.entries[b.index(pc)]
 	if e.valid && e.tag == b.tag(pc) {
+		b.tel.hits.Inc()
 		return (pc &^ 0xffff_ffff) | uint64(e.target), true
 	}
+	b.tel.misses.Inc()
 	return 0, false
 }
 
 // UpdateBranch records the resolved target of a control-transfer
 // instruction at pc (allocating or replacing its entry).
 func (b *BTB) UpdateBranch(pc, target uint64) {
+	b.tel.branchUpdates.Inc()
 	b.entries[b.index(pc)] = entry{valid: true, tag: b.tag(pc), target: uint32(target)}
 }
 
@@ -89,6 +114,7 @@ func (b *BTB) UpdateBranch(pc, target uint64) {
 func (b *BTB) UpdateNonBranch(pc uint64) bool {
 	i := b.index(pc)
 	if b.entries[i].valid && b.entries[i].tag == b.tag(pc) {
+		b.tel.nvInvalidates.Inc()
 		b.entries[i].valid = false
 		return true
 	}

@@ -6,7 +6,11 @@
 // §5.2) encode information into.
 package cache
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+)
 
 // LineSize is the cache line size in bytes, shared by every level.
 const LineSize = 64
@@ -296,6 +300,28 @@ type System struct {
 	recentFills [recentFillsCap]uint64
 	fillPos     int
 	fillCount   int
+
+	// tel holds the hierarchy's metric handles; nil handles (the default)
+	// make every increment a no-op.
+	tel struct {
+		access       [4]*metrics.Counter // indexed by hit Level
+		llcEvictions *metrics.Counter
+		flushes      *metrics.Counter
+		disturbs     *metrics.Counter
+	}
+}
+
+// InstrumentMetrics wires the hierarchy into a telemetry registry: accesses
+// by hit level, LLC capacity evictions (inclusive back-invalidations),
+// coherence-wide flushes and noise-model disturb evictions. Counting is
+// write-only — instrumentation cannot change any access outcome.
+func (s *System) InstrumentMetrics(r *metrics.Registry) {
+	for lvl := LevelL1; lvl <= LevelMem; lvl++ {
+		s.tel.access[lvl] = r.Counter(fmt.Sprintf("cache_access_total{level=%q}", lvl.String()))
+	}
+	s.tel.llcEvictions = r.Counter("cache_llc_capacity_evictions_total")
+	s.tel.flushes = r.Counter("cache_flush_total")
+	s.tel.disturbs = r.Counter("cache_disturb_evictions_total")
 }
 
 // NewSystem builds the hierarchy described by cfg, reporting an error for
@@ -326,6 +352,7 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 	// every private cache. This is the effect LLC Prime+Probe relies on to
 	// evict victim code/data (§5.2).
 	s.llc.onEvict = func(line uint64) {
+		s.tel.llcEvictions.Inc()
 		for i := range s.cores {
 			s.cores[i].l1i.Invalidate(line)
 			s.cores[i].l1d.Invalidate(line)
@@ -360,15 +387,19 @@ func (s *System) access(core int, addr uint64, l1 *Cache) Level {
 	p := &s.cores[core]
 	switch {
 	case l1.Touch(addr):
+		s.tel.access[LevelL1].Inc()
 		return LevelL1
 	case p.l2.Touch(addr):
+		s.tel.access[LevelL2].Inc()
 		l1.Insert(addr)
 		return LevelL2
 	case s.llc.Touch(addr):
+		s.tel.access[LevelLLC].Inc()
 		p.l2.Insert(addr)
 		l1.Insert(addr)
 		return LevelLLC
 	default:
+		s.tel.access[LevelMem].Inc()
 		s.llc.Insert(addr)
 		p.l2.Insert(addr)
 		l1.Insert(addr)
@@ -415,6 +446,7 @@ func (s *System) PrefetchData(core int, addr uint64) {
 // Flush removes the line containing addr from every level on every core
 // (clflush semantics: coherence-wide).
 func (s *System) Flush(addr uint64) {
+	s.tel.flushes.Inc()
 	s.llc.Invalidate(addr)
 	for i := range s.cores {
 		s.cores[i].l1i.Invalidate(addr)
@@ -449,6 +481,7 @@ func (s *System) DisturbRandomLine(setIdx int, wayPick int) bool {
 	if len(lines) == 0 {
 		return false
 	}
+	s.tel.disturbs.Inc()
 	s.Flush(lines[wayPick%len(lines)])
 	return true
 }
@@ -465,6 +498,7 @@ func (s *System) DisturbRecentFill(pick int) bool {
 	if !s.llc.Contains(line) {
 		return false
 	}
+	s.tel.disturbs.Inc()
 	s.Flush(line)
 	return true
 }

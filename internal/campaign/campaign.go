@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"repro/internal/kern"
+	"repro/internal/metrics"
 )
 
 // defaultBump is the seed offset applied per previously failed session when
@@ -142,15 +143,31 @@ func (c *Campaign) Manifest() *Manifest { return c.man }
 // failures. It returns the manifest and nil on a completed plan, ErrHalted
 // on a deadline/injected halt (resume later), or the checkpoint I/O error
 // that stopped it.
+//
+// When an ambient telemetry registry is installed, Run counts entries,
+// failures, skips, checkpoints and resume hits, and attaches a per-entry
+// metric delta (the registry's Flatten before vs after the entry) to each
+// record. Campaign-level counters are bumped outside the delta window, so an
+// entry's recorded telemetry depends only on its own deterministic
+// execution — a resumed campaign checkpoints the same deltas an
+// uninterrupted one would, keeping manifests byte-identical.
 func (c *Campaign) Run() (*Manifest, error) {
+	reg := metrics.Ambient()
+	mEntries := reg.Counter("campaign_entries_total")
+	mFailures := reg.Counter("campaign_failures_total")
+	mSkipped := reg.Counter("campaign_skipped_total")
+	mResumeHits := reg.Counter("campaign_resume_hits_total")
+
 	ranThisSession := 0
 	for i, id := range c.man.IDs {
 		rec := c.man.Entries[id]
 		if rec != nil && rec.Status.final() {
+			mResumeHits.Inc()
 			continue
 		}
 		e, ok := c.entries[id]
 		if !ok || e.Run == nil {
+			mSkipped.Inc()
 			c.man.Entries[id] = &Record{ID: id, Status: StatusSkipped,
 				Failure: &Failure{Msg: "no runner (unknown experiment id)"}}
 			if err := c.checkpoint(); err != nil {
@@ -165,11 +182,18 @@ func (c *Campaign) Run() (*Manifest, error) {
 		}
 		seed := c.cfg.Seed + c.bump()*uint64(prevFails)
 		c.logf("campaign: %s (seed %d, session %d)", id, seed, sessionsOf(rec)+1)
+		mEntries.Inc()
+		base := reg.Flatten()
 		start := time.Now()
 		att := c.contain(id, e, seed)
+		delta := metrics.Delta(base, reg.Flatten())
 		c.logf("campaign: %s finished in %v", id, time.Since(start).Round(time.Millisecond))
+		if att.Err != nil {
+			mFailures.Inc()
+		}
 
 		c.man.Entries[id] = buildRecord(id, seed, rec, att)
+		c.man.Entries[id].Telemetry = delta
 		if err := c.checkpoint(); err != nil {
 			return c.man, err
 		}
@@ -274,6 +298,7 @@ func (c *Campaign) checkpoint() error {
 	if c.cfg.Path == "" {
 		return nil
 	}
+	metrics.Ambient().Counter("campaign_checkpoints_total").Inc()
 	return c.man.Save(c.cfg.Path)
 }
 

@@ -5,11 +5,13 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 	"time"
 
 	"repro/internal/kern"
+	"repro/internal/metrics"
 	"repro/internal/timebase"
 )
 
@@ -348,5 +350,117 @@ func TestLoadRejectsBadManifest(t *testing.T) {
 	os.WriteFile(wrongVer, []byte(`{"version": 99, "seed": 1, "ids": []}`), 0o644)
 	if _, err := Load(wrongVer); err == nil {
 		t.Error("Load accepted a future manifest version")
+	}
+}
+
+// telEntry deterministically bumps ambient counters as a stand-in for an
+// instrumented experiment: the per-entry delta depends only on the id/seed,
+// never on what ran before it.
+func telEntry(id string, events int64) Entry {
+	return Entry{ID: id, Run: func(seed uint64) Attempt {
+		metrics.Ambient().Counter("kern_events_total").Add(events + int64(seed))
+		metrics.Ambient().Counter(`sim_probe_total{kind="test"}`).Inc()
+		return Attempt{
+			Rendered: fmt.Sprintf("%s result (seed %d)\n", id, seed),
+			Metrics:  map[string]float64{"seed": float64(seed)},
+			Attempts: 1,
+		}
+	}}
+}
+
+// TestTelemetryDeltaRecorded a campaign under an ambient registry attaches
+// each entry's metric delta to its record and counts campaign-level events.
+func TestTelemetryDeltaRecorded(t *testing.T) {
+	reg := metrics.New()
+	prev := metrics.SetAmbient(reg)
+	defer metrics.SetAmbient(prev)
+
+	path := filepath.Join(t.TempDir(), "man.json")
+	c, _ := New(Config{Path: path, Seed: 3}, []Entry{telEntry("a", 100), telEntry("b", 200), {ID: "nosuch"}})
+	man, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantA := map[string]int64{"kern_events_total": 103, `sim_probe_total{kind="test"}`: 1}
+	if got := man.Entries["a"].Telemetry; !reflect.DeepEqual(got, wantA) {
+		t.Fatalf("entry a telemetry: got %v, want %v", got, wantA)
+	}
+	if got := man.Entries["b"].Telemetry["kern_events_total"]; got != 203 {
+		t.Fatalf("entry b kern_events_total delta: got %d, want 203", got)
+	}
+	if got := reg.Counter("campaign_entries_total").Value(); got != 2 {
+		t.Fatalf("campaign_entries_total = %d, want 2", got)
+	}
+	if got := reg.Counter("campaign_skipped_total").Value(); got != 1 {
+		t.Fatalf("campaign_skipped_total = %d, want 1", got)
+	}
+	if got := reg.Counter("campaign_checkpoints_total").Value(); got != 3 {
+		t.Fatalf("campaign_checkpoints_total = %d, want 3", got)
+	}
+	// The deltas survive the round trip through the checkpoint file.
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(loaded.Entries["a"].Telemetry, wantA) {
+		t.Fatalf("loaded telemetry differs: %v", loaded.Entries["a"].Telemetry)
+	}
+}
+
+// TestHaltResumeByteIdenticalWithTelemetry is the acceptance property with
+// metrics enabled: campaign-level counters are kept out of the per-entry
+// delta window, so a halted+resumed campaign checkpoints a manifest
+// byte-identical to an uninterrupted one even though the resumed session's
+// ambient registry starts cold.
+func TestHaltResumeByteIdenticalWithTelemetry(t *testing.T) {
+	dir := t.TempDir()
+	entries := func() []Entry {
+		return []Entry{telEntry("a", 10), telEntry("b", 20), telEntry("c", 30), telEntry("d", 40)}
+	}
+	withFreshRegistry := func(f func()) {
+		prev := metrics.SetAmbient(metrics.New())
+		defer metrics.SetAmbient(prev)
+		f()
+	}
+
+	refPath := filepath.Join(dir, "ref.json")
+	withFreshRegistry(func() {
+		c, _ := New(Config{Path: refPath, Seed: 9}, entries())
+		if _, err := c.Run(); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	cutPath := filepath.Join(dir, "cut.json")
+	withFreshRegistry(func() {
+		c, _ := New(Config{Path: cutPath, Seed: 9, HaltAfter: 2}, entries())
+		if _, err := c.Run(); !errors.Is(err, ErrHalted) {
+			t.Fatalf("interrupted run: err=%v, want ErrHalted", err)
+		}
+	})
+	withFreshRegistry(func() {
+		reg := metrics.Ambient()
+		c, err := Resume(Config{Path: cutPath, Seed: 9}, entries())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if got := reg.Counter("campaign_resume_hits_total").Value(); got != 2 {
+			t.Fatalf("campaign_resume_hits_total = %d, want 2", got)
+		}
+	})
+
+	ref, err := os.ReadFile(refPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut, err := os.ReadFile(cutPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(ref) != string(cut) {
+		t.Fatalf("resumed manifest differs from uninterrupted with telemetry on:\n--- ref ---\n%s\n--- cut ---\n%s", ref, cut)
 	}
 }

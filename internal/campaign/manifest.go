@@ -81,6 +81,12 @@ type Record struct {
 	Metrics  map[string]float64 `json:"metrics,omitempty"`
 	Rendered string             `json:"rendered,omitempty"`
 	Failure  *Failure           `json:"failure,omitempty"`
+	// Telemetry is the ambient metric delta attributable to this entry's
+	// recorded run (counter/gauge deltas plus histogram _sum/_count deltas),
+	// captured when a telemetry registry was installed. It is omitted
+	// entirely when telemetry is off, so such manifests are unchanged from
+	// earlier format revisions.
+	Telemetry map[string]int64 `json:"telemetry,omitempty"`
 }
 
 // Manifest is the campaign checkpoint: the plan (seed, configuration note,

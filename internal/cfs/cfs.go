@@ -17,6 +17,7 @@ package cfs
 import (
 	"fmt"
 
+	"repro/internal/metrics"
 	"repro/internal/rbtree"
 	"repro/internal/sched"
 	"repro/internal/timebase"
@@ -41,6 +42,32 @@ type CFS struct {
 	// placement (cfs_rq->min_vruntime).
 	minVruntime int64
 	minInit     bool
+
+	// tel holds scheduling-policy metric handles; nil handles (the
+	// default) make every increment a no-op. Per-core queues share metric
+	// names, aggregating machine-wide.
+	tel struct {
+		placeClamped *metrics.Counter
+		placeKept    *metrics.Counter
+		wakeGrant    *metrics.Counter
+		wakeDeny     *metrics.Counter
+		tickPreempt  *metrics.Counter
+		budgetLead   *metrics.Histogram
+	}
+}
+
+// InstrumentMetrics wires the policy's decision points into a telemetry
+// registry: Equation 2.1 placements (clamped to the floor vs kept),
+// Equation 2.2 outcomes, tick preemptions, and a histogram of the vruntime
+// lead a woken task had over the incumbent on granted preemptions — the
+// preemption budget the attack spends (§4.1).
+func (c *CFS) InstrumentMetrics(r *metrics.Registry) {
+	c.tel.placeClamped = r.Counter(`cfs_wake_place_total{placement="clamped"}`)
+	c.tel.placeKept = r.Counter(`cfs_wake_place_total{placement="kept"}`)
+	c.tel.wakeGrant = r.Counter(`cfs_wakeup_preempt_total{decision="grant"}`)
+	c.tel.wakeDeny = r.Counter(`cfs_wakeup_preempt_total{decision="deny"}`)
+	c.tel.tickPreempt = r.Counter("cfs_tick_preempt_total")
+	c.tel.budgetLead = r.Histogram("cfs_preempt_lead_vruntime", metrics.DurationBuckets)
 }
 
 // New returns an empty runqueue with the given tunables.
@@ -102,8 +129,10 @@ func (c *CFS) Enqueue(t *sched.Task, wakeup bool) {
 		if t.Vruntime < floor {
 			t.Vruntime = floor
 			t.LastWakePlacedLeft = true
+			c.tel.placeClamped.Inc()
 		} else {
 			t.LastWakePlacedLeft = false
+			c.tel.placeKept.Inc()
 		}
 	}
 	c.tree.Insert(rqItem{t})
@@ -144,13 +173,22 @@ func (c *CFS) UpdateCurr(curr *sched.Task, delta timebase.Duration) {
 // NO_WAKEUP_PREEMPTION mitigation this always returns false.
 func (c *CFS) WakeupPreempt(curr, woken *sched.Task) bool {
 	if !c.p.WakeupPreemption {
+		c.tel.wakeDeny.Inc()
 		return false
 	}
 	if curr == nil {
+		c.tel.wakeGrant.Inc()
 		return true
 	}
 	gran := int64(sched.CalcDeltaFair(c.p.WakeupGranularity, woken.Weight))
-	return curr.Vruntime-woken.Vruntime > gran
+	lead := curr.Vruntime - woken.Vruntime
+	if lead > gran {
+		c.tel.wakeGrant.Inc()
+		c.tel.budgetLead.Observe(lead)
+		return true
+	}
+	c.tel.wakeDeny.Inc()
+	return false
 }
 
 // TickPreempt implements the Scenario 1 check: the current task is
@@ -163,13 +201,18 @@ func (c *CFS) TickPreempt(curr *sched.Task, ranFor timebase.Duration) bool {
 	}
 	slice := c.sliceFor(curr)
 	if ranFor > slice {
+		c.tel.tickPreempt.Inc()
 		return true
 	}
 	if ranFor < c.p.MinGranularity {
 		return false
 	}
 	leftmost := c.tree.Min().Key()
-	return curr.Vruntime-leftmost > int64(slice)
+	if curr.Vruntime-leftmost > int64(slice) {
+		c.tel.tickPreempt.Inc()
+		return true
+	}
+	return false
 }
 
 // sliceFor computes sched_slice: the share of the latency period owed to t

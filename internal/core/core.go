@@ -23,6 +23,7 @@ package core
 
 import (
 	"repro/internal/kern"
+	"repro/internal/metrics"
 	"repro/internal/timebase"
 )
 
@@ -107,6 +108,12 @@ type Stats struct {
 type Attacker struct {
 	cfg   Config
 	stats Stats
+
+	// Telemetry handles from the ambient registry; nil (the default when no
+	// registry is installed) makes every increment a no-op.
+	mBursts      *metrics.Counter
+	mPreemptions *metrics.Counter
+	mFailedWakes *metrics.Counter
 }
 
 // NewAttacker validates and wraps a configuration.
@@ -117,7 +124,13 @@ func NewAttacker(cfg Config) *Attacker {
 	if cfg.Hibernate <= 0 {
 		cfg.Hibernate = 100 * timebase.Millisecond
 	}
-	return &Attacker{cfg: cfg}
+	r := metrics.Ambient()
+	return &Attacker{
+		cfg:          cfg,
+		mBursts:      r.Counter("attack_bursts_total"),
+		mPreemptions: r.Counter("attack_preemptions_total"),
+		mFailedWakes: r.Counter("attack_failed_wakes_total"),
+	}
 }
 
 // Stats returns the attack's outcome counters.
@@ -144,6 +157,7 @@ func (a *Attacker) runNanosleep(env *kern.Env) {
 	sampleIdx := 0
 	for burst := 0; a.cfg.MaxBursts == 0 || burst < a.cfg.MaxBursts; burst++ {
 		a.stats.Bursts = burst + 1
+		a.mBursts.Inc()
 		env.Nanosleep(a.cfg.Hibernate)
 		var inBurst int64
 		for {
@@ -153,10 +167,12 @@ func (a *Attacker) runNanosleep(env *kern.Env) {
 			env.Nanosleep(a.cfg.Epsilon)
 			if !env.Thread().LastWakePreempted() {
 				a.stats.FailedWakes++
+				a.mFailedWakes.Inc()
 				break
 			}
 			inBurst++
 			a.stats.Preemptions++
+			a.mPreemptions.Inc()
 			if !a.measure(env, Sample{Index: sampleIdx, Burst: burst, InBurst: int(inBurst), WakeAt: env.Now()}) {
 				a.stats.BurstLengths = append(a.stats.BurstLengths, inBurst)
 				return
@@ -182,6 +198,7 @@ func (a *Attacker) runTimer(env *kern.Env) {
 	sampleIdx := 0
 	for burst := 0; a.cfg.MaxBursts == 0 || burst < a.cfg.MaxBursts; burst++ {
 		a.stats.Bursts = burst + 1
+		a.mBursts.Inc()
 		env.Nanosleep(a.cfg.Hibernate)
 		pt := env.TimerCreate(a.cfg.Epsilon)
 		done := a.timerBurst(env, burst, &sampleIdx)
@@ -204,10 +221,12 @@ func (a *Attacker) timerBurst(env *kern.Env, burst int, sampleIdx *int) bool {
 		env.Pause()
 		if !env.Thread().LastWakePreempted() {
 			a.stats.FailedWakes++
+			a.mFailedWakes.Inc()
 			return false
 		}
 		inBurst++
 		a.stats.Preemptions++
+		a.mPreemptions.Inc()
 		if !a.measure(env, Sample{Index: *sampleIdx, Burst: burst, InBurst: int(inBurst), WakeAt: env.Now()}) {
 			return true
 		}

@@ -11,6 +11,7 @@ import (
 	"repro/internal/btb"
 	"repro/internal/cache"
 	"repro/internal/isa"
+	"repro/internal/metrics"
 	"repro/internal/tlb"
 )
 
@@ -94,6 +95,19 @@ type Core struct {
 	BTB *btb.BTB
 	// P are the execution-cost constants.
 	P Params
+
+	// retired counts instructions retired on this core's pipeline (a nil
+	// handle, the default, is a no-op).
+	retired *metrics.Counter
+}
+
+// InstrumentMetrics wires the core's microarchitecture into a telemetry
+// registry: a machine-wide retired-instruction counter plus the TLB and BTB
+// counters (the cache system is instrumented once, by its owner).
+func (c *Core) InstrumentMetrics(r *metrics.Registry) {
+	c.retired = r.Counter("cpu_instructions_total")
+	c.TLBs.InstrumentMetrics(r)
+	c.BTB.InstrumentMetrics(r)
 }
 
 // NewCore wires a core against the shared cache system.
@@ -171,6 +185,7 @@ func (c *Core) Exec(ctx *Context, in isa.Inst) int64 {
 
 	ctx.Seq++
 	ctx.Retired++
+	c.retired.Inc()
 	return cyc
 }
 

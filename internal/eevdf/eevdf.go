@@ -29,6 +29,7 @@ package eevdf
 import (
 	"fmt"
 
+	"repro/internal/metrics"
 	"repro/internal/sched"
 	"repro/internal/timebase"
 )
@@ -58,6 +59,35 @@ type EEVDF struct {
 	feat  Features
 	queue []*sched.Task
 	curr  *sched.Task
+
+	// tel holds scheduling-policy metric handles; nil handles (the
+	// default) make every increment a no-op. Per-core queues share metric
+	// names, aggregating machine-wide.
+	tel struct {
+		sleeperCredit *metrics.Counter
+		lagClamped    *metrics.Counter
+		wakeGrant     *metrics.Counter
+		wakeDenyElig  *metrics.Counter
+		wakeDeny      *metrics.Counter
+		tickPreempt   *metrics.Counter
+		placedLag     *metrics.Histogram
+	}
+}
+
+// InstrumentMetrics wires the policy's decision points into a telemetry
+// registry: sleeper-credit applications (the §4.5 heuristic the attack
+// exploits), lag clamps at placement, wakeup-preemption outcomes (denials
+// split by ineligibility vs later deadline), tick preemptions, and a
+// histogram of the lag granted at wake placement — the emergent preemption
+// budget.
+func (e *EEVDF) InstrumentMetrics(r *metrics.Registry) {
+	e.tel.sleeperCredit = r.Counter("eevdf_sleeper_credit_total")
+	e.tel.lagClamped = r.Counter("eevdf_place_lag_clamped_total")
+	e.tel.wakeGrant = r.Counter(`eevdf_wakeup_preempt_total{decision="grant"}`)
+	e.tel.wakeDenyElig = r.Counter(`eevdf_wakeup_preempt_total{decision="deny-ineligible"}`)
+	e.tel.wakeDeny = r.Counter(`eevdf_wakeup_preempt_total{decision="deny"}`)
+	e.tel.tickPreempt = r.Counter("eevdf_tick_preempt_total")
+	e.tel.placedLag = r.Histogram("eevdf_place_lag_vruntime", metrics.DurationBuckets)
 }
 
 // New returns an empty runqueue with the given tunables.
@@ -126,11 +156,14 @@ func (e *EEVDF) Enqueue(t *sched.Task, wakeup bool) {
 			// credit (the kernel sets Task.WellSlept before enqueueing;
 			// see kern's wake path).
 			lag = e.vsliceFor(t) * sleeperCreditNum / sleeperCreditDen
+			e.tel.sleeperCredit.Inc()
 		}
 		if limit := e.lagLimit(t); lag > limit {
 			lag = limit
+			e.tel.lagClamped.Inc()
 		} else if lag < -limit {
 			lag = -limit
+			e.tel.lagClamped.Inc()
 		}
 		// Load-ratio damping (kernel place_entity): scale the requested
 		// lag so that it is still achieved after this enqueue shifts the
@@ -148,6 +181,7 @@ func (e *EEVDF) Enqueue(t *sched.Task, wakeup bool) {
 		t.Vruntime = avg - lag
 		t.Slice = e.vsliceFor(t)
 		t.Deadline = t.Vruntime + t.Slice
+		e.tel.placedLag.Observe(lag)
 	}
 	e.queue = append(e.queue, t)
 }
@@ -230,15 +264,23 @@ func (e *EEVDF) UpdateCurr(curr *sched.Task, delta timebase.Duration) {
 // its virtual deadline is strictly earlier than the current task's.
 func (e *EEVDF) WakeupPreempt(curr, woken *sched.Task) bool {
 	if !e.p.WakeupPreemption {
+		e.tel.wakeDeny.Inc()
 		return false
 	}
 	if curr == nil {
+		e.tel.wakeGrant.Inc()
 		return true
 	}
 	if !e.Eligible(woken) {
+		e.tel.wakeDenyElig.Inc()
 		return false
 	}
-	return woken.Deadline < curr.Deadline
+	if woken.Deadline < curr.Deadline {
+		e.tel.wakeGrant.Inc()
+		return true
+	}
+	e.tel.wakeDeny.Inc()
+	return false
 }
 
 // TickPreempt implements sched.Scheduler: deschedule once the current task
@@ -250,7 +292,11 @@ func (e *EEVDF) TickPreempt(curr *sched.Task, ranFor timebase.Duration) bool {
 	if ranFor < e.p.BaseSlice {
 		return false
 	}
-	return curr.Vruntime >= curr.Deadline || !e.Eligible(curr)
+	if curr.Vruntime >= curr.Deadline || !e.Eligible(curr) {
+		e.tel.tickPreempt.Inc()
+		return true
+	}
+	return false
 }
 
 // Detach implements sched.Scheduler: migrating tasks carry their vruntime

@@ -13,6 +13,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/isa"
 	"repro/internal/kern"
+	"repro/internal/metrics"
 	"repro/internal/sched"
 	"repro/internal/timebase"
 	"repro/internal/trace"
@@ -143,8 +144,13 @@ func NewWatchdog(fallback timebase.Duration) *Watchdog {
 }
 
 // NewMachine builds the experiment machine for the given scheduler and
-// seed.
+// seed. When an ambient sim-time profiler is installed, each machine opens
+// a new profiling phase, so a multi-machine experiment's wall-clock cost is
+// attributed per machine in construction order.
 func NewMachine(kind Sched, seed uint64, opts ...MachineOption) *kern.Machine {
+	if prof := metrics.AmbientProfiler(); prof != nil {
+		prof.BeginPhase(fmt.Sprintf("%s seed=%d", kind, seed))
+	}
 	sp := sched.DefaultParams(Cores)
 	var p kern.Params
 	switch kind {

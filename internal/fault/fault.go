@@ -25,6 +25,8 @@ package fault
 import (
 	"fmt"
 	"math"
+	"sort"
+	"strings"
 
 	"repro/internal/rng"
 	"repro/internal/timebase"
@@ -311,4 +313,24 @@ func (in *Injector) Counts() map[string]int64 {
 		out[k.String()] = in.counts[k]
 	}
 	return out
+}
+
+// CountsString renders the applied-fault counters as "kind=n" pairs in
+// sorted kind-name order — the canonical byte-stable form for invariant
+// dumps and chaos summaries (never iterate the Counts map for output).
+func (in *Injector) CountsString() string {
+	counts := in.Counts()
+	names := make([]string, 0, len(counts))
+	for name := range counts {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for i, name := range names {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%d", name, counts[name])
+	}
+	return b.String()
 }

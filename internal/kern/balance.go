@@ -87,6 +87,7 @@ func (m *Machine) migrate(src, dst *Core, t *Thread, at timebase.Time) {
 	t.core = dst
 	dst.rq.Attach(t.task)
 	dst.rq.Enqueue(t.task, false)
+	m.tel.migrations.Inc()
 	dst.armTick(at)
 }
 

@@ -16,7 +16,28 @@ const (
 	evSignal                     // userspace signal delivery (Env.Signal)
 	evIOWake                     // blocking-IO completion (pipe write)
 	evFault                      // fault-injection scheduler check (package fault)
+
+	numEventKinds = int(evFault) + 1
 )
+
+// String names the event kind (telemetry labels, flight-recorder lines).
+func (k eventKind) String() string {
+	switch k {
+	case evTimerFire:
+		return "timer-fire"
+	case evTick:
+		return "tick"
+	case evBalance:
+		return "balance"
+	case evSignal:
+		return "signal"
+	case evIOWake:
+		return "io-wake"
+	case evFault:
+		return "fault-check"
+	}
+	return "unknown"
+}
 
 // event is one entry in the machine's time-ordered event queue.
 type event struct {

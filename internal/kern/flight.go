@@ -1,0 +1,129 @@
+package kern
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/timebase"
+)
+
+// DefaultFlightDepth is the flight recorder's ring size when
+// Params.FlightRecorderDepth is zero.
+const DefaultFlightDepth = 64
+
+type flightKind uint8
+
+const (
+	flightIn flightKind = iota
+	flightOut
+	flightWake
+)
+
+// flightEntry is one recorded scheduling event. Entries are plain values in
+// a preallocated ring: recording allocates nothing and copies one struct.
+type flightEntry struct {
+	kind      flightKind
+	at        timebase.Time
+	core      int
+	tid       int
+	name      string
+	startAt   timebase.Time  // flightIn: first-instruction time
+	reason    SchedOutReason // flightOut
+	preempted bool           // flightWake: Equation 2.2 outcome
+	currTID   int            // flightWake: incumbent (0 if the core was idle)
+}
+
+// FlightRecorder is a fixed-size ring buffer over the kernel's scheduling
+// event stream (the reproduction's crash-dump flight recorder). One is
+// attached to every machine via the AttachTracer fan-out, and DumpState
+// appends its tail to each InvariantError machine dump, so every crash
+// report ships the scheduling history that led up to it.
+type FlightRecorder struct {
+	buf  []flightEntry
+	next int   // ring write position
+	n    int64 // total events ever recorded
+}
+
+// NewFlightRecorder returns a recorder keeping the last depth events
+// (DefaultFlightDepth if depth <= 0).
+func NewFlightRecorder(depth int) *FlightRecorder {
+	if depth <= 0 {
+		depth = DefaultFlightDepth
+	}
+	return &FlightRecorder{buf: make([]flightEntry, depth)}
+}
+
+func (f *FlightRecorder) record(e flightEntry) {
+	f.buf[f.next] = e
+	f.next = (f.next + 1) % len(f.buf)
+	f.n++
+}
+
+// SchedIn implements Tracer.
+func (f *FlightRecorder) SchedIn(t *Thread, core int, decideAt, startAt timebase.Time) {
+	f.record(flightEntry{kind: flightIn, at: decideAt, core: core, tid: t.id, name: t.name, startAt: startAt})
+}
+
+// SchedOut implements Tracer.
+func (f *FlightRecorder) SchedOut(t *Thread, core int, at timebase.Time, reason SchedOutReason) {
+	f.record(flightEntry{kind: flightOut, at: at, core: core, tid: t.id, name: t.name, reason: reason})
+}
+
+// Wake implements Tracer.
+func (f *FlightRecorder) Wake(t *Thread, core int, at timebase.Time, preempted bool, curr *Thread) {
+	e := flightEntry{kind: flightWake, at: at, core: core, tid: t.id, name: t.name, preempted: preempted}
+	if curr != nil {
+		e.currTID = curr.id
+	}
+	f.record(e)
+}
+
+// Len returns how many events are currently held (≤ depth).
+func (f *FlightRecorder) Len() int {
+	if f.n < int64(len(f.buf)) {
+		return int(f.n)
+	}
+	return len(f.buf)
+}
+
+// Total returns how many events were ever recorded.
+func (f *FlightRecorder) Total() int64 { return f.n }
+
+// Dump renders the retained tail oldest→newest, one line per event,
+// numbered by absolute event sequence. Returns "" when nothing was
+// recorded.
+func (f *FlightRecorder) Dump() string {
+	held := f.Len()
+	if held == 0 {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "flight recorder (last %d of %d sched events):\n", held, f.n)
+	start := 0
+	if f.n >= int64(len(f.buf)) {
+		start = f.next
+	}
+	for i := 0; i < held; i++ {
+		e := f.buf[(start+i)%len(f.buf)]
+		seq := f.n - int64(held) + int64(i) + 1
+		fmt.Fprintf(&b, "  #%06d %12s core%d ", seq, e.at, e.core)
+		switch e.kind {
+		case flightIn:
+			fmt.Fprintf(&b, "in   T%d %s (start %s)", e.tid, e.name, e.startAt)
+		case flightOut:
+			fmt.Fprintf(&b, "out  T%d %s (%s)", e.tid, e.name, e.reason)
+		case flightWake:
+			outcome := "miss"
+			if e.preempted {
+				outcome = "hit"
+			}
+			if e.currTID != 0 {
+				fmt.Fprintf(&b, "wake T%d %s (preempt %s vs T%d)", e.tid, e.name, outcome, e.currTID)
+			} else {
+				fmt.Fprintf(&b, "wake T%d %s (idle core)", e.tid, e.name)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -51,6 +51,11 @@ func (m *Machine) DumpState() string {
 		m.now, m.p.Seed, len(m.cores), len(m.threads))
 	fmt.Fprintf(&b, "  events: %d queued, %d pending timers\n",
 		m.events.depth(), m.events.pendingTimers())
+	if m.faults != nil {
+		// Canonical sorted rendering: dump bytes must not depend on map
+		// iteration order.
+		fmt.Fprintf(&b, "  faults: total=%d %s\n", m.faults.Total(), m.faults.CountsString())
+	}
 	for _, c := range m.cores {
 		curr := "<idle>"
 		if c.curr != nil {
@@ -76,6 +81,11 @@ func (m *Machine) DumpState() string {
 		}
 		fmt.Fprintf(&b, "  thread %-16s state=%-8s blocked=%-6s core=%d pin=%s vrt=%d sum=%s\n",
 			t.String(), t.task.State, t.blockedIn, core, pin, t.task.Vruntime, t.task.SumExec)
+	}
+	if m.flight != nil {
+		if tail := m.flight.Dump(); tail != "" {
+			b.WriteString(tail)
+		}
 	}
 	return b.String()
 }

@@ -58,8 +58,8 @@ func chaosWorkload(t *testing.T, p Params) string {
 		fmt.Fprintf(&b, "%s state=%s vrt=%d sum=%s core=%d\n",
 			th, th.State(), th.Task().Vruntime, th.Task().SumExec, th.CoreID())
 	}
-	if m.FaultInjector() != nil {
-		fmt.Fprintf(&b, "faults=%d %v\n", m.FaultInjector().Total(), m.FaultCounts())
+	if in := m.FaultInjector(); in != nil {
+		fmt.Fprintf(&b, "faults=%d %s\n", in.Total(), in.CountsString())
 	}
 	return b.String()
 }

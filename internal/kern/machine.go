@@ -13,10 +13,13 @@ package kern
 import (
 	"fmt"
 
+	"time"
+
 	"repro/internal/cache"
 	"repro/internal/cpu"
 	"repro/internal/fault"
 	"repro/internal/isa"
+	"repro/internal/metrics"
 	"repro/internal/rng"
 	"repro/internal/sched"
 	"repro/internal/timebase"
@@ -103,6 +106,26 @@ type Params struct {
 	// negative disables all invariant checking. A violation panics with a
 	// structured *InvariantError carrying a machine-state dump.
 	InvariantsEvery int
+
+	// Metrics receives the machine's telemetry (package metrics): event
+	// dispatch counts, timer IRQ and context-switch counters, wake
+	// preemption outcomes, queue-depth histograms, plus whatever the
+	// schedulers and microarchitectural models register. nil falls back to
+	// the ambient registry (metrics.Ambient()); when that is nil too,
+	// telemetry is off and every hook collapses to one branch. Metrics are
+	// write-only for the kernel — they never feed back into simulation
+	// state.
+	Metrics *metrics.Registry
+
+	// Profiler attributes wall-clock cost per dispatched event kind
+	// (package metrics). nil falls back to metrics.AmbientProfiler(); when
+	// that is nil too the kernel never reads the host clock.
+	Profiler *metrics.Profiler
+
+	// FlightRecorderDepth sizes the crash-dump flight recorder: a ring of
+	// the last N scheduling events appended to every InvariantError machine
+	// dump. 0 selects DefaultFlightDepth; negative disables the recorder.
+	FlightRecorderDepth int
 
 	// Seed drives all simulation jitter.
 	Seed uint64
@@ -274,6 +297,13 @@ type Machine struct {
 	// checking is disabled); sinceCheck counts events since the last scan.
 	invarEvery int64
 	sinceCheck int64
+
+	// tel holds the kernel metric handles (always non-nil; no-op handles
+	// when telemetry is off). prof is the sim-time profiler (nil when off).
+	// flight is the crash-dump flight recorder (nil when disabled).
+	tel    *machineTelemetry
+	prof   *metrics.Profiler
+	flight *FlightRecorder
 }
 
 // NewMachine builds a machine.
@@ -324,6 +354,32 @@ func NewMachine(p Params) *Machine {
 		}
 		m.faults = in
 		m.schedule(&event{at: m.now.Add(m.faults.CheckPeriod()), kind: evFault})
+	}
+
+	// Telemetry wiring. The registry (explicit or ambient) is strictly
+	// write-only: nothing below feeds a metric value back into sim state.
+	reg := p.Metrics
+	if reg == nil {
+		reg = metrics.Ambient()
+	}
+	m.tel = newMachineTelemetry(reg)
+	if reg != nil {
+		m.AttachTracer(&metricsTracer{m: m, tel: m.tel})
+		m.caches.InstrumentMetrics(reg)
+		for _, c := range m.cores {
+			c.cpu.InstrumentMetrics(reg)
+			if ins, ok := c.rq.(metrics.Instrumented); ok {
+				ins.InstrumentMetrics(reg)
+			}
+		}
+	}
+	m.prof = p.Profiler
+	if m.prof == nil {
+		m.prof = metrics.AmbientProfiler()
+	}
+	if p.FlightRecorderDepth >= 0 {
+		m.flight = NewFlightRecorder(p.FlightRecorderDepth)
+		m.AttachTracer(m.flight)
 	}
 	return m
 }
@@ -380,6 +436,25 @@ func (m *Machine) AttachTracer(tr Tracer) {
 	m.extra = append(m.extra, tr)
 	m.rebuildTracer()
 }
+
+// DetachTracer removes a previously attached secondary tracer (compared by
+// identity) and reports whether it was found. Safe to call from inside a
+// tracer hook: the fan-out slice is rebuilt, never mutated in place, so an
+// in-flight multiTracer iteration keeps walking the old slice.
+func (m *Machine) DetachTracer(tr Tracer) bool {
+	for i, x := range m.extra {
+		if x == tr {
+			m.extra = append(m.extra[:i:i], m.extra[i+1:]...)
+			m.rebuildTracer()
+			return true
+		}
+	}
+	return false
+}
+
+// FlightRecorder returns the machine's crash-dump flight recorder, or nil
+// when disabled.
+func (m *Machine) FlightRecorder() *FlightRecorder { return m.flight }
 
 // rebuildTracer recomputes the fan-out after SetTracer/AttachTracer.
 func (m *Machine) rebuildTracer() {
@@ -456,6 +531,7 @@ func (m *Machine) Spawn(name string, prog Func, opts ...SpawnOption) *Thread {
 		o(t)
 	}
 	m.threads = append(m.threads, t)
+	m.tel.spawns.Inc()
 	t.start()
 
 	var c *Core
@@ -764,8 +840,24 @@ func (c *Core) armTick(at timebase.Time) {
 	c.m.schedule(&event{at: at.Add(c.m.p.TickPeriod), kind: evTick, core: c})
 }
 
-// dispatch handles one event at m.now.
+// dispatch handles one event at m.now, counting it and — only when a
+// profiler is attached — attributing its wall-clock cost. The host clock is
+// never read otherwise, and neither counters nor profile influence what the
+// event does.
 func (m *Machine) dispatch(ev *event) {
+	if int(ev.kind) < len(m.tel.events) {
+		m.tel.events[ev.kind].Inc()
+	}
+	if m.prof != nil {
+		t0 := time.Now()
+		m.dispatchKind(ev)
+		m.prof.Observe(ev.kind.String(), time.Since(t0))
+		return
+	}
+	m.dispatchKind(ev)
+}
+
+func (m *Machine) dispatchKind(ev *event) {
 	switch ev.kind {
 	case evTimerFire:
 		m.handleTimerFire(ev)

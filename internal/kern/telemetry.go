@@ -1,0 +1,89 @@
+package kern
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+	"repro/internal/timebase"
+)
+
+// machineTelemetry holds the kernel's metric handles. It is always
+// allocated — with a nil registry every handle is nil and each increment
+// costs one branch — so call sites never test for instrumentation.
+type machineTelemetry struct {
+	events    [numEventKinds]*metrics.Counter
+	eventsAny *metrics.Counter
+
+	timerArmedNanosleep *metrics.Counter
+	timerArmedPeriodic  *metrics.Counter
+	timerFired          *metrics.Counter
+	timerDropped        *metrics.Counter
+
+	schedIn  *metrics.Counter
+	schedOut [int(OutPreemptedFault) + 1]*metrics.Counter
+
+	wakes          *metrics.Counter
+	wakePreemptHit *metrics.Counter
+	wakePreemptMis *metrics.Counter
+	wakeDepth      *metrics.Histogram
+
+	spawns     *metrics.Counter
+	migrations *metrics.Counter
+}
+
+// newMachineTelemetry resolves the kernel metric names against r (which may
+// be nil, yielding no-op handles).
+func newMachineTelemetry(r *metrics.Registry) *machineTelemetry {
+	tel := &machineTelemetry{}
+	if r == nil {
+		return tel
+	}
+	for k := 0; k < numEventKinds; k++ {
+		tel.events[k] = r.Counter(fmt.Sprintf("kern_events_total{kind=%q}", eventKind(k).String()))
+	}
+	tel.timerArmedNanosleep = r.Counter(`kern_timer_armed_total{type="nanosleep"}`)
+	tel.timerArmedPeriodic = r.Counter(`kern_timer_armed_total{type="periodic"}`)
+	tel.timerFired = r.Counter("kern_timer_fired_total")
+	tel.timerDropped = r.Counter("kern_timer_dropped_total")
+	tel.schedIn = r.Counter("kern_sched_in_total")
+	for reason := range tel.schedOut {
+		tel.schedOut[reason] = r.Counter(fmt.Sprintf("kern_sched_out_total{reason=%q}", SchedOutReason(reason).String()))
+	}
+	tel.wakes = r.Counter("kern_wake_total")
+	tel.wakePreemptHit = r.Counter(`kern_wake_preempt_total{outcome="hit"}`)
+	tel.wakePreemptMis = r.Counter(`kern_wake_preempt_total{outcome="miss"}`)
+	tel.wakeDepth = r.Histogram("kern_runqueue_depth", metrics.DepthBuckets)
+	tel.spawns = r.Counter("kern_spawn_total")
+	tel.migrations = r.Counter("kern_migrations_total")
+	return tel
+}
+
+// metricsTracer feeds scheduling events into the machine telemetry. It is
+// attached with AttachTracer, so it keeps counting across the SetTracer
+// calls experiment drivers make.
+type metricsTracer struct {
+	m   *Machine
+	tel *machineTelemetry
+}
+
+func (mt *metricsTracer) SchedIn(t *Thread, core int, decideAt, startAt timebase.Time) {
+	mt.tel.schedIn.Inc()
+}
+
+func (mt *metricsTracer) SchedOut(t *Thread, core int, at timebase.Time, reason SchedOutReason) {
+	if int(reason) < len(mt.tel.schedOut) {
+		mt.tel.schedOut[reason].Inc()
+	}
+}
+
+func (mt *metricsTracer) Wake(t *Thread, core int, at timebase.Time, preempted bool, curr *Thread) {
+	mt.tel.wakes.Inc()
+	if preempted {
+		mt.tel.wakePreemptHit.Inc()
+	} else {
+		mt.tel.wakePreemptMis.Inc()
+	}
+	// Queue depth as the waker saw it: the woken thread is already
+	// enqueued; reading it here keeps the observation point consistent.
+	mt.tel.wakeDepth.Observe(int64(mt.m.cores[core].rq.NrQueued()))
+}

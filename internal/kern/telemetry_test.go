@@ -1,0 +1,247 @@
+package kern
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/cfs"
+	"repro/internal/metrics"
+	"repro/internal/sched"
+	"repro/internal/timebase"
+)
+
+// telemetryWorkload drives a small mixed workload that exercises sleeps
+// (wakes + timer fires), bursts (sched in/out) and multiple threads.
+func telemetryWorkload(m *Machine) {
+	m.Spawn("sleeper", func(e *Env) {
+		e.SetTimerSlack(1)
+		for i := 0; i < 50; i++ {
+			e.Nanosleep(20 * timebase.Microsecond)
+			e.Burn(5 * timebase.Microsecond)
+		}
+	})
+	m.Spawn("spin", func(e *Env) {
+		for j := 0; j < 500; j++ {
+			e.Burn(20 * timebase.Microsecond)
+		}
+	})
+	m.RunFor(5 * timebase.Millisecond)
+}
+
+// orderTracer appends its name to a shared log on every SchedIn.
+type orderTracer struct {
+	name string
+	log  *[]string
+}
+
+func (o *orderTracer) SchedIn(t *Thread, core int, decideAt, startAt timebase.Time) {
+	*o.log = append(*o.log, o.name)
+}
+func (o *orderTracer) SchedOut(*Thread, int, timebase.Time, SchedOutReason) {}
+func (o *orderTracer) Wake(*Thread, int, timebase.Time, bool, *Thread)      {}
+
+// TestTracerFanOutOrderingThreeTracers attaches three secondary tracers
+// alongside a primary and checks every scheduling event reaches all four in
+// a fixed order: primary first, then secondaries in attachment order.
+func TestTracerFanOutOrderingThreeTracers(t *testing.T) {
+	m := newTestMachine(t, 1)
+	var log []string
+	a := &orderTracer{name: "a", log: &log}
+	b := &orderTracer{name: "b", log: &log}
+	c := &orderTracer{name: "c", log: &log}
+	p := &orderTracer{name: "primary", log: &log}
+	m.AttachTracer(a)
+	m.AttachTracer(b)
+	m.SetTracer(p)
+	m.AttachTracer(c)
+
+	telemetryWorkload(m)
+
+	if len(log) == 0 || len(log)%4 != 0 {
+		t.Fatalf("want a multiple of 4 fan-out entries, got %d", len(log))
+	}
+	want := []string{"primary", "a", "b", "c"}
+	for i := 0; i < len(log); i += 4 {
+		if got := log[i : i+4]; !reflect.DeepEqual(got, want) {
+			t.Fatalf("fan-out order at event %d: got %v, want %v", i/4, got, want)
+		}
+	}
+}
+
+// selfDetachTracer removes itself from the machine inside its first hook —
+// the detach-while-running case DetachTracer must tolerate.
+type selfDetachTracer struct {
+	m    *Machine
+	seen int
+}
+
+func (s *selfDetachTracer) SchedIn(t *Thread, core int, decideAt, startAt timebase.Time) {
+	s.seen++
+	if s.seen == 1 {
+		if !s.m.DetachTracer(s) {
+			panic("self-detach failed")
+		}
+	}
+}
+func (s *selfDetachTracer) SchedOut(*Thread, int, timebase.Time, SchedOutReason) {}
+func (s *selfDetachTracer) Wake(*Thread, int, timebase.Time, bool, *Thread)      {}
+
+// TestDetachTracerWhileRunning detaches a tracer from inside its own hook:
+// the machine must not panic, the detached tracer must see no further
+// events, and the other attached tracer keeps observing.
+func TestDetachTracerWhileRunning(t *testing.T) {
+	m := newTestMachine(t, 1)
+	stay := &countTracer{}
+	m.AttachTracer(stay)
+	sd := &selfDetachTracer{m: m}
+	m.AttachTracer(sd)
+
+	telemetryWorkload(m)
+
+	if sd.seen != 1 {
+		t.Fatalf("self-detached tracer saw %d events, want exactly 1", sd.seen)
+	}
+	if stay.total() == 0 {
+		t.Fatal("surviving tracer saw no events")
+	}
+	if m.DetachTracer(sd) {
+		t.Fatal("detaching an already-detached tracer reported true")
+	}
+	if m.DetachTracer(&countTracer{}) {
+		t.Fatal("detaching a never-attached tracer reported true")
+	}
+}
+
+// TestMetricsTracerSurvivesSetTracer builds a machine with a telemetry
+// registry and then installs (and replaces) a primary tracer, as every
+// traced experiment does: the kernel's own metrics tracer must keep
+// counting through both SetTracer calls.
+func TestMetricsTracerSurvivesSetTracer(t *testing.T) {
+	reg := metrics.New()
+	p := DefaultParams(1, func() sched.Scheduler { return cfs.New(sched.DefaultParams(1)) })
+	p.Metrics = reg
+	m := NewMachine(p)
+	defer m.Shutdown()
+
+	m.SetTracer(&countTracer{})
+	m.SetTracer(&countTracer{}) // replace again; metrics must survive both
+
+	telemetryWorkload(m)
+
+	for _, base := range []string{"kern_events_total", "kern_sched_in_total", "kern_sched_out_total", "kern_wake_total", "kern_timer_fired_total"} {
+		if reg.Total(base) == 0 {
+			t.Errorf("metric %s is zero after a traced workload", base)
+		}
+	}
+}
+
+// TestKernTelemetryDeterministic runs the same seeded workload twice with
+// fresh registries and expects identical flattened metrics — telemetry is a
+// pure function of the deterministic event stream.
+func TestKernTelemetryDeterministic(t *testing.T) {
+	run := func() map[string]int64 {
+		reg := metrics.New()
+		p := DefaultParams(2, func() sched.Scheduler { return cfs.New(sched.DefaultParams(2)) })
+		p.Seed = 42
+		p.Metrics = reg
+		m := NewMachine(p)
+		defer m.Shutdown()
+		telemetryWorkload(m)
+		return reg.Flatten()
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same-seed telemetry differs:\n--- run1\n%v\n--- run2\n%v", a, b)
+	}
+	if len(a) == 0 {
+		t.Fatal("telemetry empty after workload")
+	}
+}
+
+// TestInvariantDumpContainsFlightTail induces an invariant violation and
+// checks the machine dump carries the flight recorder's tail of recent
+// scheduling events.
+func TestInvariantDumpContainsFlightTail(t *testing.T) {
+	m := newTestMachine(t, 1)
+	m.Spawn("a", func(e *Env) {
+		for j := 0; j < 100; j++ {
+			e.Burn(10 * timebase.Microsecond)
+		}
+	})
+	m.Spawn("b", func(e *Env) {
+		for j := 0; j < 100; j++ {
+			e.Burn(10 * timebase.Microsecond)
+		}
+	})
+	m.RunFor(200 * timebase.Microsecond)
+
+	var victim *Thread
+	for _, th := range m.Threads() {
+		if th.State() == sched.StateRunning {
+			victim = th
+			break
+		}
+	}
+	if victim == nil {
+		t.Fatal("no running thread")
+	}
+	victim.task.State = sched.StateBlocked
+	err := m.CheckInvariants()
+	victim.task.State = sched.StateRunning // heal before Shutdown
+	if err == nil {
+		t.Fatal("corruption not detected")
+	}
+	ie, ok := err.(*InvariantError)
+	if !ok {
+		t.Fatalf("want *InvariantError, got %T: %v", err, err)
+	}
+	if !strings.Contains(ie.Dump, "flight recorder") {
+		t.Fatalf("invariant dump missing flight-recorder tail:\n%s", ie.Dump)
+	}
+	// The tail must hold real entries, oldest to newest, numbered.
+	if !strings.Contains(ie.Dump, "#0000") {
+		t.Fatalf("flight-recorder tail has no entries:\n%s", ie.Dump)
+	}
+}
+
+// TestFlightRecorderDisabled a negative depth turns the recorder off; the
+// dump omits the tail.
+func TestFlightRecorderDisabled(t *testing.T) {
+	p := DefaultParams(1, func() sched.Scheduler { return cfs.New(sched.DefaultParams(1)) })
+	p.FlightRecorderDepth = -1
+	m := NewMachine(p)
+	defer m.Shutdown()
+	m.Spawn("spin", func(e *Env) { e.Burn(100 * timebase.Microsecond) })
+	m.RunFor(timebase.Millisecond)
+	if m.FlightRecorder() != nil {
+		t.Fatal("recorder built despite negative depth")
+	}
+	if dump := m.DumpState(); strings.Contains(dump, "flight recorder") {
+		t.Fatalf("dump contains flight tail with recorder disabled:\n%s", dump)
+	}
+}
+
+// TestFlightRecorderWraps the ring keeps only the newest depth entries.
+func TestFlightRecorderWraps(t *testing.T) {
+	p := DefaultParams(1, func() sched.Scheduler { return cfs.New(sched.DefaultParams(1)) })
+	p.FlightRecorderDepth = 8
+	m := NewMachine(p)
+	defer m.Shutdown()
+	telemetryWorkload(m)
+	fr := m.FlightRecorder()
+	if fr == nil {
+		t.Fatal("no recorder")
+	}
+	if fr.Len() != 8 {
+		t.Fatalf("ring holds %d entries, want 8", fr.Len())
+	}
+	if fr.Total() <= 8 {
+		t.Fatalf("workload recorded only %d events; test needs wrap-around", fr.Total())
+	}
+	dump := fr.Dump()
+	if want := fmt.Sprintf("last 8 of %d", fr.Total()); !strings.Contains(dump, want) {
+		t.Fatalf("dump header missing %q:\n%s", want, dump)
+	}
+}

@@ -28,6 +28,7 @@ func (m *Machine) armNanosleep(t *Thread, at timebase.Time, d timebase.Duration)
 	}
 	ev := &event{at: deliver, kind: evTimerFire, thread: t}
 	t.wakeEvent = ev
+	m.tel.timerArmedNanosleep.Inc()
 	m.schedule(ev)
 }
 
@@ -77,6 +78,7 @@ func (pt *PTimer) armNext() {
 	if ev.at < pt.m.now {
 		ev.at = pt.m.now
 	}
+	pt.m.tel.timerArmedPeriodic.Inc()
 	pt.m.schedule(ev)
 }
 
@@ -99,9 +101,11 @@ func (m *Machine) handleTimerFire(ev *event) {
 		if ev.dropped {
 			// DropIRQ fault: the expiry was swallowed — no signal, no Fires
 			// accounting — but the absolute cadence continues.
+			m.tel.timerDropped.Inc()
 			return
 		}
 		pt.Fires++
+		m.tel.timerFired.Inc()
 		if t.done || t.task.State != sched.StateBlocked || t.blockedIn != blockPause {
 			// The thread is not paused (running, runnable, or inside a
 			// nanosleep, which timer signals do not interrupt —
@@ -120,6 +124,7 @@ func (m *Machine) handleTimerFire(ev *event) {
 	if t.task.State != sched.StateBlocked || t.done {
 		return // stale wake
 	}
+	m.tel.timerFired.Inc()
 	m.wake(t)
 }
 

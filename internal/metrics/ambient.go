@@ -1,0 +1,39 @@
+package metrics
+
+// Ambient telemetry follows the same harness-state pattern as
+// exps.SetChaos: experiment drivers construct machines deep inside Run
+// functions with no way to thread a registry through, so the CLI (or a
+// test) installs one ambiently around the run and restores the previous
+// value after. The default is nil — telemetry fully off — and a nil
+// ambient registry/profiler propagates as nil instrument handles, keeping
+// the uninstrumented cost to one branch per site.
+//
+// Like the rest of the harness-state globals these are not synchronized:
+// installation happens on the driving goroutine before any machine runs.
+
+var (
+	ambient     *Registry
+	ambientProf *Profiler
+)
+
+// SetAmbient installs r as the ambient registry and returns the previous
+// one so callers can restore it (defer metrics.SetAmbient(prev)).
+func SetAmbient(r *Registry) (prev *Registry) {
+	prev = ambient
+	ambient = r
+	return prev
+}
+
+// Ambient returns the ambient registry (nil when telemetry is off).
+func Ambient() *Registry { return ambient }
+
+// SetAmbientProfiler installs p as the ambient profiler and returns the
+// previous one.
+func SetAmbientProfiler(p *Profiler) (prev *Profiler) {
+	prev = ambientProf
+	ambientProf = p
+	return prev
+}
+
+// AmbientProfiler returns the ambient profiler (nil when profiling is off).
+func AmbientProfiler() *Profiler { return ambientProf }

@@ -1,0 +1,134 @@
+package metrics
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// BucketSnapshot is one cumulative histogram bucket: the number of
+// observations ≤ LE.
+type BucketSnapshot struct {
+	LE    int64 `json:"le"`
+	Count int64 `json:"count"`
+}
+
+// HistogramSnapshot is the JSON shape of one histogram. Buckets are
+// cumulative in ascending bound order; the implicit +Inf bucket equals
+// Count.
+type HistogramSnapshot struct {
+	Buckets []BucketSnapshot `json:"buckets,omitempty"`
+	Sum     int64            `json:"sum"`
+	Count   int64            `json:"count"`
+}
+
+// Snapshot is the full JSON export shape of a registry. Map keys are
+// metric names; encoding/json emits them sorted, so the export is
+// deterministic.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]int64             `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot captures the registry's current state.
+func (r *Registry) Snapshot() Snapshot {
+	var s Snapshot
+	if r == nil {
+		return s
+	}
+	if len(r.counters) > 0 {
+		s.Counters = make(map[string]int64, len(r.counters))
+		for name, c := range r.counters {
+			s.Counters[name] = c.v
+		}
+	}
+	if len(r.gauges) > 0 {
+		s.Gauges = make(map[string]int64, len(r.gauges))
+		for name, g := range r.gauges {
+			s.Gauges[name] = g.v
+		}
+	}
+	if len(r.hists) > 0 {
+		s.Histograms = make(map[string]HistogramSnapshot, len(r.hists))
+		for name, h := range r.hists {
+			hs := HistogramSnapshot{Sum: h.sum, Count: h.n}
+			cum := int64(0)
+			for i, b := range h.bounds {
+				cum += h.counts[i]
+				hs.Buckets = append(hs.Buckets, BucketSnapshot{LE: b, Count: cum})
+			}
+			s.Histograms[name] = hs
+		}
+	}
+	return s
+}
+
+// WriteJSON writes the registry snapshot as indented JSON.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	b, err := json.MarshalIndent(r.Snapshot(), "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// WritePrometheus writes the registry in the Prometheus text exposition
+// format (version 0.0.4): a sorted `# TYPE` block per base metric name,
+// histograms expanded to cumulative _bucket{le=...}/_sum/_count series.
+// Output is byte-deterministic for a given registry state.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+
+	// Group metric names by base so one TYPE line covers all label
+	// variants of a metric.
+	type family struct {
+		kind  string
+		names []string
+	}
+	families := map[string]*family{}
+	var bases []string
+	for name, kind := range r.kind {
+		base, _ := SplitName(name)
+		f, ok := families[base]
+		if !ok {
+			f = &family{kind: kind}
+			families[base] = f
+			bases = append(bases, base)
+		}
+		f.names = append(f.names, name)
+	}
+	sort.Strings(bases)
+
+	for _, base := range bases {
+		f := families[base]
+		sort.Strings(f.names)
+		fmt.Fprintf(bw, "# TYPE %s %s\n", base, f.kind)
+		for _, name := range f.names {
+			switch f.kind {
+			case "counter":
+				fmt.Fprintf(bw, "%s %d\n", name, r.counters[name].v)
+			case "gauge":
+				fmt.Fprintf(bw, "%s %d\n", name, r.gauges[name].v)
+			case "histogram":
+				h := r.hists[name]
+				cum := int64(0)
+				for i, b := range h.bounds {
+					cum += h.counts[i]
+					fmt.Fprintf(bw, "%s %d\n", withLabel(Suffixed(name, "_bucket"), fmt.Sprintf("le=%q", fmt.Sprint(b))), cum)
+				}
+				fmt.Fprintf(bw, "%s %d\n", withLabel(Suffixed(name, "_bucket"), `le="+Inf"`), h.n)
+				fmt.Fprintf(bw, "%s %d\n", Suffixed(name, "_sum"), h.sum)
+				fmt.Fprintf(bw, "%s %d\n", Suffixed(name, "_count"), h.n)
+			}
+		}
+	}
+	return bw.Flush()
+}

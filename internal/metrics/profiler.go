@@ -1,0 +1,159 @@
+package metrics
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// Profiler attributes wall-clock cost to simulation activity along two
+// axes: per kernel event type (what kind of work is expensive) and per
+// experiment phase (which part of a run is expensive). It is the one piece
+// of telemetry allowed to read the host clock — strictly for attribution,
+// never fed back into simulation state. A nil *Profiler is a valid no-op,
+// and the kernel only touches the clock when a profiler is attached, so the
+// disabled path costs a single branch per event.
+type Profiler struct {
+	events map[string]*lane
+	phases map[string]*lane
+	phase  string
+	nphase int
+}
+
+type lane struct {
+	n    int64
+	wall time.Duration
+}
+
+// NewProfiler returns an empty profiler.
+func NewProfiler() *Profiler {
+	return &Profiler{events: map[string]*lane{}, phases: map[string]*lane{}}
+}
+
+// BeginPhase starts a new attribution phase. Phases are sequence-numbered
+// ("03 fig4.1-seed1") so the report preserves run order even though lanes
+// live in maps.
+func (p *Profiler) BeginPhase(label string) {
+	if p == nil {
+		return
+	}
+	p.nphase++
+	p.phase = fmt.Sprintf("%02d %s", p.nphase, label)
+}
+
+// Observe attributes d of wall-clock time to one simulated event of the
+// given kind (and to the current phase).
+func (p *Profiler) Observe(kind string, d time.Duration) {
+	if p == nil {
+		return
+	}
+	p.lane(p.events, kind).add(d)
+	if p.phase == "" {
+		p.BeginPhase("run")
+	}
+	p.lane(p.phases, p.phase).add(d)
+}
+
+func (p *Profiler) lane(m map[string]*lane, key string) *lane {
+	l, ok := m[key]
+	if !ok {
+		l = &lane{}
+		m[key] = l
+	}
+	return l
+}
+
+func (l *lane) add(d time.Duration) {
+	l.n++
+	l.wall += d
+}
+
+// ProfileRow is one attribution lane in a report.
+type ProfileRow struct {
+	Key        string  `json:"key"`
+	Events     int64   `json:"events"`
+	WallNS     int64   `json:"wall_ns"`
+	NSPerEvent float64 `json:"ns_per_event"`
+}
+
+// ProfileReport is the exported shape of a profiler. ByEvent is sorted by
+// wall time descending (ties by key); ByPhase preserves phase order via the
+// sequence-number prefix.
+type ProfileReport struct {
+	ByEvent      []ProfileRow `json:"by_event"`
+	ByPhase      []ProfileRow `json:"by_phase"`
+	TotalEvents  int64        `json:"total_events"`
+	TotalWallNS  int64        `json:"total_wall_ns"`
+	EventsPerSec float64      `json:"events_per_sec"`
+}
+
+// Report aggregates the profiler into a deterministic-ordered report.
+// (The wall-time values themselves are host-dependent, of course.)
+func (p *Profiler) Report() ProfileReport {
+	var rep ProfileReport
+	if p == nil {
+		return rep
+	}
+	rep.ByEvent = rows(p.events, true)
+	rep.ByPhase = rows(p.phases, false)
+	for _, l := range p.events {
+		rep.TotalEvents += l.n
+		rep.TotalWallNS += int64(l.wall)
+	}
+	if rep.TotalWallNS > 0 {
+		rep.EventsPerSec = float64(rep.TotalEvents) / (float64(rep.TotalWallNS) / 1e9)
+	}
+	return rep
+}
+
+func rows(m map[string]*lane, byCost bool) []ProfileRow {
+	out := make([]ProfileRow, 0, len(m))
+	for key, l := range m {
+		r := ProfileRow{Key: key, Events: l.n, WallNS: int64(l.wall)}
+		if l.n > 0 {
+			r.NSPerEvent = float64(r.WallNS) / float64(l.n)
+		}
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if byCost && out[i].WallNS != out[j].WallNS {
+			return out[i].WallNS > out[j].WallNS
+		}
+		return out[i].Key < out[j].Key
+	})
+	return out
+}
+
+// WriteJSON writes the report as indented JSON.
+func (rep ProfileReport) WriteJSON(w io.Writer) error {
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// WriteText writes a human-readable two-table report.
+func (rep ProfileReport) WriteText(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "profile: %d events, %.3f ms wall, %.0f events/sec\n",
+		rep.TotalEvents, float64(rep.TotalWallNS)/1e6, rep.EventsPerSec)
+	writeRows := func(title string, rs []ProfileRow) {
+		if len(rs) == 0 {
+			return
+		}
+		fmt.Fprintf(bw, "\n%-28s %12s %14s %12s\n", title, "events", "wall(ms)", "ns/event")
+		for _, r := range rs {
+			fmt.Fprintf(bw, "%-28s %12d %14.3f %12.1f\n",
+				r.Key, r.Events, float64(r.WallNS)/1e6, r.NSPerEvent)
+		}
+	}
+	writeRows("by event kind", rep.ByEvent)
+	writeRows("by phase", rep.ByPhase)
+	return bw.Flush()
+}

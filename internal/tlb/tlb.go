@@ -7,7 +7,11 @@
 // preemptions into single steps (Figure 4.3b).
 package tlb
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+)
 
 // PageSize is the (4 KiB) page size used for translations.
 const PageSize = 4096
@@ -170,6 +174,27 @@ type CoreTLBs struct {
 	STLB *TLB
 	DTLB *TLB
 	Lat  Latencies
+
+	// tel holds translation metric handles; nil handles (the default) make
+	// every increment a no-op.
+	tel struct {
+		itlbHits *metrics.Counter
+		dtlbHits *metrics.Counter
+		stlbHits *metrics.Counter
+		walks    *metrics.Counter
+		flushes  *metrics.Counter
+	}
+}
+
+// InstrumentMetrics wires translation telemetry into a registry: first- and
+// second-level hits, full page-table walks, and whole-TLB flushes. Every
+// core shares the same metric names, so the counters aggregate machine-wide.
+func (c *CoreTLBs) InstrumentMetrics(r *metrics.Registry) {
+	c.tel.itlbHits = r.Counter(`tlb_hits_total{level="itlb"}`)
+	c.tel.dtlbHits = r.Counter(`tlb_hits_total{level="dtlb"}`)
+	c.tel.stlbHits = r.Counter(`tlb_hits_total{level="stlb"}`)
+	c.tel.walks = r.Counter("tlb_walks_total")
+	c.tel.flushes = r.Counter("tlb_flush_total")
 }
 
 // I9900KTLBs returns TLB geometry approximating the test machine: 8-way
@@ -189,11 +214,14 @@ func (c *CoreTLBs) TranslateFetch(pc uint64) int64 {
 	vpn := VPN(pc)
 	switch {
 	case c.ITLB.Touch(vpn):
+		c.tel.itlbHits.Inc()
 		return c.Lat.L1Hit
 	case c.STLB.Touch(vpn):
+		c.tel.stlbHits.Inc()
 		c.ITLB.Insert(vpn)
 		return c.Lat.L2Hit
 	default:
+		c.tel.walks.Inc()
 		c.STLB.Insert(vpn)
 		c.ITLB.Insert(vpn)
 		return c.Lat.Walk
@@ -206,11 +234,14 @@ func (c *CoreTLBs) TranslateData(addr uint64) int64 {
 	vpn := VPN(addr)
 	switch {
 	case c.DTLB.Touch(vpn):
+		c.tel.dtlbHits.Inc()
 		return c.Lat.L1Hit
 	case c.STLB.Touch(vpn):
+		c.tel.stlbHits.Inc()
 		c.DTLB.Insert(vpn)
 		return c.Lat.L2Hit
 	default:
+		c.tel.walks.Inc()
 		c.STLB.Insert(vpn)
 		c.DTLB.Insert(vpn)
 		return c.Lat.Walk
@@ -219,6 +250,7 @@ func (c *CoreTLBs) TranslateData(addr uint64) int64 {
 
 // FlushAll empties every level (SGX asynchronous enclave exit).
 func (c *CoreTLBs) FlushAll() {
+	c.tel.flushes.Inc()
 	c.ITLB.Flush()
 	c.DTLB.Flush()
 	c.STLB.Flush()

@@ -8,6 +8,7 @@ import (
 	"repro/internal/campaign"
 	"repro/internal/exps"
 	"repro/internal/fault"
+	"repro/internal/metrics"
 	"repro/internal/timebase"
 	"repro/internal/trace"
 )
@@ -421,6 +422,33 @@ func (o Options) applyAmbient() func() {
 		restoreBudget()
 		restoreChaos()
 	}
+}
+
+// RunInstrumented executes one experiment with a fresh telemetry registry
+// installed as the ambient registry for the duration of the run, so every
+// machine, scheduler, µarch model and attack receiver the experiment builds
+// reports into it. The populated registry rides along with the result.
+// Telemetry is write-only — the run's result and trace are bit-identical to
+// an uninstrumented run under the same options.
+func RunInstrumented(id string, o Options) (Result, *metrics.Registry, error) {
+	reg := metrics.New()
+	prev := metrics.SetAmbient(reg)
+	defer metrics.SetAmbient(prev)
+	res, err := Run(id, o)
+	return res, reg, err
+}
+
+// RunProfiled executes one experiment with a fresh sim-time profiler
+// installed as the ambient profiler: the kernel attributes wall-clock cost
+// to every dispatched event by kind, and each machine the experiment builds
+// opens a new phase. The profiler observes host time but feeds nothing back
+// into the simulation, so results stay bit-identical.
+func RunProfiled(id string, o Options) (Result, *metrics.Profiler, error) {
+	prof := metrics.NewProfiler()
+	prev := metrics.SetAmbientProfiler(prof)
+	defer metrics.SetAmbientProfiler(prev)
+	res, err := Run(id, o)
+	return res, prof, err
 }
 
 // RunReport is the outcome of a guarded experiment run.
