@@ -12,7 +12,7 @@
 //	cplab trace diff <got> <want>  # first-divergence report between two traces
 //	cplab metrics -exp <id>        # run instrumented, export telemetry (Prometheus/JSON)
 //	cplab profile -exp <id>        # run profiled, report wall cost by event kind/phase
-//	cplab bench [-o P]             # time the simulator, write BENCH_PR3.json
+//	cplab bench [-o P]             # time the simulator, write BENCH_PR4.json
 //
 // Common flags:
 //
@@ -30,6 +30,7 @@
 //	-expwall D    wall-clock budget per experiment (0 = unbounded)
 //	-wall D       wall-clock budget for the whole session (halts resumable)
 //	-haltafter N  halt (resumable) after N experiments — interruption injection
+//	-parallel N   campaign workers; manifest bytes are identical at any width
 //	-force        discard an existing manifest and start over
 //
 // Output on stdout is bit-for-bit deterministic for a given seed and flag
@@ -38,6 +39,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -266,6 +268,7 @@ func campaignCmd(args []string, resumeOnly bool) int {
 	expWall := fs.Duration("expwall", 0, "wall-clock budget per experiment (0 = unbounded)")
 	wall := fs.Duration("wall", 0, "wall-clock budget for this session; halts resumable (0 = unbounded)")
 	haltAfter := fs.Int("haltafter", 0, "halt (resumable) after N experiments this session (0 = off)")
+	parallel := fs.Int("parallel", 1, "campaign workers (manifest is byte-identical at any width)")
 	force := fs.Bool("force", false, "discard an existing manifest and start over")
 	fs.Parse(args)
 	o, err := cf.options()
@@ -275,6 +278,10 @@ func campaignCmd(args []string, resumeOnly bool) int {
 	}
 	if *retries < 0 {
 		fmt.Fprintf(os.Stderr, "cplab: -retries %d is negative\n", *retries)
+		return exitUsage
+	}
+	if *parallel < 1 {
+		fmt.Fprintf(os.Stderr, "cplab: -parallel %d is not positive\n", *parallel)
 		return exitUsage
 	}
 
@@ -323,7 +330,9 @@ func campaignCmd(args []string, resumeOnly bool) int {
 		return exitDegraded
 	}
 
-	man, runErr := c.Run()
+	// Parallelism is a session property, not a plan property: it is absent
+	// from the note, and any width yields the same manifest bytes.
+	man, runErr := c.RunParallel(context.Background(), *parallel)
 	fmt.Fprintln(os.Stderr, "===== campaign summary =====")
 	fmt.Fprint(os.Stderr, report.CampaignSummary(man.Rows()))
 	if runErr != nil {
@@ -528,7 +537,7 @@ usage:
   cplab list
   cplab run <id> [-paper] [-seed N] [-json] [-faults R] [-simbudget D]
   cplab all [flags]
-  cplab campaign [flags] [-manifest P] [-ids CSV] [-retries N] [-expwall D] [-wall D] [-haltafter N] [-force]
+  cplab campaign [flags] [-manifest P] [-ids CSV] [-retries N] [-expwall D] [-wall D] [-haltafter N] [-parallel N] [-force]
   cplab resume [same flags — continues the manifest]
   cplab trace record <id> [-o path] [-maxevents N] [flags]
   cplab trace diff <got.cptrace> <want.cptrace>

@@ -2,11 +2,13 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"time"
 
 	"repro"
@@ -97,13 +99,17 @@ var (
 	benchCampaignIDs = []string{"tab2.1", "fig4.1"}
 )
 
-// benchResult is one benchmark row of the BENCH_PR3.json artifact.
+// benchResult is one benchmark row of the BENCH_PR4.json artifact.
 type benchResult struct {
 	Name         string  `json:"name"`
 	WallNS       int64   `json:"wall_ns"`
 	SimEvents    int64   `json:"sim_events"`
 	NSPerEvent   float64 `json:"ns_per_event"`
 	EventsPerSec float64 `json:"events_per_sec"`
+	// Workers and EntriesPerSec are set on campaign rows: the pool width
+	// and the plan-entry throughput at that width.
+	Workers       int     `json:"workers,omitempty"`
+	EntriesPerSec float64 `json:"entries_per_sec,omitempty"`
 }
 
 // benchFile is the whole artifact.
@@ -113,14 +119,27 @@ type benchFile struct {
 	Benchmarks []benchResult `json:"benchmarks"`
 }
 
+// benchWidths are the campaign pool widths the harness times: serial, two
+// workers, and the machine's full width (deduplicated, in order).
+func benchWidths() []int {
+	widths := []int{1, 2, runtime.GOMAXPROCS(0)}
+	var out []int
+	for _, w := range widths {
+		if len(out) == 0 || out[len(out)-1] < w {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
 // benchCmd times the simulator end to end — each benchIDs experiment plus a
-// small checkpointed campaign — counting simulated kernel events through a
-// fresh telemetry registry, and writes ns/sim-event and events/sec rows to
-// BENCH_PR3.json.
+// small checkpointed campaign at several pool widths — counting simulated
+// kernel events through per-run telemetry, and writes ns/sim-event,
+// events/sec and entries/sec rows to BENCH_PR4.json.
 func benchCmd(args []string) int {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
 	cf := addCommon(fs)
-	out := fs.String("o", "BENCH_PR3.json", "output path (- for stdout)")
+	out := fs.String("o", "BENCH_PR4.json", "output path (- for stdout)")
 	fs.Parse(args)
 	o, err := cf.options()
 	if err != nil {
@@ -135,17 +154,17 @@ func benchCmd(args []string) int {
 			return exitDegraded
 		}
 		file.Benchmarks = append(file.Benchmarks, row)
-		fmt.Fprintf(os.Stderr, "cplab: bench %-10s %8.1f ns/event  %12.0f events/s  (%d events)\n",
-			row.Name, row.NSPerEvent, row.EventsPerSec, row.SimEvents)
+		logBenchRow(row)
 	}
-	row, err := benchCampaign(o, *cf.seed)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "cplab:", err)
-		return exitDegraded
+	for _, workers := range benchWidths() {
+		row, err := benchCampaign(o, *cf.seed, workers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cplab:", err)
+			return exitDegraded
+		}
+		file.Benchmarks = append(file.Benchmarks, row)
+		logBenchRow(row)
 	}
-	file.Benchmarks = append(file.Benchmarks, row)
-	fmt.Fprintf(os.Stderr, "cplab: bench %-10s %8.1f ns/event  %12.0f events/s  (%d events)\n",
-		row.Name, row.NSPerEvent, row.EventsPerSec, row.SimEvents)
 
 	data, err := json.MarshalIndent(file, "", "  ")
 	if err != nil {
@@ -153,6 +172,12 @@ func benchCmd(args []string) int {
 		return exitDegraded
 	}
 	return emit(*out, append(data, '\n'))
+}
+
+// logBenchRow prints one row's headline numbers to stderr.
+func logBenchRow(row benchResult) {
+	fmt.Fprintf(os.Stderr, "cplab: bench %-12s %8.1f ns/event  %12.0f events/s  (%d events)\n",
+		row.Name, row.NSPerEvent, row.EventsPerSec, row.SimEvents)
 }
 
 // benchExp times one experiment run, counting dispatched kernel events.
@@ -166,18 +191,17 @@ func benchExp(id string, o repro.Options) (benchResult, error) {
 	return benchRow(id, wall, reg.Total("kern_events_total")), nil
 }
 
-// benchCampaign times a small checkpointed campaign in a throwaway
-// directory, exercising the guarded runner, manifest checkpointing and
-// record building alongside the simulation itself.
-func benchCampaign(o repro.Options, seed uint64) (benchResult, error) {
+// benchCampaign times a small checkpointed campaign at the given pool
+// width in a throwaway directory, exercising the guarded runner, manifest
+// checkpointing and record building alongside the simulation itself. Sim
+// events come from the per-entry telemetry the campaign checkpoints, so
+// the count is exact at any width.
+func benchCampaign(o repro.Options, seed uint64, workers int) (benchResult, error) {
 	dir, err := os.MkdirTemp("", "cplab-bench-")
 	if err != nil {
 		return benchResult{}, err
 	}
 	defer os.RemoveAll(dir)
-	reg := metrics.New()
-	prev := metrics.SetAmbient(reg)
-	defer metrics.SetAmbient(prev)
 	entries := repro.CampaignEntries(benchCampaignIDs, o, 0)
 	c, err := campaign.New(campaign.Config{
 		Path: filepath.Join(dir, "bench-campaign.json"),
@@ -188,7 +212,7 @@ func benchCampaign(o repro.Options, seed uint64) (benchResult, error) {
 		return benchResult{}, err
 	}
 	start := time.Now()
-	man, err := c.Run()
+	man, err := c.RunParallel(context.Background(), workers)
 	wall := time.Since(start)
 	if err != nil {
 		return benchResult{}, err
@@ -196,7 +220,20 @@ func benchCampaign(o repro.Options, seed uint64) (benchResult, error) {
 	if !man.Complete() {
 		return benchResult{}, fmt.Errorf("bench campaign did not complete")
 	}
-	return benchRow("campaign", wall, reg.Total("kern_events_total")), nil
+	var events int64
+	for _, rec := range man.Entries {
+		for name, v := range rec.Telemetry {
+			if base, _ := metrics.SplitName(name); base == "kern_events_total" {
+				events += v
+			}
+		}
+	}
+	row := benchRow(fmt.Sprintf("campaign-p%d", workers), wall, events)
+	row.Workers = workers
+	if wall > 0 {
+		row.EntriesPerSec = float64(len(man.IDs)) / wall.Seconds()
+	}
+	return row, nil
 }
 
 // benchRow folds a timing into a result row.

@@ -100,10 +100,11 @@ func TestProfileCmd(t *testing.T) {
 	}
 }
 
-// TestBenchCmd writes a BENCH_PR3.json with a row per benchmark, each with
-// a positive event count and rate.
+// TestBenchCmd writes a BENCH_PR4.json with a row per benchmark — each
+// experiment plus a campaign row per pool width — each with a positive
+// event count and rate, and campaign rows carrying width and entries/sec.
 func TestBenchCmd(t *testing.T) {
-	path := filepath.Join(t.TempDir(), "BENCH_PR3.json")
+	path := filepath.Join(t.TempDir(), "BENCH_PR4.json")
 	if code := run([]string{"bench", "-o", path}); code != exitOK {
 		t.Fatalf("exit %d", code)
 	}
@@ -115,17 +116,31 @@ func TestBenchCmd(t *testing.T) {
 	if err := json.Unmarshal(data, &file); err != nil {
 		t.Fatalf("invalid JSON: %v\n%s", err, data)
 	}
-	if len(file.Benchmarks) != len(benchIDs)+1 {
-		t.Fatalf("want %d benchmark rows, got %d", len(benchIDs)+1, len(file.Benchmarks))
+	widths := benchWidths()
+	if len(file.Benchmarks) != len(benchIDs)+len(widths) {
+		t.Fatalf("want %d benchmark rows, got %d", len(benchIDs)+len(widths), len(file.Benchmarks))
 	}
 	names := map[string]bool{}
+	var campaignEvents []int64
 	for _, row := range file.Benchmarks {
 		names[row.Name] = true
 		if row.SimEvents <= 0 || row.NSPerEvent <= 0 || row.EventsPerSec <= 0 {
 			t.Fatalf("degenerate benchmark row: %+v", row)
 		}
+		if row.Workers > 0 {
+			if row.EntriesPerSec <= 0 {
+				t.Fatalf("campaign row without entries/sec: %+v", row)
+			}
+			campaignEvents = append(campaignEvents, row.SimEvents)
+		}
 	}
-	if !names["fig4.1"] || !names["campaign"] {
+	if !names["fig4.1"] || !names["campaign-p1"] {
 		t.Fatalf("missing benchmark rows: %v", names)
+	}
+	// Sim-event counts are a property of the plan, not the pool width.
+	for _, ev := range campaignEvents {
+		if ev != campaignEvents[0] {
+			t.Fatalf("campaign event counts differ across widths: %v", campaignEvents)
+		}
 	}
 }

@@ -40,7 +40,7 @@ func BuildEvictionSet(env *kern.Env, target uint64, ways int) *EvictionSet {
 	for a := first; len(lines) < ways; a += stride {
 		lines = append(lines, a)
 	}
-	r := metrics.Ambient()
+	r := env.Metrics()
 	return &EvictionSet{
 		Target:    target,
 		Lines:     lines,

@@ -28,9 +28,9 @@ type FlushReload struct {
 
 // NewFlushReload builds a monitor over the given line addresses, taking the
 // hit threshold from the machine's calibrated latencies and its probe
-// counters from the ambient telemetry registry.
+// counters from the machine's telemetry registry.
 func NewFlushReload(env *kern.Env, lines []uint64) *FlushReload {
-	r := metrics.Ambient()
+	r := env.Metrics()
 	return &FlushReload{
 		Lines:     lines,
 		Threshold: env.HitThreshold(),

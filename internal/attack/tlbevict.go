@@ -34,7 +34,7 @@ func NewTLBEvictor(env *kern.Env, victimPC uint64) *TLBEvictor {
 	return &TLBEvictor{
 		ITLBPages: tlb.EvictionPagesFor(it, victimPC, TLBArena, it.Config().Ways+1),
 		STLBPages: tlb.EvictionPagesFor(st, victimPC, TLBArena+(1<<36), st.Config().Ways+1),
-		evictions: metrics.Ambient().Counter(`attack_probe_total{kind="tlb-evict"}`),
+		evictions: env.Metrics().Counter(`attack_probe_total{kind="tlb-evict"}`),
 	}
 }
 

@@ -13,20 +13,23 @@
 package campaign
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 	"time"
 
 	"repro/internal/kern"
 	"repro/internal/metrics"
+	"repro/internal/pool"
 )
 
-// defaultBump is the seed offset applied per previously failed session when
-// a failed entry is re-run on resume. It is co-prime with (and far from)
-// the guarded runner's per-attempt bump, so resume schedules never collide
-// with in-session retry schedules.
-const defaultBump = 7_777_777
+// DefaultSeedBump is the seed offset applied per previously failed session
+// when a failed entry is re-run on resume. It is co-prime with (and far
+// from) the guarded runner's per-attempt bump, so resume schedules never
+// collide with in-session retry schedules.
+const DefaultSeedBump = 7_777_777
 
 // ErrHalted reports a campaign that checkpointed and stopped before
 // completing its plan (wall deadline or injected halt); resuming it
@@ -80,6 +83,11 @@ type Config struct {
 	// that many entries have run this session — deterministic interruption
 	// injection for the resume tests and CI.
 	HaltAfter int
+	// OnRecord, when set, observes every record the moment it is committed
+	// (after checkpointing). It runs on the committing goroutine — the one
+	// that called Run/RunParallel — so it may touch shared state without
+	// extra locking. The lab service's progress metrics hang off this.
+	OnRecord func(*Record)
 	// Log receives progress lines (nil discards them).
 	Log io.Writer
 }
@@ -89,6 +97,7 @@ type Campaign struct {
 	cfg     Config
 	entries map[string]Entry
 	man     *Manifest
+	logMu   sync.Mutex
 }
 
 // New starts a fresh campaign over the given entries, discarding any prior
@@ -138,97 +147,178 @@ func Resume(cfg Config, entries []Entry) (*Campaign, error) {
 // Manifest returns the campaign's (live) manifest.
 func (c *Campaign) Manifest() *Manifest { return c.man }
 
-// Run executes the plan: every entry without a final record runs contained,
-// its record is checkpointed immediately, and the campaign presses on past
-// failures. It returns the manifest and nil on a completed plan, ErrHalted
-// on a deadline/injected halt (resume later), or the checkpoint I/O error
-// that stopped it.
-//
-// When an ambient telemetry registry is installed, Run counts entries,
-// failures, skips, checkpoints and resume hits, and attaches a per-entry
-// metric delta (the registry's Flatten before vs after the entry) to each
-// record. Campaign-level counters are bumped outside the delta window, so an
-// entry's recorded telemetry depends only on its own deterministic
-// execution — a resumed campaign checkpoints the same deltas an
-// uninterrupted one would, keeping manifests byte-identical.
+// Run executes the plan serially: every entry without a final record runs
+// contained, its record is checkpointed immediately, and the campaign
+// presses on past failures. It returns the manifest and nil on a completed
+// plan, ErrHalted on a deadline/injected halt (resume later), or the
+// checkpoint I/O error that stopped it. Run is RunParallel with one worker.
 func (c *Campaign) Run() (*Manifest, error) {
+	return c.RunParallel(context.Background(), 1)
+}
+
+// job is one plan position the campaign still has to process, snapshotted
+// before the pool starts so workers never read the live manifest map.
+type job struct {
+	pos     int // position in the plan (for progress lines)
+	id      string
+	skip    bool // no runner: record skipped, don't count toward HaltAfter
+	seed    uint64
+	prev    *Record
+	entry   Entry
+	session int
+}
+
+// containResult is what one contained entry execution hands the sequencer.
+type containResult struct {
+	att       Attempt
+	telemetry map[string]int64
+}
+
+// RunParallel executes the plan with up to workers entries in flight at
+// once. Each entry runs in its own contained goroutine with a private
+// telemetry registry (installed as that goroutine's scoped ambient
+// registry, so the machines it builds report into it); a sequencer on the
+// calling goroutine folds results into the manifest and checkpoints them in
+// strict plan order. Because seeds are fixed up front, each entry's
+// execution is isolated, and commits are ordered, the manifest — and every
+// checkpoint prefix of it — is byte-identical to a serial run's.
+//
+// Cancelling ctx stops dispatching new entries, drains the ones in flight,
+// commits the completed in-order prefix and returns ErrHalted — the same
+// resumable state an injected halt leaves.
+//
+// When an ambient telemetry registry is installed on the calling goroutine,
+// RunParallel counts entries, failures, skips, checkpoints and resume hits
+// there; per-entry telemetry always comes from the entry's private
+// registry, never the shared one, so overlapping entries cannot bleed
+// counts into each other's records.
+func (c *Campaign) RunParallel(ctx context.Context, workers int) (*Manifest, error) {
 	reg := metrics.Ambient()
 	mEntries := reg.Counter("campaign_entries_total")
 	mFailures := reg.Counter("campaign_failures_total")
 	mSkipped := reg.Counter("campaign_skipped_total")
 	mResumeHits := reg.Counter("campaign_resume_hits_total")
 
-	ranThisSession := 0
+	// Snapshot the work: plan order, minus final records. Seeds and session
+	// numbers are derived here, before anything runs, so they cannot depend
+	// on execution order.
+	var jobs []job
 	for i, id := range c.man.IDs {
 		rec := c.man.Entries[id]
-		if rec != nil && rec.Status.final() {
+		if rec != nil && rec.Status.Final() {
 			mResumeHits.Inc()
 			continue
 		}
 		e, ok := c.entries[id]
 		if !ok || e.Run == nil {
-			mSkipped.Inc()
-			c.man.Entries[id] = &Record{ID: id, Status: StatusSkipped,
-				Failure: &Failure{Msg: "no runner (unknown experiment id)"}}
-			if err := c.checkpoint(); err != nil {
-				return c.man, err
-			}
+			jobs = append(jobs, job{pos: i, id: id, skip: true})
 			continue
 		}
-
 		prevFails := 0
 		if rec != nil {
 			prevFails = rec.FailedSessions
 		}
-		seed := c.cfg.Seed + c.bump()*uint64(prevFails)
-		c.logf("campaign: %s (seed %d, session %d)", id, seed, sessionsOf(rec)+1)
-		mEntries.Inc()
-		base := reg.Flatten()
-		start := time.Now()
-		att := c.contain(id, e, seed)
-		delta := metrics.Delta(base, reg.Flatten())
-		c.logf("campaign: %s finished in %v", id, time.Since(start).Round(time.Millisecond))
-		if att.Err != nil {
-			mFailures.Inc()
-		}
+		jobs = append(jobs, job{
+			pos: i, id: id, entry: e, prev: rec,
+			seed:    c.cfg.Seed + c.bump()*uint64(prevFails),
+			session: sessionsOf(rec) + 1,
+		})
+	}
 
-		c.man.Entries[id] = buildRecord(id, seed, rec, att)
-		c.man.Entries[id].Telemetry = delta
-		if err := c.checkpoint(); err != nil {
-			return c.man, err
-		}
-		ranThisSession++
-
-		if !c.man.Complete() {
-			if c.cfg.HaltAfter > 0 && ranThisSession >= c.cfg.HaltAfter {
-				c.logf("campaign: halting after %d experiments (resumable)", ranThisSession)
-				return c.man, ErrHalted
+	ranThisSession := 0
+	halted := false
+	err := pool.Run(ctx, workers, len(jobs),
+		func(_ context.Context, i int) containResult {
+			j := jobs[i]
+			if j.skip {
+				return containResult{}
 			}
-			if !c.cfg.Deadline.IsZero() && time.Now().After(c.cfg.Deadline) {
-				c.logf("campaign: wall deadline passed after %d/%d experiments (resumable)", i+1, len(c.man.IDs))
-				return c.man, ErrHalted
+			c.logf("campaign: %s (seed %d, session %d)", j.id, j.seed, j.session)
+			start := time.Now()
+			res := c.contain(j.id, j.entry, j.seed)
+			c.logf("campaign: %s finished in %v", j.id, time.Since(start).Round(time.Millisecond))
+			return res
+		},
+		func(i int, res containResult) (bool, error) {
+			j := jobs[i]
+			if j.skip {
+				mSkipped.Inc()
+				c.man.Entries[j.id] = &Record{ID: j.id, Status: StatusSkipped,
+					Failure: &Failure{Msg: "no runner (unknown experiment id)"}}
+				c.notify(c.man.Entries[j.id])
+				return false, c.checkpoint()
 			}
-		}
+			mEntries.Inc()
+			if res.att.Err != nil {
+				mFailures.Inc()
+			}
+			rec := buildRecord(j.id, j.seed, j.prev, res.att)
+			rec.Telemetry = res.telemetry
+			c.man.Entries[j.id] = rec
+			c.notify(rec)
+			if err := c.checkpoint(); err != nil {
+				return false, err
+			}
+			ranThisSession++
+			if !c.man.Complete() {
+				if c.cfg.HaltAfter > 0 && ranThisSession >= c.cfg.HaltAfter {
+					c.logf("campaign: halting after %d experiments (resumable)", ranThisSession)
+					halted = true
+					return true, nil
+				}
+				if !c.cfg.Deadline.IsZero() && time.Now().After(c.cfg.Deadline) {
+					c.logf("campaign: wall deadline passed after %d/%d experiments (resumable)", j.pos+1, len(c.man.IDs))
+					halted = true
+					return true, nil
+				}
+			}
+			return false, nil
+		})
+	switch {
+	case err == nil && halted:
+		return c.man, ErrHalted
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		c.logf("campaign: halted by cancellation (resumable)")
+		return c.man, ErrHalted
+	case err != nil:
+		return c.man, err
 	}
 	return c.man, nil
 }
 
-// contain runs one entry on its own goroutine with panic recovery and the
-// per-entry wall budget. A timed-out runner is abandoned, not killed: the
-// deterministic simulation holds nothing that needs unwinding.
-func (c *Campaign) contain(id string, e Entry, seed uint64) Attempt {
-	ch := make(chan Attempt, 1)
+// notify invokes the OnRecord hook.
+func (c *Campaign) notify(rec *Record) {
+	if c.cfg.OnRecord != nil {
+		c.cfg.OnRecord(rec)
+	}
+}
+
+// contain runs one entry on its own goroutine with panic recovery, a
+// private telemetry registry and the per-entry wall budget. A timed-out
+// runner is abandoned, not killed: the deterministic simulation holds
+// nothing that needs unwinding. The entry's telemetry is flattened on the
+// contained goroutine itself (even on the panic path), so an abandoned
+// runner can never race the sequencer over its registry; a timed-out entry
+// records no telemetry.
+func (c *Campaign) contain(id string, e Entry, seed uint64) containResult {
+	ch := make(chan containResult, 1)
 	go func() {
+		reg := metrics.New()
+		restore := metrics.ScopeAmbient(reg)
+		var res containResult
 		defer func() {
 			if r := recover(); r != nil {
 				err, ok := r.(error)
 				if !ok {
 					err = fmt.Errorf("%v", r)
 				}
-				ch <- Attempt{Attempts: 1, Err: fmt.Errorf("entry %s panicked outside its guarded runner: %w", id, err)}
+				res.att = Attempt{Attempts: 1, Err: fmt.Errorf("entry %s panicked outside its guarded runner: %w", id, err)}
 			}
+			restore()
+			res.telemetry = metrics.Delta(nil, reg.Flatten())
+			ch <- res
 		}()
-		ch <- e.Run(seed)
+		res.att = e.Run(seed)
 	}()
 	if c.cfg.ExpWall <= 0 {
 		return <-ch
@@ -236,10 +326,10 @@ func (c *Campaign) contain(id string, e Entry, seed uint64) Attempt {
 	timer := time.NewTimer(c.cfg.ExpWall)
 	defer timer.Stop()
 	select {
-	case a := <-ch:
-		return a
+	case res := <-ch:
+		return res
 	case <-timer.C:
-		return Attempt{Attempts: 1, Err: fmt.Errorf("entry %s exceeded its wall budget %s (runner abandoned)", id, c.cfg.ExpWall)}
+		return containResult{att: Attempt{Attempts: 1, Err: fmt.Errorf("entry %s exceeded its wall budget %s (runner abandoned)", id, c.cfg.ExpWall)}}
 	}
 }
 
@@ -307,14 +397,18 @@ func (c *Campaign) bump() uint64 {
 	if c.cfg.Bump != 0 {
 		return c.cfg.Bump
 	}
-	return defaultBump
+	return DefaultSeedBump
 }
 
-// logf writes one progress line.
+// logf writes one progress line; workers log concurrently, so writes are
+// serialized (lines stay whole, their order reflects execution, not plan,
+// order).
 func (c *Campaign) logf(format string, args ...any) {
 	if c.cfg.Log == nil {
 		return
 	}
+	c.logMu.Lock()
+	defer c.logMu.Unlock()
 	fmt.Fprintf(c.cfg.Log, format+"\n", args...)
 }
 

@@ -226,7 +226,7 @@ func TestResumeBumpsFailedSeeds(t *testing.T) {
 	if got := calls["good"]; len(got) != 1 || got[0] != 100 {
 		t.Fatalf("successful entry re-ran: seeds %v", got)
 	}
-	want := []uint64{100, 100 + defaultBump, 100 + 2*defaultBump}
+	want := []uint64{100, 100 + DefaultSeedBump, 100 + 2*DefaultSeedBump}
 	got := calls["flaky"]
 	if len(got) != len(want) {
 		t.Fatalf("flaky seeds %v, want %v", got, want)

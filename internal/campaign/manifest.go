@@ -37,8 +37,8 @@ const (
 	StatusPending Status = "pending"
 )
 
-// final reports whether the status needs no further runs on resume.
-func (s Status) final() bool {
+// Final reports whether the status needs no further runs on resume.
+func (s Status) Final() bool {
 	switch s {
 	case StatusOK, StatusRetried, StatusDegraded, StatusSkipped:
 		return true

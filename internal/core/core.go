@@ -109,8 +109,10 @@ type Attacker struct {
 	cfg   Config
 	stats Stats
 
-	// Telemetry handles from the ambient registry; nil (the default when no
-	// registry is installed) makes every increment a no-op.
+	// Telemetry handles, bound at Run time from the machine's registry
+	// (Run executes on a thread goroutine, where the ambient lookup is not
+	// meaningful); nil handles (telemetry off) make every increment a
+	// no-op.
 	mBursts      *metrics.Counter
 	mPreemptions *metrics.Counter
 	mFailedWakes *metrics.Counter
@@ -124,13 +126,15 @@ func NewAttacker(cfg Config) *Attacker {
 	if cfg.Hibernate <= 0 {
 		cfg.Hibernate = 100 * timebase.Millisecond
 	}
-	r := metrics.Ambient()
-	return &Attacker{
-		cfg:          cfg,
-		mBursts:      r.Counter("attack_bursts_total"),
-		mPreemptions: r.Counter("attack_preemptions_total"),
-		mFailedWakes: r.Counter("attack_failed_wakes_total"),
-	}
+	return &Attacker{cfg: cfg}
+}
+
+// bind takes the instrument handles from the machine the attacker runs on.
+func (a *Attacker) bind(env *kern.Env) {
+	r := env.Metrics()
+	a.mBursts = r.Counter("attack_bursts_total")
+	a.mPreemptions = r.Counter("attack_preemptions_total")
+	a.mFailedWakes = r.Counter("attack_failed_wakes_total")
 }
 
 // Stats returns the attack's outcome counters.
@@ -140,6 +144,7 @@ func (a *Attacker) Stats() Stats { return a.stats }
 //
 //	m.Spawn("attacker", attacker.Run, kern.WithPin(core))
 func (a *Attacker) Run(env *kern.Env) {
+	a.bind(env)
 	env.SetTimerSlack(1)
 	if a.cfg.StartDelay > 0 {
 		env.Nanosleep(a.cfg.StartDelay)

@@ -2,7 +2,6 @@ package core
 
 import (
 	"repro/internal/kern"
-	"repro/internal/metrics"
 	"repro/internal/timebase"
 )
 
@@ -165,11 +164,11 @@ func (r *RobustAttacker) Run(env *kern.Env) {
 		}
 		if attempt >= r.policy.MaxRetries {
 			r.report.Degraded = true
-			metrics.Ambient().Counter("attack_degraded_total").Inc()
+			env.Metrics().Counter("attack_degraded_total").Inc()
 			return
 		}
-		metrics.Ambient().Counter("attack_retries_total").Inc()
-		metrics.Ambient().Counter("attack_recalibrations_total").Inc()
+		env.Metrics().Counter("attack_retries_total").Inc()
+		env.Metrics().Counter("attack_recalibrations_total").Inc()
 
 		// Recalibrate: longer recharge (bigger budget), wider ε (more
 		// wake-latency headroom); Method 2's interval must additionally

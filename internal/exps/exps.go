@@ -11,6 +11,7 @@ import (
 	"repro/internal/cfs"
 	"repro/internal/eevdf"
 	"repro/internal/fault"
+	"repro/internal/gls"
 	"repro/internal/isa"
 	"repro/internal/kern"
 	"repro/internal/metrics"
@@ -59,20 +60,37 @@ func WithKernParams(mut func(*kern.Params)) MachineOption {
 // NewMachine builds (unless the experiment sets its own). The cplab CLI's
 // -faults flag and the chaos tests set it; experiments stay oblivious.
 // Determinism is unaffected: each machine forks its injector stream off its
-// own seed.
-var chaos fault.Config
+// own seed. scopedChaos carries the goroutine-scoped override a parallel
+// campaign worker installs around its entry, so concurrent experiments can
+// run under different fault configurations without sharing state.
+var (
+	chaos       fault.Config
+	scopedChaos gls.Store[fault.Config]
+)
 
-// SetChaos installs cfg as the ambient fault configuration for subsequently
-// built experiment machines and returns the previous configuration (restore
-// it when done). The zero Config turns injection off.
+// SetChaos installs cfg as the process-wide ambient fault configuration for
+// subsequently built experiment machines and returns the previous
+// configuration (restore it when done). The zero Config turns injection
+// off. Only call it from a driving goroutine with no experiments in
+// flight; concurrent runners use ScopeChaos instead.
 func SetChaos(cfg fault.Config) fault.Config {
 	prev := chaos
 	chaos = cfg
 	return prev
 }
 
-// Chaos returns the ambient fault configuration.
-func Chaos() fault.Config { return chaos }
+// ScopeChaos installs cfg as the calling goroutine's fault configuration
+// and returns the restore function (defer it on the same goroutine). The
+// override shadows SetChaos for machines this goroutine builds.
+func ScopeChaos(cfg fault.Config) (restore func()) { return scopedChaos.Set(cfg) }
+
+// Chaos returns the ambient fault configuration, scope-first.
+func Chaos() fault.Config {
+	if cfg, ok := scopedChaos.Get(); ok {
+		return cfg
+	}
+	return chaos
+}
 
 // traceCap, when non-nil, attaches a passive trace.Collector to every
 // machine NewMachine builds (alongside whatever tracer the experiment
@@ -122,23 +140,41 @@ func StopTraceCapture() *trace.Trace {
 // watchdogBudget is the ambient simulated-time deadline for
 // watchdog-guarded experiment phases; 0 leaves each experiment's own
 // default in force. The campaign/trace CLI paths set it via
-// repro.Options.SimBudget.
-var watchdogBudget timebase.Duration
+// repro.Options.SimBudget. scopedBudget is the goroutine-scoped override
+// for concurrent campaign workers.
+var (
+	watchdogBudget timebase.Duration
+	scopedBudget   gls.Store[timebase.Duration]
+)
 
-// SetWatchdogBudget installs d as the ambient simulated-time budget for
-// Watchdogs built with NewWatchdog and returns the previous value (restore
-// it when done). 0 disables the override.
+// SetWatchdogBudget installs d as the process-wide ambient simulated-time
+// budget for Watchdogs built with NewWatchdog and returns the previous
+// value (restore it when done). 0 disables the override. Like SetChaos it
+// must only run with no experiments in flight.
 func SetWatchdogBudget(d timebase.Duration) timebase.Duration {
 	prev := watchdogBudget
 	watchdogBudget = d
 	return prev
 }
 
+// ScopeWatchdogBudget installs d as the calling goroutine's watchdog
+// budget and returns the restore function (defer it on the same
+// goroutine).
+func ScopeWatchdogBudget(d timebase.Duration) (restore func()) { return scopedBudget.Set(d) }
+
+// WatchdogBudget returns the ambient budget, scope-first (0 = no override).
+func WatchdogBudget() timebase.Duration {
+	if d, ok := scopedBudget.Get(); ok {
+		return d
+	}
+	return watchdogBudget
+}
+
 // NewWatchdog returns a Watchdog honouring the ambient budget, falling back
 // to the experiment's own default when none is set.
 func NewWatchdog(fallback timebase.Duration) *Watchdog {
-	if watchdogBudget > 0 {
-		return &Watchdog{Budget: watchdogBudget}
+	if d := WatchdogBudget(); d > 0 {
+		return &Watchdog{Budget: d}
 	}
 	return &Watchdog{Budget: fallback}
 }
@@ -160,7 +196,7 @@ func NewMachine(kind Sched, seed uint64, opts ...MachineOption) *kern.Machine {
 		p = kern.DefaultParams(Cores, func() sched.Scheduler { return cfs.New(sp) })
 	}
 	p.Seed = seed
-	p.Faults = chaos
+	p.Faults = Chaos()
 	for _, o := range opts {
 		o(&p, &sp)
 	}

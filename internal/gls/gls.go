@@ -1,0 +1,83 @@
+// Package gls provides goroutine-scoped storage for the simulation's
+// ambient harness state (telemetry registries, fault configurations,
+// watchdog budgets).
+//
+// The harness-state pattern — a package-level variable installed by the
+// driver around a run (exps.SetChaos, metrics.SetAmbient) — assumes one
+// experiment runs at a time. The parallel campaign engine breaks that
+// assumption: several workers each run their own experiment concurrently,
+// and each needs its own ambient state without the others seeing it. A
+// Store keys overrides by goroutine ID, so a worker installs its state on
+// its own goroutine and every read from that goroutine resolves to the
+// worker's value while other goroutines fall through to the process-wide
+// default.
+//
+// The deliberate limitation: an override is visible only on the goroutine
+// that installed it, not on goroutines it spawns. That fits the simulator,
+// whose machines are *constructed* (and their registries captured) on the
+// driving goroutine; the lock-stepped thread-body goroutines reach
+// telemetry through the machine, never through ambient lookups.
+package gls
+
+import (
+	"runtime"
+	"sync"
+)
+
+// ID returns the current goroutine's runtime ID.
+//
+// The runtime does not expose goroutine IDs on purpose; this parses the
+// header of a single-goroutine stack dump ("goroutine 123 [running]:"),
+// the same technique popular logging and leak-checking libraries use. It
+// costs roughly a microsecond — far too slow for a per-event hot path,
+// fine for the construction-time and per-entry lookups it serves.
+func ID() uint64 {
+	var buf [64]byte
+	n := runtime.Stack(buf[:], false)
+	// Skip "goroutine " (10 bytes) and parse digits up to the next space.
+	var id uint64
+	for i := 10; i < n; i++ {
+		c := buf[i]
+		if c < '0' || c > '9' {
+			break
+		}
+		id = id*10 + uint64(c-'0')
+	}
+	return id
+}
+
+// Store is a goroutine-keyed override map. The zero value is ready to use.
+// A Store holds at most one value per goroutine; nested Sets on the same
+// goroutine shadow and restore like a stack.
+type Store[T any] struct {
+	m sync.Map // goroutine ID → T
+}
+
+// Get returns the calling goroutine's override and whether one is
+// installed.
+func (s *Store[T]) Get() (T, bool) {
+	v, ok := s.m.Load(ID())
+	if !ok {
+		var zero T
+		return zero, false
+	}
+	return v.(T), true
+}
+
+// Set installs v as the calling goroutine's override and returns a restore
+// function that reinstates the previous state (the prior override, or no
+// override). Restore must be called from the same goroutine — typically
+// `defer restore()` — or the entry leaks and later goroutines that happen
+// to reuse the ID would inherit it.
+func (s *Store[T]) Set(v T) (restore func()) {
+	id := ID()
+	prev, had := s.m.Load(id)
+	s.m.Store(id, v)
+	return func() {
+		if had {
+			s.m.Store(id, prev)
+		} else {
+			s.m.Delete(id)
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package gls
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestIDStableAndDistinct(t *testing.T) {
+	a, b := ID(), ID()
+	if a == 0 || a != b {
+		t.Fatalf("ID not stable on one goroutine: %d vs %d", a, b)
+	}
+	ch := make(chan uint64)
+	go func() { ch <- ID() }()
+	if other := <-ch; other == a {
+		t.Fatalf("two goroutines share ID %d", other)
+	}
+}
+
+func TestStoreIsolatesGoroutines(t *testing.T) {
+	var s Store[int]
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make(chan string, workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, ok := s.Get(); ok {
+				errs <- "fresh goroutine saw an override"
+				return
+			}
+			restore := s.Set(w)
+			for i := 0; i < 100; i++ {
+				if v, ok := s.Get(); !ok || v != w {
+					errs <- "override leaked across goroutines"
+					return
+				}
+			}
+			restore()
+			if _, ok := s.Get(); ok {
+				errs <- "restore did not clear the override"
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+}
+
+func TestStoreNestedSetsRestoreLikeAStack(t *testing.T) {
+	var s Store[string]
+	outer := s.Set("outer")
+	inner := s.Set("inner")
+	if v, _ := s.Get(); v != "inner" {
+		t.Fatalf("inner override not visible: %q", v)
+	}
+	inner()
+	if v, _ := s.Get(); v != "outer" {
+		t.Fatalf("outer override not restored: %q", v)
+	}
+	outer()
+	if _, ok := s.Get(); ok {
+		t.Fatal("store not empty after outermost restore")
+	}
+}

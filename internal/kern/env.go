@@ -3,6 +3,7 @@ package kern
 import (
 	"repro/internal/cache"
 	"repro/internal/isa"
+	"repro/internal/metrics"
 	"repro/internal/rng"
 	"repro/internal/timebase"
 	"repro/internal/tlb"
@@ -24,6 +25,13 @@ func (e *Env) Thread() *Thread { return e.t }
 
 // Machine returns the simulated machine.
 func (e *Env) Machine() *Machine { return e.m }
+
+// Metrics returns the machine's telemetry registry (nil when telemetry is
+// off). Receivers constructed inside thread bodies must take instrument
+// handles from here, not from metrics.Ambient(): thread bodies run on
+// their own lock-stepped goroutines, where the goroutine-scoped ambient
+// override installed by a parallel campaign worker is not visible.
+func (e *Env) Metrics() *metrics.Registry { return e.m.reg }
 
 // Now returns the thread's current simulated time.
 func (e *Env) Now() timebase.Time { return e.t.clock }

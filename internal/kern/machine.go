@@ -299,9 +299,14 @@ type Machine struct {
 	sinceCheck int64
 
 	// tel holds the kernel metric handles (always non-nil; no-op handles
-	// when telemetry is off). prof is the sim-time profiler (nil when off).
-	// flight is the crash-dump flight recorder (nil when disabled).
+	// when telemetry is off). reg is the registry those handles feed —
+	// captured once at construction (explicit or ambient), nil when
+	// telemetry is off — so everything attached to this machine reports
+	// into the same namespace regardless of which goroutine it runs on.
+	// prof is the sim-time profiler (nil when off). flight is the
+	// crash-dump flight recorder (nil when disabled).
 	tel    *machineTelemetry
+	reg    *metrics.Registry
 	prof   *metrics.Profiler
 	flight *FlightRecorder
 }
@@ -362,6 +367,7 @@ func NewMachine(p Params) *Machine {
 	if reg == nil {
 		reg = metrics.Ambient()
 	}
+	m.reg = reg
 	m.tel = newMachineTelemetry(reg)
 	if reg != nil {
 		m.AttachTracer(&metricsTracer{m: m, tel: m.tel})
@@ -386,6 +392,13 @@ func NewMachine(p Params) *Machine {
 
 // Params returns the machine's configuration.
 func (m *Machine) Params() Params { return m.p }
+
+// Metrics returns the telemetry registry the machine reports into (nil
+// when telemetry is off; package metrics instruments no-op on nil).
+// Receivers and attackers running on the machine's thread goroutines take
+// their instrument handles from here rather than from the ambient lookup,
+// which is goroutine-scoped and only meaningful on the driving goroutine.
+func (m *Machine) Metrics() *metrics.Registry { return m.reg }
 
 // Now returns the last processed event time.
 func (m *Machine) Now() timebase.Time { return m.now }

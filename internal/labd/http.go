@@ -1,0 +1,101 @@
+package labd
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+)
+
+// Handler returns the service's HTTP API:
+//
+//	POST   /jobs               submit a Spec (JSON body) → 202 + JobView
+//	GET    /jobs               list jobs in submission order
+//	GET    /jobs/{id}          one job's state and progress
+//	GET    /jobs/{id}/manifest the job's campaign manifest (as checkpointed)
+//	DELETE /jobs/{id}          cancel a queued or running job
+//	GET    /metrics            service telemetry, Prometheus text format
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", s.handleSubmit)
+	mux.HandleFunc("GET /jobs", s.handleList)
+	mux.HandleFunc("GET /jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /jobs/{id}/manifest", s.handleManifest)
+	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec Spec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("bad spec: %v", err))
+		return
+	}
+	view, err := s.Submit(spec)
+	if err != nil {
+		httpError(w, httpStatus(err), err.Error())
+		return
+	}
+	writeJSON(w, http.StatusAccepted, view)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Jobs())
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	view, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	writeJSON(w, http.StatusOK, view)
+}
+
+func (s *Server) handleManifest(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, ok := s.Job(id); !ok {
+		httpError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	b, err := os.ReadFile(s.ManifestPath(id))
+	if err != nil {
+		httpError(w, http.StatusNotFound, "no manifest checkpointed yet")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(b)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	view, err := s.Cancel(r.PathValue("id"))
+	if err != nil {
+		httpError(w, httpStatus(err), err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, view)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.WriteMetrics(w); err != nil {
+		s.logf("labd: /metrics: %v", err)
+	}
+}
+
+// writeJSON emits one JSON response.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// httpError emits a JSON error body.
+func httpError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}

@@ -1,0 +1,586 @@
+// Package labd is the lab job service: a long-running daemon wrapper
+// around the campaign engine. Clients submit campaign specs over HTTP, the
+// service runs them one at a time (FIFO) with the spec's own intra-job
+// parallelism, every job checkpoints to its own manifest under the state
+// directory, and a drained or crashed service picks its unfinished jobs
+// back up on restart via campaign.Resume — the same crash-safety contract
+// the CLI campaigns have, lifted to a service.
+//
+// The package is experiment-agnostic, mirroring package campaign: the
+// binding to the experiment registry (entry construction, spec validation,
+// the manifest note) is injected through Config, so tests drive the full
+// HTTP surface with fake entries and cmd/cplabd supplies the real ones.
+package labd
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/metrics"
+)
+
+// Spec is one submitted campaign: the subset of cplab's campaign flags
+// that shape results, plus the intra-job parallelism. SimBudget is
+// nanoseconds (JSON numbers), matching time.Duration's encoding.
+type Spec struct {
+	// IDs is the experiment subset in plan order (empty = the full
+	// registry, in paper order).
+	IDs []string `json:"ids,omitempty"`
+	// Paper selects the paper's sample sizes over quick shapes.
+	Paper bool `json:"paper,omitempty"`
+	// Seed is the campaign base seed (0 is normalized by the service's
+	// Normalize hook; cplabd maps it to 1, the CLI default).
+	Seed uint64 `json:"seed,omitempty"`
+	// Faults is the fault-injection rate per opportunity in [0,1].
+	Faults float64 `json:"faults,omitempty"`
+	// SimBudget bounds each watchdog phase in simulated time (0 = the
+	// experiment defaults).
+	SimBudget time.Duration `json:"simbudget,omitempty"`
+	// Retries is the guarded bumped-seed retry budget per experiment.
+	Retries int `json:"retries,omitempty"`
+	// Parallel is the number of campaign workers for this job (0 or 1 =
+	// serial; the manifest is byte-identical either way).
+	Parallel int `json:"parallel,omitempty"`
+}
+
+// State is a job's lifecycle state.
+type State string
+
+// Job states. Queued, Running and Halted survive a restart as work (a
+// halted job resumes from its manifest); the rest are terminal.
+const (
+	StateQueued   State = "queued"
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateHalted   State = "halted"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled"
+)
+
+// States lists every job state, for metrics and views.
+var States = []State{StateQueued, StateRunning, StateDone, StateHalted, StateFailed, StateCanceled}
+
+// terminal reports whether a state needs no further work.
+func (s State) terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// Config wires a Server to an experiment registry and a state directory.
+type Config struct {
+	// StateDir holds one subdirectory per job (state.json + the campaign's
+	// manifest.json). It is created if missing.
+	StateDir string
+	// Entries builds the campaign plan for a spec. Required.
+	Entries func(Spec) []campaign.Entry
+	// Validate vets a spec at submission (nil accepts everything).
+	Validate func(Spec) error
+	// Normalize canonicalizes a spec at submission, before validation and
+	// persistence (nil keeps it as-is); cplabd uses it to default the seed.
+	Normalize func(Spec) Spec
+	// Note derives the campaign note pinning the spec's non-seed
+	// configuration (nil leaves notes empty). cplabd's note matches the
+	// cplab CLI's format exactly, so daemon and CLI manifests are
+	// interchangeable.
+	Note func(Spec) string
+	// QueueLimit caps jobs waiting to run (default 64).
+	QueueLimit int
+	// ExpWall bounds each entry's wall-clock time (0 = unbounded).
+	ExpWall time.Duration
+	// Log receives service progress lines (nil discards them).
+	Log io.Writer
+}
+
+// JobView is the HTTP-facing snapshot of one job.
+type JobView struct {
+	ID    string `json:"id"`
+	State State  `json:"state"`
+	Spec  Spec   `json:"spec"`
+	// Done/Total count committed plan entries (Total is fixed at start).
+	Done  int    `json:"done"`
+	Total int    `json:"total"`
+	Error string `json:"error,omitempty"`
+	// Clean reports a completed job whose records are all OK.
+	Clean bool `json:"clean,omitempty"`
+}
+
+// job is the server-internal state, guarded by Server.mu.
+type job struct {
+	id         string
+	seq        int
+	state      State
+	spec       Spec
+	done       int
+	total      int
+	errMsg     string
+	clean      bool
+	cancel     context.CancelFunc // set while running
+	userCancel bool               // DELETE requested (vs drain)
+}
+
+// jobState is the persisted shape of a job (stateDir/<id>/state.json).
+type jobState struct {
+	ID    string `json:"id"`
+	Seq   int    `json:"seq"`
+	State State  `json:"state"`
+	Spec  Spec   `json:"spec"`
+	Error string `json:"error,omitempty"`
+	Clean bool   `json:"clean,omitempty"`
+}
+
+// Server runs the lab service. Build with NewServer, start the dispatcher
+// with Start, expose Handler over HTTP, stop with Drain.
+type Server struct {
+	cfg Config
+
+	mu           sync.Mutex
+	jobs         map[string]*job
+	order        []string // submission order
+	nextSeq      int
+	draining     bool
+	entriesTotal int64 // committed entries across all jobs, this process
+	busy         int   // entry-running campaign workers right now
+
+	queue chan *job
+	quit  chan struct{}
+	idle  chan struct{} // closed when the dispatcher exits
+}
+
+// NewServer loads (or initializes) the state directory and returns a
+// server. Unfinished jobs from a previous process are found here but only
+// re-enqueued by Start.
+func NewServer(cfg Config) (*Server, error) {
+	if cfg.Entries == nil {
+		return nil, fmt.Errorf("labd: Config.Entries is required")
+	}
+	if cfg.StateDir == "" {
+		return nil, fmt.Errorf("labd: Config.StateDir is required")
+	}
+	if cfg.QueueLimit <= 0 {
+		cfg.QueueLimit = 64
+	}
+	if err := os.MkdirAll(cfg.StateDir, 0o755); err != nil {
+		return nil, fmt.Errorf("labd: %w", err)
+	}
+	s := &Server{
+		cfg:   cfg,
+		jobs:  map[string]*job{},
+		queue: make(chan *job, cfg.QueueLimit),
+		quit:  make(chan struct{}),
+		idle:  make(chan struct{}),
+	}
+	if err := s.load(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// load scans the state directory for persisted jobs.
+func (s *Server) load() error {
+	dirs, err := os.ReadDir(s.cfg.StateDir)
+	if err != nil {
+		return fmt.Errorf("labd: %w", err)
+	}
+	var loaded []*job
+	for _, d := range dirs {
+		if !d.IsDir() {
+			continue
+		}
+		b, err := os.ReadFile(filepath.Join(s.cfg.StateDir, d.Name(), "state.json"))
+		if err != nil {
+			continue // not a job dir (or a torn submit); skip it
+		}
+		var st jobState
+		if err := json.Unmarshal(b, &st); err != nil {
+			s.logf("labd: ignoring corrupt state for %s: %v", d.Name(), err)
+			continue
+		}
+		j := &job{id: st.ID, seq: st.Seq, state: st.State, spec: st.Spec, errMsg: st.Error, clean: st.Clean}
+		// A job that was mid-run when the process died is requeued; its
+		// manifest prefix survives and Resume skips the committed records.
+		if !j.state.terminal() {
+			j.state = StateQueued
+		}
+		loaded = append(loaded, j)
+		if st.Seq >= s.nextSeq {
+			s.nextSeq = st.Seq + 1
+		}
+	}
+	sort.Slice(loaded, func(i, k int) bool { return loaded[i].seq < loaded[k].seq })
+	for _, j := range loaded {
+		s.jobs[j.id] = j
+		s.order = append(s.order, j.id)
+	}
+	return nil
+}
+
+// Start launches the dispatcher and re-enqueues unfinished jobs from a
+// previous process in their original submission order.
+func (s *Server) Start() {
+	s.mu.Lock()
+	var backlog []*job
+	for _, id := range s.order {
+		if j := s.jobs[id]; j.state == StateQueued {
+			backlog = append(backlog, j)
+		}
+	}
+	s.mu.Unlock()
+	for _, j := range backlog {
+		select {
+		case s.queue <- j:
+			s.logf("labd: requeued %s from a previous session", j.id)
+		default:
+			s.logf("labd: queue full, leaving %s for the next restart", j.id)
+		}
+	}
+	go s.dispatch()
+}
+
+// BeginDrain synchronously puts the service into shutdown: no new
+// submissions are accepted, the queue stops dispatching, and the running
+// job (if any) is cancelled — its campaign checkpoints the completed
+// prefix and the job lands halted, to be resumed by the next process.
+// Idempotent; returns as soon as the cancellation is delivered, without
+// waiting for the job to wind down.
+func (s *Server) BeginDrain() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return
+	}
+	s.draining = true
+	close(s.quit)
+	for _, j := range s.jobs {
+		if j.state == StateRunning && j.cancel != nil {
+			j.cancel()
+		}
+	}
+}
+
+// Drain is BeginDrain plus waiting for the dispatcher to stop (the running
+// job to checkpoint and settle) or ctx to expire.
+func (s *Server) Drain(ctx context.Context) error {
+	s.BeginDrain()
+	select {
+	case <-s.idle:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("labd: drain timed out: %w", ctx.Err())
+	}
+}
+
+// dispatch is the FIFO job loop: one job at a time, each with its own
+// intra-job parallelism.
+func (s *Server) dispatch() {
+	defer close(s.idle)
+	for {
+		select {
+		case <-s.quit:
+			return
+		default:
+		}
+		select {
+		case <-s.quit:
+			return
+		case j := <-s.queue:
+			s.runJob(j)
+		}
+	}
+}
+
+// runJob executes one dequeued job through the campaign engine.
+func (s *Server) runJob(j *job) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	s.mu.Lock()
+	if j.state != StateQueued { // cancelled while waiting
+		s.mu.Unlock()
+		return
+	}
+	if s.draining {
+		s.mu.Unlock()
+		return // stays queued; the next process picks it up
+	}
+	j.state = StateRunning
+	j.cancel = cancel
+	j.done, j.total = 0, 0
+	spec := j.spec
+	s.persistLocked(j)
+	s.mu.Unlock()
+
+	entries := s.wrapEntries(s.cfg.Entries(spec))
+	workers := spec.Parallel
+	if workers < 1 {
+		workers = 1
+	}
+	note := ""
+	if s.cfg.Note != nil {
+		note = s.cfg.Note(spec)
+	}
+	ccfg := campaign.Config{
+		Path:    filepath.Join(s.cfg.StateDir, j.id, "manifest.json"),
+		Seed:    spec.Seed,
+		Note:    note,
+		ExpWall: s.cfg.ExpWall,
+		Log:     s.cfg.Log,
+		OnRecord: func(*campaign.Record) {
+			s.mu.Lock()
+			j.done++
+			s.entriesTotal++
+			s.mu.Unlock()
+		},
+	}
+
+	var c *campaign.Campaign
+	var err error
+	if _, statErr := os.Stat(ccfg.Path); statErr == nil {
+		c, err = campaign.Resume(ccfg, entries)
+	} else {
+		c, err = campaign.New(ccfg, entries)
+	}
+	if err != nil {
+		s.finish(j, StateFailed, err.Error(), false)
+		return
+	}
+
+	resumed := 0
+	for _, rec := range c.Manifest().Entries {
+		if rec.Status.Final() {
+			resumed++
+		}
+	}
+	s.mu.Lock()
+	j.total = len(c.Manifest().IDs)
+	j.done = resumed // final records kept across a resume
+	s.mu.Unlock()
+
+	s.logf("labd: %s running (%d entries, parallel %d)", j.id, len(c.Manifest().IDs), workers)
+	man, runErr := c.RunParallel(ctx, workers)
+	switch {
+	case runErr == nil:
+		s.finish(j, StateDone, "", man.Clean())
+	case errors.Is(runErr, campaign.ErrHalted):
+		s.mu.Lock()
+		userCancel := j.userCancel
+		s.mu.Unlock()
+		if userCancel {
+			s.finish(j, StateCanceled, "canceled by client", false)
+		} else {
+			s.finish(j, StateHalted, "", false)
+		}
+	default:
+		s.finish(j, StateFailed, runErr.Error(), false)
+	}
+}
+
+// wrapEntries tracks worker business around each entry run, for the
+// utilization gauge.
+func (s *Server) wrapEntries(entries []campaign.Entry) []campaign.Entry {
+	out := make([]campaign.Entry, len(entries))
+	for i, e := range entries {
+		out[i] = e
+		if run := e.Run; run != nil {
+			out[i].Run = func(seed uint64) campaign.Attempt {
+				s.mu.Lock()
+				s.busy++
+				s.mu.Unlock()
+				defer func() {
+					s.mu.Lock()
+					s.busy--
+					s.mu.Unlock()
+				}()
+				return run(seed)
+			}
+		}
+	}
+	return out
+}
+
+// finish records a job's terminal (or halted) state and persists it.
+func (s *Server) finish(j *job, st State, errMsg string, clean bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j.state = st
+	j.errMsg = errMsg
+	j.clean = clean
+	j.cancel = nil
+	s.persistLocked(j)
+	s.logf("labd: %s %s", j.id, st)
+}
+
+// Submit validates, persists and enqueues a job for the given spec.
+func (s *Server) Submit(spec Spec) (JobView, error) {
+	if s.cfg.Normalize != nil {
+		spec = s.cfg.Normalize(spec)
+	}
+	if s.cfg.Validate != nil {
+		if err := s.cfg.Validate(spec); err != nil {
+			return JobView{}, &submitError{status: http.StatusBadRequest, msg: err.Error()}
+		}
+	}
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return JobView{}, &submitError{status: http.StatusServiceUnavailable, msg: "service is draining"}
+	}
+	// Bound on channel occupancy, not the queued-state count: cancelled
+	// jobs linger in the channel until the dispatcher skips them, and the
+	// send below must never block while s.mu is held.
+	if len(s.queue) >= cap(s.queue) {
+		s.mu.Unlock()
+		return JobView{}, &submitError{status: http.StatusServiceUnavailable, msg: "queue is full"}
+	}
+	seq := s.nextSeq
+	s.nextSeq++
+	j := &job{id: fmt.Sprintf("job-%06d", seq), seq: seq, state: StateQueued, spec: spec}
+	if err := os.MkdirAll(filepath.Join(s.cfg.StateDir, j.id), 0o755); err != nil {
+		s.mu.Unlock()
+		return JobView{}, &submitError{status: http.StatusInternalServerError, msg: err.Error()}
+	}
+	s.persistLocked(j)
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	view := viewLocked(j)
+	s.queue <- j // guaranteed space: only Submit (under s.mu) sends
+	s.mu.Unlock()
+
+	s.logf("labd: %s queued", j.id)
+	return view, nil
+}
+
+// Cancel cancels a job: a queued job is marked canceled in place, a
+// running one has its context cancelled (the campaign checkpoints and the
+// job lands canceled). Terminal jobs return an error.
+func (s *Server) Cancel(id string) (JobView, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return JobView{}, &submitError{status: http.StatusNotFound, msg: "no such job"}
+	}
+	switch j.state {
+	case StateQueued:
+		j.state = StateCanceled
+		j.errMsg = "canceled by client"
+		s.persistLocked(j)
+	case StateRunning:
+		j.userCancel = true
+		if j.cancel != nil {
+			j.cancel()
+		}
+	default:
+		return JobView{}, &submitError{status: http.StatusConflict, msg: fmt.Sprintf("job is %s", j.state)}
+	}
+	return viewLocked(j), nil
+}
+
+// Job returns one job's view.
+func (s *Server) Job(id string) (JobView, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return JobView{}, false
+	}
+	return viewLocked(j), true
+}
+
+// Jobs lists every job in submission order.
+func (s *Server) Jobs() []JobView {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]JobView, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, viewLocked(s.jobs[id]))
+	}
+	return out
+}
+
+// ManifestPath returns the job's manifest file path.
+func (s *Server) ManifestPath(id string) string {
+	return filepath.Join(s.cfg.StateDir, id, "manifest.json")
+}
+
+// WriteMetrics renders the service-level telemetry in the Prometheus text
+// format: queue depth, jobs by state, committed entries (rate() gives
+// entries/sec), and worker busy/capacity for utilization.
+func (s *Server) WriteMetrics(w io.Writer) error {
+	reg := metrics.New()
+	s.mu.Lock()
+	counts := map[State]int64{}
+	for _, j := range s.jobs {
+		counts[j.state]++
+	}
+	for _, st := range States {
+		reg.Gauge(fmt.Sprintf("labd_jobs{state=%q}", st)).Set(counts[st])
+	}
+	reg.Gauge("labd_queue_depth").Set(counts[StateQueued])
+	reg.Counter("labd_entries_total").Add(s.entriesTotal)
+	reg.Gauge("labd_workers_busy").Set(int64(s.busy))
+	reg.Gauge("labd_worker_capacity").Set(int64(runtime.GOMAXPROCS(0)))
+	s.mu.Unlock()
+	return reg.WritePrometheus(w)
+}
+
+// viewLocked snapshots a job; the caller holds s.mu.
+func viewLocked(j *job) JobView {
+	return JobView{ID: j.id, State: j.state, Spec: j.spec, Done: j.done, Total: j.total, Error: j.errMsg, Clean: j.clean}
+}
+
+// persistLocked writes the job's state.json atomically; the caller holds
+// s.mu. Persistence failures are logged, not fatal: the live service keeps
+// working, only restart fidelity degrades.
+func (s *Server) persistLocked(j *job) {
+	st := jobState{ID: j.id, Seq: j.seq, State: j.state, Spec: j.spec, Error: j.errMsg, Clean: j.clean}
+	b, err := json.MarshalIndent(st, "", "  ")
+	if err != nil {
+		s.logf("labd: persist %s: %v", j.id, err)
+		return
+	}
+	b = append(b, '\n')
+	path := filepath.Join(s.cfg.StateDir, j.id, "state.json")
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, b, 0o644); err != nil {
+		s.logf("labd: persist %s: %v", j.id, err)
+		return
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		s.logf("labd: persist %s: %v", j.id, err)
+	}
+}
+
+// logf writes one service log line.
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Log == nil {
+		return
+	}
+	fmt.Fprintf(s.cfg.Log, format+"\n", args...)
+}
+
+// submitError pairs an HTTP status with a message.
+type submitError struct {
+	status int
+	msg    string
+}
+
+func (e *submitError) Error() string { return e.msg }
+
+// httpStatus maps an error to a status code (500 when unclassified).
+func httpStatus(err error) int {
+	var se *submitError
+	if errors.As(err, &se) {
+		return se.status
+	}
+	return http.StatusInternalServerError
+}

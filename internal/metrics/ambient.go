@@ -1,5 +1,7 @@
 package metrics
 
+import "repro/internal/gls"
+
 // Ambient telemetry follows the same harness-state pattern as
 // exps.SetChaos: experiment drivers construct machines deep inside Run
 // functions with no way to thread a registry through, so the CLI (or a
@@ -8,32 +10,69 @@ package metrics
 // ambient registry/profiler propagates as nil instrument handles, keeping
 // the uninstrumented cost to one branch per site.
 //
-// Like the rest of the harness-state globals these are not synchronized:
-// installation happens on the driving goroutine before any machine runs.
+// Two layers compose:
+//
+//   - The process-wide default (SetAmbient / SetAmbientProfiler), written
+//     only from a driving goroutine with no experiments in flight — it is
+//     not synchronized, exactly like the other harness-state globals.
+//   - A goroutine-scoped override (ScopeAmbient / ScopeAmbientProfiler),
+//     which shadows the default for the installing goroutine only. The
+//     parallel campaign engine installs one per worker, so concurrent
+//     entries each report into their own registry while the rest of the
+//     process keeps seeing the default.
+//
+// Ambient() resolves scope-first. Simulation hot paths never call it —
+// machines capture their registry once at construction and hand cached
+// instrument handles around.
 
 var (
 	ambient     *Registry
 	ambientProf *Profiler
+
+	scopedReg  gls.Store[*Registry]
+	scopedProf gls.Store[*Profiler]
 )
 
-// SetAmbient installs r as the ambient registry and returns the previous
-// one so callers can restore it (defer metrics.SetAmbient(prev)).
+// SetAmbient installs r as the process-wide ambient registry and returns
+// the previous one so callers can restore it (defer metrics.SetAmbient(prev)).
 func SetAmbient(r *Registry) (prev *Registry) {
 	prev = ambient
 	ambient = r
 	return prev
 }
 
-// Ambient returns the ambient registry (nil when telemetry is off).
-func Ambient() *Registry { return ambient }
+// Ambient returns the ambient registry: the calling goroutine's scoped
+// override when one is installed, else the process-wide default (nil when
+// telemetry is off).
+func Ambient() *Registry {
+	if r, ok := scopedReg.Get(); ok {
+		return r
+	}
+	return ambient
+}
 
-// SetAmbientProfiler installs p as the ambient profiler and returns the
-// previous one.
+// ScopeAmbient installs r as the calling goroutine's ambient registry and
+// returns the restore function. Only this goroutine sees r; restore must
+// run on the same goroutine (defer restore()).
+func ScopeAmbient(r *Registry) (restore func()) { return scopedReg.Set(r) }
+
+// SetAmbientProfiler installs p as the process-wide ambient profiler and
+// returns the previous one.
 func SetAmbientProfiler(p *Profiler) (prev *Profiler) {
 	prev = ambientProf
 	ambientProf = p
 	return prev
 }
 
-// AmbientProfiler returns the ambient profiler (nil when profiling is off).
-func AmbientProfiler() *Profiler { return ambientProf }
+// AmbientProfiler returns the ambient profiler, scope-first (nil when
+// profiling is off).
+func AmbientProfiler() *Profiler {
+	if p, ok := scopedProf.Get(); ok {
+		return p
+	}
+	return ambientProf
+}
+
+// ScopeAmbientProfiler installs p as the calling goroutine's ambient
+// profiler and returns the restore function.
+func ScopeAmbientProfiler(p *Profiler) (restore func()) { return scopedProf.Set(p) }

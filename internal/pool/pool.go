@@ -1,0 +1,189 @@
+// Package pool is the deterministic parallel executor under the campaign
+// engine: a bounded worker pool runs independent jobs concurrently while a
+// sequencer commits their results strictly in job order, so everything the
+// commit callback observes — and everything it writes, manifests and
+// checkpoints included — is byte-identical to a serial run. Workers own all
+// shared-state isolation themselves (each campaign worker builds its own
+// machines, RNG streams and telemetry registry); the pool only promises
+// ordering.
+package pool
+
+import "context"
+
+// Run executes jobs 0..n-1 with up to workers concurrent run calls and
+// commits each result, in job order, from the calling goroutine.
+//
+//   - run(ctx, i) executes job i. Calls run concurrently (workers > 1), so
+//     it must not touch shared mutable state.
+//   - commit(i, v) receives job i's result after every lower-numbered job
+//     has been committed. Commits happen one at a time on the caller's
+//     goroutine, so commit may mutate shared state freely. Returning
+//     stop=true ends the run early: no further jobs are dispatched and
+//     results of jobs already in flight are discarded uncommitted.
+//     Returning an error also ends the run and surfaces the error.
+//
+// workers <= 1 degenerates to a plain sequential loop on the calling
+// goroutine — no goroutines, no channels — so the serial path is exactly
+// the pre-pool code path.
+//
+// When ctx is cancelled, no further jobs are dispatched; jobs already in
+// flight are drained and the completed in-order prefix is committed (so a
+// checkpointing commit callback leaves a resumable state), then Run returns
+// ctx.Err() — unless every job committed anyway, in which case it returns
+// nil.
+func Run[T any](ctx context.Context, workers, n int, run func(ctx context.Context, i int) T, commit func(i int, v T) (stop bool, err error)) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		return runSerial(ctx, n, run, commit)
+	}
+	return runParallel(ctx, workers, n, run, commit)
+}
+
+// runSerial is the workers<=1 degenerate case: check ctx between jobs,
+// run and commit inline.
+func runSerial[T any](ctx context.Context, n int, run func(ctx context.Context, i int) T, commit func(i int, v T) (stop bool, err error)) error {
+	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		stop, err := commit(i, run(ctx, i))
+		if err != nil {
+			return err
+		}
+		if stop {
+			return nil
+		}
+	}
+	return nil
+}
+
+// result carries one finished job to the sequencer.
+type result[T any] struct {
+	i int
+	v T
+}
+
+func runParallel[T any](ctx context.Context, workers, n int, run func(ctx context.Context, i int) T, commit func(i int, v T) (stop bool, err error)) error {
+	// stopFeed tells the feeder to dispatch no further jobs (early stop or
+	// ctx cancel); closing jobs releases idle workers.
+	stopFeed := make(chan struct{})
+	jobs := make(chan int)
+	results := make(chan result[T], workers)
+
+	// Feeder: hands out job indices until done or stopped. The leading
+	// non-blocking check gives stop/cancel priority over a ready send (a
+	// select with both ready picks randomly), so an already-cancelled
+	// context dispatches nothing.
+	go func() {
+		defer close(jobs)
+		for i := 0; i < n; i++ {
+			select {
+			case <-stopFeed:
+				return
+			case <-ctx.Done():
+				return
+			default:
+			}
+			select {
+			case jobs <- i:
+			case <-stopFeed:
+				return
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	// Workers: each pulls indices and runs them. Results always land in the
+	// buffered channel (capacity == workers) once the sequencer accounts for
+	// in-flight jobs, so sends never block the drain.
+	done := make(chan struct{}, workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for i := range jobs {
+				results <- result[T]{i: i, v: run(ctx, i)}
+			}
+		}()
+	}
+
+	// Sequencer (caller's goroutine): hold out-of-order results in pending,
+	// commit the contiguous prefix as it forms.
+	pending := make(map[int]T, workers)
+	next := 0
+	stopped := false
+	var commitErr error
+	live := workers
+	for live > 0 {
+		select {
+		case r := <-results:
+			pending[r.i] = r.v
+		case <-done:
+			live--
+			continue
+		}
+		for !stopped && commitErr == nil {
+			v, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			stop, err := commit(next, v)
+			next++
+			if err != nil {
+				commitErr = err
+			} else if stop {
+				stopped = true
+			}
+		}
+		if stopped || commitErr != nil {
+			select {
+			case <-stopFeed:
+			default:
+				close(stopFeed)
+			}
+		}
+	}
+	// Workers are gone; drain any results that raced the exit and commit
+	// the remaining contiguous prefix (unless stopped — an early stop
+	// discards everything uncommitted).
+	for {
+		select {
+		case r := <-results:
+			pending[r.i] = r.v
+			continue
+		default:
+		}
+		break
+	}
+	for !stopped && commitErr == nil {
+		v, ok := pending[next]
+		if !ok {
+			break
+		}
+		delete(pending, next)
+		stop, err := commit(next, v)
+		next++
+		if err != nil {
+			commitErr = err
+		} else if stop {
+			stopped = true
+		}
+	}
+
+	if commitErr != nil {
+		return commitErr
+	}
+	if stopped {
+		return nil
+	}
+	if err := ctx.Err(); err != nil && next < n {
+		return err
+	}
+	return nil
+}

@@ -406,17 +406,18 @@ func Run(id string, o Options) (Result, error) {
 
 // applyAmbient installs the ambient experiment state the options request —
 // fault injection and the watchdog simulated-time budget — and returns the
-// restore function.
+// restore function. The overrides are scoped to the calling goroutine
+// (experiments build their machines on the goroutine that runs them), so
+// parallel campaign workers with different options never observe each
+// other's state.
 func (o Options) applyAmbient() func() {
 	restoreChaos := func() {}
 	if o.FaultRate > 0 {
-		prev := exps.SetChaos(fault.Config{Rate: o.FaultRate})
-		restoreChaos = func() { exps.SetChaos(prev) }
+		restoreChaos = exps.ScopeChaos(fault.Config{Rate: o.FaultRate})
 	}
 	restoreBudget := func() {}
 	if o.SimBudget > 0 {
-		prev := exps.SetWatchdogBudget(o.SimBudget)
-		restoreBudget = func() { exps.SetWatchdogBudget(prev) }
+		restoreBudget = exps.ScopeWatchdogBudget(o.SimBudget)
 	}
 	return func() {
 		restoreBudget()
