@@ -9,6 +9,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"repro"
@@ -99,7 +100,14 @@ var (
 	benchCampaignIDs = []string{"tab2.1", "fig4.1"}
 )
 
-// benchResult is one benchmark row of the BENCH_PR4.json artifact.
+// benchCampaignReps replicates the campaign sweep under suffixed entry IDs
+// so the timed plan is long enough (~16 entries) for entries/sec to be a
+// throughput measurement rather than a coin flip on a couple of
+// milliseconds of wall time.
+const benchCampaignReps = 8
+
+// benchResult is one benchmark row of the bench artifact (BENCH_PR5.json
+// by default).
 type benchResult struct {
 	Name         string  `json:"name"`
 	WallNS       int64   `json:"wall_ns"`
@@ -120,11 +128,20 @@ type benchFile struct {
 }
 
 // benchWidths are the campaign pool widths the harness times: serial, two
-// workers, and the machine's full width (deduplicated, in order).
+// workers, and the machine's full width (deduplicated, in order, and capped
+// at GOMAXPROCS). Widths beyond the machine's width are excluded: with one
+// CPU, a second CPU-bound worker can only time-slice the same core, so the
+// row would measure pool overhead and cache thrash, not scaling. (The
+// campaign engine itself accepts any width at any GOMAXPROCS — manifests
+// are byte-identical regardless — this cap is only about what is worth
+// timing.)
 func benchWidths() []int {
-	widths := []int{1, 2, runtime.GOMAXPROCS(0)}
+	limit := runtime.GOMAXPROCS(0)
 	var out []int
-	for _, w := range widths {
+	for _, w := range []int{1, 2, limit} {
+		if w > limit {
+			continue
+		}
 		if len(out) == 0 || out[len(out)-1] < w {
 			out = append(out, w)
 		}
@@ -132,23 +149,52 @@ func benchWidths() []int {
 	return out
 }
 
+// benchInvariantStride is the relaxed invariant-scan cadence benchmarks run
+// at. Invariant scans are pure checking — results are bit-identical at any
+// stride — so the bench measures the simulator, not the checker.
+const benchInvariantStride = 65536
+
 // benchCmd times the simulator end to end — each benchIDs experiment plus a
 // small checkpointed campaign at several pool widths — counting simulated
 // kernel events through per-run telemetry, and writes ns/sim-event,
-// events/sec and entries/sec rows to BENCH_PR4.json.
+// events/sec and entries/sec rows to BENCH_PR5.json. Each row is the best
+// of -reps attempts with a forced GC between them, so one badly-timed
+// collection cannot masquerade as a regression. With -compare, the new rows
+// are diffed against a previous artifact and a >10% regression on any row
+// fails the command.
 func benchCmd(args []string) int {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
 	cf := addCommon(fs)
-	out := fs.String("o", "BENCH_PR4.json", "output path (- for stdout)")
+	out := fs.String("o", "BENCH_PR5.json", "output path (- for stdout)")
+	compare := fs.String("compare", "", "previous bench artifact to diff against (exit 1 on >10% regression)")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU pprof profile of the benchmark runs to this file")
+	reps := fs.Int("reps", 3, "attempts per row; the best (lowest wall time) is kept")
 	fs.Parse(args)
 	o, err := cf.options()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cplab:", err)
 		return exitUsage
 	}
+	o.InvariantStride = benchInvariantStride
+	if *reps < 1 {
+		*reps = 1
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cplab:", err)
+			return exitDegraded
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "cplab:", err)
+			return exitDegraded
+		}
+		defer pprof.StopCPUProfile()
+	}
 	file := benchFile{Seed: *cf.seed, Paper: *cf.paper}
 	for _, id := range benchIDs {
-		row, err := benchExp(id, o)
+		row, err := bestOf(*reps, func() (benchResult, error) { return benchExp(id, o) })
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "cplab:", err)
 			return exitDegraded
@@ -156,12 +202,27 @@ func benchCmd(args []string) int {
 		file.Benchmarks = append(file.Benchmarks, row)
 		logBenchRow(row)
 	}
-	for _, workers := range benchWidths() {
-		row, err := benchCampaign(o, *cf.seed, workers)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "cplab:", err)
-			return exitDegraded
+	// Campaign widths are swept together inside each attempt — width 1, then
+	// 2, then full — rather than exhausting one width's attempts before the
+	// next starts. Machine noise drifts over seconds; interleaving makes
+	// every width sample the same noise windows, so the per-width best
+	// measures pool scaling instead of which width drew the quiet interval.
+	widths := benchWidths()
+	best := make([]benchResult, len(widths))
+	for rep := 0; rep < *reps; rep++ {
+		for i, workers := range widths {
+			runtime.GC()
+			row, err := benchCampaign(o, *cf.seed, workers)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "cplab:", err)
+				return exitDegraded
+			}
+			if rep == 0 || row.WallNS < best[i].WallNS {
+				best[i] = row
+			}
 		}
+	}
+	for _, row := range best {
 		file.Benchmarks = append(file.Benchmarks, row)
 		logBenchRow(row)
 	}
@@ -171,7 +232,100 @@ func benchCmd(args []string) int {
 		fmt.Fprintln(os.Stderr, "cplab:", err)
 		return exitDegraded
 	}
-	return emit(*out, append(data, '\n'))
+	if code := emit(*out, append(data, '\n')); code != exitOK {
+		return code
+	}
+	if *compare != "" {
+		return benchCompare(*compare, file)
+	}
+	return exitOK
+}
+
+// bestOf runs f reps times with a forced GC before each attempt and keeps
+// the attempt with the lowest wall time. GC between attempts means each
+// starts from the same heap state, so campaign throughput at different pool
+// widths is compared on equal footing rather than on whichever width
+// happened to inherit the previous row's garbage.
+func bestOf(reps int, f func() (benchResult, error)) (benchResult, error) {
+	var best benchResult
+	for i := 0; i < reps; i++ {
+		runtime.GC()
+		row, err := f()
+		if err != nil {
+			return benchResult{}, err
+		}
+		if i == 0 || row.WallNS < best.WallNS {
+			best = row
+		}
+	}
+	return best, nil
+}
+
+// benchRegressionPct is the relative slowdown past which a compare fails.
+const benchRegressionPct = 10.0
+
+// benchCompare diffs the fresh rows against a previous artifact, printing a
+// per-row delta line for every metric that matters (ns/sim-event always;
+// entries/sec on campaign rows), and returns exit 1 when any row regressed
+// by more than benchRegressionPct.
+func benchCompare(oldPath string, fresh benchFile) int {
+	data, err := os.ReadFile(oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cplab:", err)
+		return exitDegraded
+	}
+	var old benchFile
+	if err := json.Unmarshal(data, &old); err != nil {
+		fmt.Fprintf(os.Stderr, "cplab: %s: %v\n", oldPath, err)
+		return exitDegraded
+	}
+	prev := make(map[string]benchResult, len(old.Benchmarks))
+	for _, row := range old.Benchmarks {
+		prev[row.Name] = row
+	}
+	regressed := false
+	for _, row := range fresh.Benchmarks {
+		was, ok := prev[row.Name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "cplab: compare %-12s (new row, no baseline)\n", row.Name)
+			continue
+		}
+		// ns/sim-event: lower is better.
+		if was.NSPerEvent > 0 && row.NSPerEvent > 0 {
+			pct := (row.NSPerEvent - was.NSPerEvent) / was.NSPerEvent * 100
+			verdict := benchVerdict(pct)
+			regressed = regressed || pct > benchRegressionPct
+			fmt.Fprintf(os.Stderr, "cplab: compare %-12s %8.1f -> %8.1f ns/event  %+7.1f%%  %s\n",
+				row.Name, was.NSPerEvent, row.NSPerEvent, pct, verdict)
+		}
+		// entries/sec (campaign rows): higher is better, so a drop is the
+		// regression direction.
+		if was.EntriesPerSec > 0 && row.EntriesPerSec > 0 {
+			pct := (was.EntriesPerSec - row.EntriesPerSec) / was.EntriesPerSec * 100
+			verdict := benchVerdict(pct)
+			regressed = regressed || pct > benchRegressionPct
+			fmt.Fprintf(os.Stderr, "cplab: compare %-12s %8.2f -> %8.2f entries/s %+7.1f%%  %s\n",
+				row.Name, was.EntriesPerSec, row.EntriesPerSec, -pct, verdict)
+		}
+	}
+	if regressed {
+		fmt.Fprintf(os.Stderr, "cplab: compare FAILED: regression over %.0f%% against %s\n", benchRegressionPct, oldPath)
+		return exitDegraded
+	}
+	fmt.Fprintf(os.Stderr, "cplab: compare ok against %s\n", oldPath)
+	return exitOK
+}
+
+// benchVerdict labels a regression percentage (positive = slower).
+func benchVerdict(pct float64) string {
+	switch {
+	case pct > benchRegressionPct:
+		return "REGRESSION"
+	case pct < -benchRegressionPct:
+		return "improved"
+	default:
+		return "ok"
+	}
 }
 
 // logBenchRow prints one row's headline numbers to stderr.
@@ -202,7 +356,15 @@ func benchCampaign(o repro.Options, seed uint64, workers int) (benchResult, erro
 		return benchResult{}, err
 	}
 	defer os.RemoveAll(dir)
-	entries := repro.CampaignEntries(benchCampaignIDs, o, 0)
+	var entries []campaign.Entry
+	for rep := 0; rep < benchCampaignReps; rep++ {
+		for _, e := range repro.CampaignEntries(benchCampaignIDs, o, 0) {
+			// Renaming the entry only changes its manifest key; the captured
+			// runner still executes the original experiment.
+			e.ID = fmt.Sprintf("%s@%d", e.ID, rep)
+			entries = append(entries, e)
+		}
+	}
 	c, err := campaign.New(campaign.Config{
 		Path: filepath.Join(dir, "bench-campaign.json"),
 		Seed: seed,

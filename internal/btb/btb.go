@@ -39,7 +39,10 @@ type entry struct {
 	target uint32
 }
 
-// BTB is a direct-mapped branch target buffer.
+// BTB is a direct-mapped branch target buffer. The entry array is allocated
+// on the first branch update: an empty BTB predicts nothing, so cores that
+// never resolve a branch (most of a mostly-idle machine) never pay for the
+// 4096-entry table.
 type BTB struct {
 	cfg     Config
 	entries []entry
@@ -60,8 +63,8 @@ type BTB struct {
 // (non-branch executions killing a colliding entry). Per-core BTBs share
 // the metric names, so counts aggregate machine-wide.
 func (b *BTB) InstrumentMetrics(r *metrics.Registry) {
-	b.tel.hits = r.Counter(`btb_lookup_total{outcome="hit"}`)
-	b.tel.misses = r.Counter(`btb_lookup_total{outcome="miss"}`)
+	fam := r.CounterFamily("btb_lookup_total", "outcome", []string{"hit", "miss"})
+	b.tel.hits, b.tel.misses = fam[0], fam[1]
 	b.tel.branchUpdates = r.Counter("btb_branch_updates_total")
 	b.tel.nvInvalidates = r.Counter("btb_nonbranch_invalidations_total")
 }
@@ -71,7 +74,7 @@ func New(cfg Config) *BTB {
 	if cfg.Entries <= 0 || cfg.Entries&(cfg.Entries-1) != 0 {
 		panic("btb: entry count must be a positive power of two")
 	}
-	return &BTB{cfg: cfg, entries: make([]entry, cfg.Entries), mask: uint64(cfg.Entries - 1)}
+	return &BTB{cfg: cfg, mask: uint64(cfg.Entries - 1)}
 }
 
 // Config returns the BTB configuration.
@@ -92,6 +95,10 @@ func Collide(a, bpc uint64) bool { return uint32(a) == uint32(bpc) }
 // Lookup consults the BTB at fetch time and returns the predicted target
 // materialized within pc's own 4 GiB region, if an entry matches.
 func (b *BTB) Lookup(pc uint64) (target uint64, hit bool) {
+	if b.entries == nil {
+		b.tel.misses.Inc()
+		return 0, false
+	}
 	e := b.entries[b.index(pc)]
 	if e.valid && e.tag == b.tag(pc) {
 		b.tel.hits.Inc()
@@ -105,6 +112,9 @@ func (b *BTB) Lookup(pc uint64) (target uint64, hit bool) {
 // instruction at pc (allocating or replacing its entry).
 func (b *BTB) UpdateBranch(pc, target uint64) {
 	b.tel.branchUpdates.Inc()
+	if b.entries == nil {
+		b.entries = make([]entry, b.cfg.Entries)
+	}
 	b.entries[b.index(pc)] = entry{valid: true, tag: b.tag(pc), target: uint32(target)}
 }
 
@@ -112,6 +122,9 @@ func (b *BTB) UpdateBranch(pc, target uint64) {
 // non-control-transfer instruction at pc invalidates a colliding entry.
 // It reports whether an entry was invalidated.
 func (b *BTB) UpdateNonBranch(pc uint64) bool {
+	if b.entries == nil {
+		return false
+	}
 	i := b.index(pc)
 	if b.entries[i].valid && b.entries[i].tag == b.tag(pc) {
 		b.tel.nvInvalidates.Inc()
@@ -123,6 +136,9 @@ func (b *BTB) UpdateNonBranch(pc uint64) bool {
 
 // Invalidate drops the entry for pc if present.
 func (b *BTB) Invalidate(pc uint64) {
+	if b.entries == nil {
+		return
+	}
 	i := b.index(pc)
 	if b.entries[i].valid && b.entries[i].tag == b.tag(pc) {
 		b.entries[i].valid = false

@@ -65,17 +65,27 @@ type way struct {
 	lru   uint64
 }
 
-// Cache is a single set-associative, LRU cache structure.
+// Cache is a single set-associative, LRU cache structure. Set storage is
+// carved lazily: a set's ways are allocated on its first fill, and a nil set
+// simply misses on every lookup. An empty structure therefore costs one
+// header allocation regardless of geometry — eagerly zeroing the 16K-set LLC
+// per machine used to dominate construction time.
 type Cache struct {
 	cfg     Config
 	sets    [][]way
 	setMask uint64
 	tick    uint64
+	// arena is spare backing storage sets are carved from, in chunks, so a
+	// warming cache does not allocate per set either.
+	arena []way
 	// onEvict, when non-nil, is called with the line address of every line
 	// evicted by capacity (not by explicit invalidation). The inclusive LLC
 	// uses it to back-invalidate private caches.
 	onEvict func(lineAddr uint64)
 }
+
+// setChunk is how many sets' worth of ways one arena growth provisions.
+const setChunk = 32
 
 // New returns an empty cache with the given configuration. It reports an
 // error if the set count is not a positive power of two (hardware indexing
@@ -85,11 +95,18 @@ func New(cfg Config) (*Cache, error) {
 	if n <= 0 || n&(n-1) != 0 {
 		return nil, fmt.Errorf("cache %s: set count %d not a positive power of two", cfg.Name, n)
 	}
-	sets := make([][]way, n)
-	for i := range sets {
-		sets[i] = make([]way, cfg.Ways)
+	return &Cache{cfg: cfg, sets: make([][]way, n), setMask: uint64(n - 1)}, nil
+}
+
+// carve provisions the ways of set si on its first fill.
+func (c *Cache) carve(si int) []way {
+	if len(c.arena) < c.cfg.Ways {
+		c.arena = make([]way, setChunk*c.cfg.Ways)
 	}
-	return &Cache{cfg: cfg, sets: sets, setMask: uint64(n - 1)}, nil
+	s := c.arena[:c.cfg.Ways:c.cfg.Ways]
+	c.arena = c.arena[c.cfg.Ways:]
+	c.sets[si] = s
+	return s
 }
 
 // MustNew is New for statically known-good configurations; it panics on
@@ -147,6 +164,9 @@ func (c *Cache) Touch(addr uint64) bool {
 func (c *Cache) Insert(addr uint64) {
 	si := c.SetIndex(addr)
 	set := c.sets[si]
+	if set == nil {
+		set = c.carve(si)
+	}
 	tag := c.tagOf(addr)
 	c.tick++
 	// Already present: refresh.
@@ -316,9 +336,11 @@ type System struct {
 // coherence-wide flushes and noise-model disturb evictions. Counting is
 // write-only — instrumentation cannot change any access outcome.
 func (s *System) InstrumentMetrics(r *metrics.Registry) {
-	for lvl := LevelL1; lvl <= LevelMem; lvl++ {
-		s.tel.access[lvl] = r.Counter(fmt.Sprintf("cache_access_total{level=%q}", lvl.String()))
+	levels := make([]string, len(s.tel.access))
+	for lvl := range levels {
+		levels[lvl] = Level(lvl).String()
 	}
+	copy(s.tel.access[:], r.CounterFamily("cache_access_total", "level", levels))
 	s.tel.llcEvictions = r.Counter("cache_llc_capacity_evictions_total")
 	s.tel.flushes = r.Counter("cache_flush_total")
 	s.tel.disturbs = r.Counter("cache_disturb_evictions_total")

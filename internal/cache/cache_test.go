@@ -247,3 +247,24 @@ func TestLevelString(t *testing.T) {
 		}
 	}
 }
+
+// TestLookupZeroAllocs gates the hot lookup/fill path: once a working set's
+// sets have been carved, loads — hits and conflict-evicting misses alike —
+// must not allocate. Lazy carving moved all set allocation to first touch,
+// so only a cold set may grow the arena.
+func TestLookupZeroAllocs(t *testing.T) {
+	s := MustNewSystem(I9900K(1))
+	addrs := make([]uint64, 64)
+	for i := range addrs {
+		addrs[i] = uint64(0x40_0000 + i*64)
+	}
+	warm := func() {
+		for _, a := range addrs {
+			s.Load(0, a)
+		}
+	}
+	warm() // carve the working set's cache sets
+	if avg := testing.AllocsPerRun(100, warm); avg != 0 {
+		t.Fatalf("warm lookups allocate %v/run, want 0", avg)
+	}
+}

@@ -193,11 +193,15 @@ type containResult struct {
 // registry, never the shared one, so overlapping entries cannot bleed
 // counts into each other's records.
 func (c *Campaign) RunParallel(ctx context.Context, workers int) (*Manifest, error) {
+	// Resolve every campaign counter once up front: metrics.Ambient() walks
+	// the goroutine-scoped override chain and Counter() is a map lookup, and
+	// the sequencer otherwise pays both per checkpoint.
 	reg := metrics.Ambient()
 	mEntries := reg.Counter("campaign_entries_total")
 	mFailures := reg.Counter("campaign_failures_total")
 	mSkipped := reg.Counter("campaign_skipped_total")
 	mResumeHits := reg.Counter("campaign_resume_hits_total")
+	mCheckpoints := reg.Counter("campaign_checkpoints_total")
 
 	// Snapshot the work: plan order, minus final records. Seeds and session
 	// numbers are derived here, before anything runs, so they cannot depend
@@ -246,7 +250,7 @@ func (c *Campaign) RunParallel(ctx context.Context, workers int) (*Manifest, err
 				c.man.Entries[j.id] = &Record{ID: j.id, Status: StatusSkipped,
 					Failure: &Failure{Msg: "no runner (unknown experiment id)"}}
 				c.notify(c.man.Entries[j.id])
-				return false, c.checkpoint()
+				return false, c.checkpoint(mCheckpoints)
 			}
 			mEntries.Inc()
 			if res.att.Err != nil {
@@ -256,7 +260,7 @@ func (c *Campaign) RunParallel(ctx context.Context, workers int) (*Manifest, err
 			rec.Telemetry = res.telemetry
 			c.man.Entries[j.id] = rec
 			c.notify(rec)
-			if err := c.checkpoint(); err != nil {
+			if err := c.checkpoint(mCheckpoints); err != nil {
 				return false, err
 			}
 			ranThisSession++
@@ -383,12 +387,13 @@ func firstLine(s string) string {
 	return s
 }
 
-// checkpoint saves the manifest if a path is configured.
-func (c *Campaign) checkpoint() error {
+// checkpoint saves the manifest if a path is configured. The caller passes
+// its pre-resolved campaign_checkpoints_total handle (possibly nil).
+func (c *Campaign) checkpoint(m *metrics.Counter) error {
 	if c.cfg.Path == "" {
 		return nil
 	}
-	metrics.Ambient().Counter("campaign_checkpoints_total").Inc()
+	m.Inc()
 	return c.man.Save(c.cfg.Path)
 }
 

@@ -36,7 +36,7 @@ func (i rqItem) ID() int    { return i.t.ID }
 // CFS is one per-core CFS runqueue.
 type CFS struct {
 	p    sched.Params
-	tree *rbtree.Tree
+	tree *rbtree.Tree[rqItem]
 	curr *sched.Task
 	// minVruntime is the monotonically increasing floor used for wakeup
 	// placement (cfs_rq->min_vruntime).
@@ -71,7 +71,7 @@ func (c *CFS) InstrumentMetrics(r *metrics.Registry) {
 }
 
 // New returns an empty runqueue with the given tunables.
-func New(p sched.Params) *CFS { return &CFS{p: p, tree: rbtree.New()} }
+func New(p sched.Params) *CFS { return &CFS{p: p, tree: rbtree.New[rqItem]()} }
 
 // Name implements sched.Scheduler.
 func (c *CFS) Name() string { return "cfs" }
@@ -99,7 +99,7 @@ func (c *CFS) observeMin() {
 		m = c.curr.Vruntime
 		have = true
 	}
-	if lm := c.tree.Min(); lm != nil {
+	if lm, ok := c.tree.Min(); ok {
 		v := lm.Key()
 		if !have || v < m {
 			m = v
@@ -147,13 +147,12 @@ func (c *CFS) Dequeue(t *sched.Task) {
 // PickNext implements sched.Scheduler: the leftmost (smallest-vruntime)
 // task wins; ties break by task ID through the tree's key.
 func (c *CFS) PickNext() *sched.Task {
-	m := c.tree.Min()
-	if m == nil {
+	m, ok := c.tree.Min()
+	if !ok {
 		return nil
 	}
-	t := m.(rqItem).t
 	c.tree.Delete(m)
-	return t
+	return m.t
 }
 
 // UpdateCurr implements sched.Scheduler: charge delta of real time to the
@@ -207,7 +206,8 @@ func (c *CFS) TickPreempt(curr *sched.Task, ranFor timebase.Duration) bool {
 	if ranFor < c.p.MinGranularity {
 		return false
 	}
-	leftmost := c.tree.Min().Key()
+	lm, _ := c.tree.Min()
+	leftmost := lm.Key()
 	if curr.Vruntime-leftmost > int64(slice) {
 		c.tel.tickPreempt.Inc()
 		return true
@@ -224,8 +224,8 @@ func (c *CFS) sliceFor(t *sched.Task) timebase.Duration {
 		period = timebase.Duration(nr) * c.p.MinGranularity
 	}
 	total := t.Weight
-	c.tree.Each(func(i rbtree.Item) bool {
-		total += i.(rqItem).t.Weight
+	c.tree.Each(func(i rqItem) bool {
+		total += i.t.Weight
 		return true
 	})
 	return timebase.Duration(int64(period) * t.Weight / total)
@@ -249,8 +249,8 @@ func (c *CFS) CheckInvariants() error {
 	var prev int64
 	first := true
 	seen := make(map[int]bool, c.tree.Len())
-	c.tree.Each(func(i rbtree.Item) bool {
-		t := i.(rqItem).t
+	c.tree.Each(func(i rqItem) bool {
+		t := i.t
 		if err = sched.ValidateTask(t); err != nil {
 			return false
 		}
@@ -276,8 +276,8 @@ func (c *CFS) NrQueued() int { return c.tree.Len() }
 // Queued implements sched.Scheduler, in vruntime order.
 func (c *CFS) Queued() []*sched.Task {
 	out := make([]*sched.Task, 0, c.tree.Len())
-	c.tree.Each(func(i rbtree.Item) bool {
-		out = append(out, i.(rqItem).t)
+	c.tree.Each(func(i rqItem) bool {
+		out = append(out, i.t)
 		return true
 	})
 	return out

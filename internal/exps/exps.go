@@ -179,6 +179,41 @@ func NewWatchdog(fallback timebase.Duration) *Watchdog {
 	return &Watchdog{Budget: fallback}
 }
 
+// invariantStride is the ambient full-invariant-scan cadence applied to
+// every machine NewMachine builds; 0 leaves the kernel default (every 2048
+// events) in force and negative values disable checking. The bench and
+// campaign hot paths relax the stride — invariant scans are pure checking,
+// so the stride never changes simulation behaviour, only how soon a
+// corruption is caught. scopedStride is the goroutine-scoped override for
+// concurrent campaign workers.
+var (
+	invariantStride int
+	scopedStride    gls.Store[int]
+)
+
+// SetInvariantStride installs n as the process-wide ambient invariant
+// stride for subsequently built machines and returns the previous value
+// (restore it when done). Like SetChaos it must only run with no
+// experiments in flight.
+func SetInvariantStride(n int) int {
+	prev := invariantStride
+	invariantStride = n
+	return prev
+}
+
+// ScopeInvariantStride installs n as the calling goroutine's invariant
+// stride and returns the restore function (defer it on the same goroutine).
+func ScopeInvariantStride(n int) (restore func()) { return scopedStride.Set(n) }
+
+// InvariantStride returns the ambient stride, scope-first (0 = kernel
+// default).
+func InvariantStride() int {
+	if n, ok := scopedStride.Get(); ok {
+		return n
+	}
+	return invariantStride
+}
+
 // NewMachine builds the experiment machine for the given scheduler and
 // seed. When an ambient sim-time profiler is installed, each machine opens
 // a new profiling phase, so a multi-machine experiment's wall-clock cost is
@@ -197,6 +232,7 @@ func NewMachine(kind Sched, seed uint64, opts ...MachineOption) *kern.Machine {
 	}
 	p.Seed = seed
 	p.Faults = Chaos()
+	p.InvariantStride = InvariantStride()
 	for _, o := range opts {
 		o(&p, &sp)
 	}

@@ -22,6 +22,7 @@ package gls
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // ID returns the current goroutine's runtime ID.
@@ -51,14 +52,22 @@ func ID() uint64 {
 // goroutine shadow and restore like a stack.
 type Store[T any] struct {
 	m sync.Map // goroutine ID → T
+	// live counts goroutines holding an override. When it is zero — every
+	// serial run, and every goroutine of a parallel campaign between
+	// entries — Get skips the stack dump entirely, so a Store that nobody
+	// scoped costs one atomic load per lookup instead of a microsecond.
+	live atomic.Int64
 }
 
 // Get returns the calling goroutine's override and whether one is
 // installed.
 func (s *Store[T]) Get() (T, bool) {
+	var zero T
+	if s.live.Load() == 0 {
+		return zero, false
+	}
 	v, ok := s.m.Load(ID())
 	if !ok {
-		var zero T
 		return zero, false
 	}
 	return v.(T), true
@@ -73,11 +82,15 @@ func (s *Store[T]) Set(v T) (restore func()) {
 	id := ID()
 	prev, had := s.m.Load(id)
 	s.m.Store(id, v)
+	if !had {
+		s.live.Add(1)
+	}
 	return func() {
 		if had {
 			s.m.Store(id, prev)
 		} else {
 			s.m.Delete(id)
+			s.live.Add(-1)
 		}
 	}
 }

@@ -40,7 +40,7 @@ func (m *Machine) periodicBalance() {
 		c.pickAndSwitch(m.now)
 	}
 	if m.p.BalancePeriod > 0 {
-		m.schedule(&event{at: m.now.Add(m.p.BalancePeriod), kind: evBalance})
+		m.schedule(m.newEvent(m.now.Add(m.p.BalancePeriod), evBalance))
 	}
 }
 

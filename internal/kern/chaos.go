@@ -23,7 +23,7 @@ func (m *Machine) handleFaultCheck() {
 			m.injectMigration()
 		}
 	}
-	m.schedule(&event{at: m.now.Add(m.faults.CheckPeriod()), kind: evFault})
+	m.schedule(m.newEvent(m.now.Add(m.faults.CheckPeriod()), evFault))
 }
 
 // injectSpuriousWake wakes one thread blocked in nanosleep or pause before
@@ -46,7 +46,7 @@ func (m *Machine) injectSpuriousWake() {
 	}
 	t := cands[m.faults.Pick(len(cands))]
 	if t.wakeEvent != nil {
-		t.wakeEvent.cancelled = true
+		m.events.cancel(t.wakeEvent)
 		t.wakeEvent = nil
 	}
 	m.faults.Record(fault.SpuriousWake)

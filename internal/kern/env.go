@@ -321,9 +321,7 @@ func (e *Env) TimerCreate(interval timebase.Duration) *PTimer {
 // after the syscall.
 func (e *Env) Signal(target *Thread) {
 	e.advance(e.m.p.SyscallEntry)
-	e.m.schedule(&event{
-		at:     e.t.clock.Add(e.m.p.SignalDeliver),
-		kind:   evSignal,
-		thread: target,
-	})
+	ev := e.m.newEvent(e.t.clock.Add(e.m.p.SignalDeliver), evSignal)
+	ev.thread = target
+	e.m.schedule(ev)
 }

@@ -9,7 +9,7 @@ import (
 )
 
 // defaultInvariantInterval is the full-scan cadence when Params leaves
-// InvariantsEvery at zero: frequent enough to localize a corruption to a
+// InvariantStride at zero: frequent enough to localize a corruption to a
 // few thousand events, cheap enough (a linear scan over a handful of
 // threads and cores) to stay invisible in profiles.
 const defaultInvariantInterval = 2048
@@ -103,7 +103,7 @@ func (m *Machine) DumpState() string {
 //   - pinned threads are on their pinned core;
 //   - each scheduler's own audit (sched.Checker) passes.
 //
-// The periodic in-run check calls this automatically (Params.InvariantsEvery);
+// The periodic in-run check calls this automatically (Params.InvariantStride);
 // tests call it directly after a run.
 func (m *Machine) CheckInvariants() error {
 	where := make(map[int]string, len(m.threads))
@@ -196,4 +196,27 @@ func (m *Machine) CheckInvariants() error {
 		}
 	}
 	return nil
+}
+
+// checkSwitchBoundary is the O(1) handoff check run at every context switch
+// regardless of the stride: sched-switch boundaries are where corrupted
+// scheduler state commits to a CPU, so a bad handoff is caught on the switch
+// itself even when the full scan runs thousands of events apart. It must
+// stay constant-time — it sits on the hottest path in the simulator.
+func (c *Core) checkSwitchBoundary(t *Thread) {
+	m := c.m
+	switch {
+	case t.done:
+		panic(m.invariantError("switch-boundary",
+			fmt.Sprintf("switching unwound thread %s onto core %d", t, c.id)))
+	case t.task.State == sched.StateBlocked:
+		panic(m.invariantError("switch-boundary",
+			fmt.Sprintf("switching blocked thread %s onto core %d", t, c.id)))
+	case t.core != c:
+		panic(m.invariantError("switch-boundary",
+			fmt.Sprintf("switching thread %s homed on core %d onto core %d", t, t.core.id, c.id)))
+	case t.pinned >= 0 && t.pinned != c.id:
+		panic(m.invariantError("switch-boundary",
+			fmt.Sprintf("switching thread %s pinned to core %d onto core %d", t, t.pinned, c.id)))
+	}
 }

@@ -192,11 +192,11 @@ func TestInvariantCheckerCatchesCorruption(t *testing.T) {
 	victim.task.State = sched.StateRunning // heal before Shutdown
 }
 
-// TestInvariantsDisabled negative InvariantsEvery turns the checker off;
+// TestInvariantsDisabled negative InvariantStride turns the checker off;
 // the run completes with no periodic scans.
 func TestInvariantsDisabled(t *testing.T) {
 	p := DefaultParams(1, schedFactories(1)["cfs"])
-	p.InvariantsEvery = -1
+	p.InvariantStride = -1
 	m := NewMachine(p)
 	defer m.Shutdown()
 	m.Spawn("spin", func(e *Env) { e.Burn(timebase.Millisecond) })

@@ -100,12 +100,14 @@ type Params struct {
 	// fault-free runs consume no extra randomness.
 	Faults fault.Config
 
-	// InvariantsEvery is the cadence, in processed events, of the full
+	// InvariantStride is the cadence, in processed events, of the full
 	// kernel invariant scan (runqueue membership, thread accounting,
 	// pinning, scheduler self-checks). 0 selects the default (2048);
-	// negative disables all invariant checking. A violation panics with a
+	// negative disables all invariant checking, including the O(1)
+	// per-event and sched-switch boundary checks. Bench and campaign paths
+	// relax the stride; tests run the default. A violation panics with a
 	// structured *InvariantError carrying a machine-state dump.
-	InvariantsEvery int
+	InvariantStride int
 
 	// Metrics receives the machine's telemetry (package metrics): event
 	// dispatch counts, timer IRQ and context-switch counters, wake
@@ -339,7 +341,7 @@ func NewMachine(p Params) *Machine {
 		progRNG: root.Fork(2),
 		nextTID: 1,
 	}
-	m.invarEvery = int64(p.InvariantsEvery)
+	m.invarEvery = int64(p.InvariantStride)
 	if m.invarEvery == 0 {
 		m.invarEvery = defaultInvariantInterval
 	}
@@ -358,7 +360,7 @@ func NewMachine(p Params) *Machine {
 			panic(fmt.Sprintf("kern: invalid fault config: %v", err))
 		}
 		m.faults = in
-		m.schedule(&event{at: m.now.Add(m.faults.CheckPeriod()), kind: evFault})
+		m.schedule(m.newEvent(m.now.Add(m.faults.CheckPeriod()), evFault))
 	}
 
 	// Telemetry wiring. The registry (explicit or ambient) is strictly
@@ -587,6 +589,15 @@ func (m *Machine) idlestCore() *Core {
 // schedule pushes an event.
 func (m *Machine) schedule(e *event) { m.events.push(e) }
 
+// newEvent takes a zeroed event from the queue's pool and fills the common
+// fields; the caller sets any target references before scheduling it.
+func (m *Machine) newEvent(at timebase.Time, kind eventKind) *event {
+	e := m.events.alloc()
+	e.at = at
+	e.kind = kind
+	return e
+}
+
 // Run processes events until cond returns true (checked after every event),
 // the event queue drains, or the deadline passes. It returns the reached
 // time.
@@ -624,6 +635,9 @@ func (m *Machine) Run(deadline timebase.Time, cond func() bool) timebase.Time {
 		}
 		m.now = ev.at
 		m.dispatch(ev)
+		// The event is dead once dispatched — nothing retains it (see the
+		// pooling contract on type event) — so recycle it.
+		m.events.release(ev)
 		if m.invarEvery > 0 {
 			m.sinceCheck++
 			if m.sinceCheck >= m.invarEvery {
@@ -761,6 +775,9 @@ func (c *Core) pickAndSwitch(at timebase.Time) {
 // switchTo makes t the current thread of c, applying switch-in latency.
 func (c *Core) switchTo(t *Thread, at timebase.Time) {
 	m := c.m
+	if m.invarEvery > 0 {
+		c.checkSwitchBoundary(t)
+	}
 	cost := m.jitterNormal(m.p.SwitchCost, m.p.SwitchJitter)
 	cost += t.signalExtra
 	t.signalExtra = 0
@@ -850,7 +867,9 @@ func (c *Core) armTick(at timebase.Time) {
 		return
 	}
 	c.tickArmed = true
-	c.m.schedule(&event{at: at.Add(c.m.p.TickPeriod), kind: evTick, core: c})
+	ev := c.m.newEvent(at.Add(c.m.p.TickPeriod), evTick)
+	ev.core = c
+	c.m.schedule(ev)
 }
 
 // dispatch handles one event at m.now, counting it and — only when a
@@ -912,6 +931,6 @@ func (m *Machine) handleTick(c *Core) {
 // migration behaviour matters).
 func (m *Machine) StartBalancer() {
 	if m.p.BalancePeriod > 0 {
-		m.schedule(&event{at: m.now.Add(m.p.BalancePeriod), kind: evBalance})
+		m.schedule(m.newEvent(m.now.Add(m.p.BalancePeriod), evBalance))
 	}
 }

@@ -67,11 +67,9 @@ func (e *Env) PipeWrite(p *Pipe, data []byte) {
 	p.buf = append(p.buf, data...)
 	p.Writes += int64(len(data))
 	if r := p.reader; r != nil {
-		e.m.schedule(&event{
-			at:     e.t.clock.Add(e.m.p.TimerIRQLat),
-			kind:   evIOWake,
-			thread: r,
-		})
+		ev := e.m.newEvent(e.t.clock.Add(e.m.p.TimerIRQLat), evIOWake)
+		ev.thread = r
+		e.m.schedule(ev)
 	}
 }
 

@@ -1,8 +1,6 @@
 package kern
 
 import (
-	"fmt"
-
 	"repro/internal/metrics"
 	"repro/internal/timebase"
 )
@@ -32,23 +30,28 @@ type machineTelemetry struct {
 }
 
 // newMachineTelemetry resolves the kernel metric names against r (which may
-// be nil, yielding no-op handles).
+// be nil, yielding no-op handles). All label formatting happens here, once:
+// the dispatch and sched paths only ever index pre-resolved handle families.
 func newMachineTelemetry(r *metrics.Registry) *machineTelemetry {
 	tel := &machineTelemetry{}
 	if r == nil {
 		return tel
 	}
-	for k := 0; k < numEventKinds; k++ {
-		tel.events[k] = r.Counter(fmt.Sprintf("kern_events_total{kind=%q}", eventKind(k).String()))
+	kinds := make([]string, numEventKinds)
+	for k := range kinds {
+		kinds[k] = eventKind(k).String()
 	}
+	copy(tel.events[:], r.CounterFamily("kern_events_total", "kind", kinds))
 	tel.timerArmedNanosleep = r.Counter(`kern_timer_armed_total{type="nanosleep"}`)
 	tel.timerArmedPeriodic = r.Counter(`kern_timer_armed_total{type="periodic"}`)
 	tel.timerFired = r.Counter("kern_timer_fired_total")
 	tel.timerDropped = r.Counter("kern_timer_dropped_total")
 	tel.schedIn = r.Counter("kern_sched_in_total")
-	for reason := range tel.schedOut {
-		tel.schedOut[reason] = r.Counter(fmt.Sprintf("kern_sched_out_total{reason=%q}", SchedOutReason(reason).String()))
+	reasons := make([]string, len(tel.schedOut))
+	for reason := range reasons {
+		reasons[reason] = SchedOutReason(reason).String()
 	}
+	copy(tel.schedOut[:], r.CounterFamily("kern_sched_out_total", "reason", reasons))
 	tel.wakes = r.Counter("kern_wake_total")
 	tel.wakePreemptHit = r.Counter(`kern_wake_preempt_total{outcome="hit"}`)
 	tel.wakePreemptMis = r.Counter(`kern_wake_preempt_total{outcome="miss"}`)

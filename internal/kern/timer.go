@@ -26,7 +26,8 @@ func (m *Machine) armNanosleep(t *Thread, at timebase.Time, d timebase.Duration)
 			deliver = deliver.Add(extra)
 		}
 	}
-	ev := &event{at: deliver, kind: evTimerFire, thread: t}
+	ev := m.newEvent(deliver, evTimerFire)
+	ev.thread = t
 	t.wakeEvent = ev
 	m.tel.timerArmedNanosleep.Inc()
 	m.schedule(ev)
@@ -62,7 +63,9 @@ func (m *Machine) newPeriodicTimer(t *Thread, interval timebase.Duration) *PTime
 // continues but the expiry is never delivered (ev.dropped).
 func (pt *PTimer) armNext() {
 	irq := pt.m.jitterNormal(pt.m.p.TimerIRQLat, pt.m.p.TimerIRQJitter)
-	ev := &event{at: pt.base.Add(irq), kind: evTimerFire, thread: pt.owner, timer: pt}
+	ev := pt.m.newEvent(pt.base.Add(irq), evTimerFire)
+	ev.thread = pt.owner
+	ev.timer = pt
 	if f := pt.m.faults; f != nil {
 		if k, extra, ok := f.PeriodicTimerFault(pt.base); ok {
 			if k == fault.DropIRQ {

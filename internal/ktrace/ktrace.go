@@ -58,22 +58,24 @@ type Recorder struct {
 	// vruntime figures need it, the histogram figures do not).
 	SampleVruntime bool
 
-	open map[int]*Stint // per-thread open stint
-	base map[int]int64  // retired count at stint start
+	// open holds per-thread open stints by value — a pointer per stint
+	// would make every sched-in an allocation on the simulator's hot path.
+	open map[int]Stint
+	base map[int]int64 // retired count at stint start
 }
 
 // NewRecorder returns an empty recorder.
 func NewRecorder() *Recorder {
 	return &Recorder{
 		CoreLog: make(map[int][]int),
-		open:    make(map[int]*Stint),
+		open:    make(map[int]Stint),
 		base:    make(map[int]int64),
 	}
 }
 
 // SchedIn implements kern.Tracer.
 func (r *Recorder) SchedIn(t *kern.Thread, core int, decideAt, startAt timebase.Time) {
-	r.open[t.ID()] = &Stint{Thread: t, Core: core, Start: startAt}
+	r.open[t.ID()] = Stint{Thread: t, Core: core, Start: startAt}
 	r.base[t.ID()] = t.Retired()
 	r.CoreLog[t.ID()] = append(r.CoreLog[t.ID()], core)
 	if r.SampleVruntime {
@@ -87,7 +89,7 @@ func (r *Recorder) SchedOut(t *kern.Thread, core int, at timebase.Time, reason k
 		s.End = at
 		s.Reason = reason
 		s.Retired = t.Retired() - r.base[t.ID()]
-		r.Stints = append(r.Stints, *s)
+		r.Stints = append(r.Stints, s)
 		delete(r.open, t.ID())
 	}
 	if r.SampleVruntime {

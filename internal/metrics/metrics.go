@@ -187,6 +187,25 @@ func (r *Registry) Counter(name string) *Counter {
 	return c
 }
 
+// CounterFamily pre-resolves one labelled counter per value of a single
+// label, returned in the same order as values: fam[i] is
+// base{label="values[i]"}. Hot sites resolve the family once at
+// registration time and index it with an enum — no label formatting, map
+// lookup or allocation per event (the kernel's per-kind event counters and
+// the cache's per-level access counters work this way). A nil registry
+// returns a slice of nil, no-op handles of the same length, so the
+// disabled path stays indexable and zero-cost.
+func (r *Registry) CounterFamily(base, label string, values []string) []*Counter {
+	fam := make([]*Counter, len(values))
+	if r == nil {
+		return fam
+	}
+	for i, v := range values {
+		fam[i] = r.Counter(fmt.Sprintf("%s{%s=%q}", base, label, v))
+	}
+	return fam
+}
+
 // Gauge returns (creating on first use) the named gauge. A nil registry
 // returns a nil, no-op instrument.
 func (r *Registry) Gauge(name string) *Gauge {

@@ -55,6 +55,54 @@ func TestGetOrCreateSharesInstruments(t *testing.T) {
 	}
 }
 
+func TestCounterFamilyResolvesLabelledNames(t *testing.T) {
+	r := New()
+	fam := r.CounterFamily("kern_events_total", "kind", []string{"timer-fire", "tick"})
+	if len(fam) != 2 {
+		t.Fatalf("family length = %d, want 2", len(fam))
+	}
+	// The family must alias the individually resolved handles, so names stay
+	// byte-identical with the pre-family formatting.
+	if fam[0] != r.Counter(`kern_events_total{kind="timer-fire"}`) {
+		t.Fatal(`fam[0] must be kern_events_total{kind="timer-fire"}`)
+	}
+	if fam[1] != r.Counter(`kern_events_total{kind="tick"}`) {
+		t.Fatal(`fam[1] must be kern_events_total{kind="tick"}`)
+	}
+	fam[0].Inc()
+	fam[1].Add(2)
+	if got := r.Total("kern_events_total"); got != 3 {
+		t.Fatalf("Total = %d, want 3", got)
+	}
+
+	var nilReg *Registry
+	nilFam := nilReg.CounterFamily("x_total", "k", []string{"a", "b", "c"})
+	if len(nilFam) != 3 {
+		t.Fatalf("nil-registry family length = %d, want 3", len(nilFam))
+	}
+	for i, c := range nilFam {
+		if c != nil {
+			t.Fatalf("nil-registry family[%d] must be a nil no-op handle", i)
+		}
+		c.Inc() // must not panic
+	}
+}
+
+func TestCounterIncZeroAllocs(t *testing.T) {
+	r := New()
+	fam := r.CounterFamily("alloc_probe_total", "k", []string{"a", "b"})
+	if avg := testing.AllocsPerRun(1000, func() {
+		fam[0].Inc()
+		fam[1].Add(3)
+	}); avg != 0 {
+		t.Fatalf("pre-resolved counter increment allocates %v/op, want 0", avg)
+	}
+	var nilC *Counter
+	if avg := testing.AllocsPerRun(1000, func() { nilC.Inc() }); avg != 0 {
+		t.Fatalf("nil counter increment allocates %v/op, want 0", avg)
+	}
+}
+
 func TestKindCollisionPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {

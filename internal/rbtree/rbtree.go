@@ -8,6 +8,11 @@
 //
 // Keys are (key, id) pairs: id breaks ties deterministically, mirroring
 // the kernel's stable ordering of equal-vruntime entities.
+//
+// The tree is generic over its element type so items are stored inline in
+// the nodes (no interface boxing per insert), and detached nodes go on a
+// freelist — the enqueue/dequeue churn of a steady-state scheduler performs
+// no heap allocations.
 package rbtree
 
 // Item is an element stored in the tree.
@@ -25,47 +30,67 @@ const (
 	black color = true
 )
 
-type node struct {
-	item                Item
-	left, right, parent *node
+type node[T Item] struct {
+	item                T
+	left, right, parent *node[T]
 	color               color
 }
 
 // Tree is an intrusive-style red-black tree with leftmost caching.
-type Tree struct {
-	root     *node
-	leftmost *node
-	size     int
+type Tree[T Item] struct {
+	root     *node[T]
+	leftmost *node[T]
+	// free chains detached nodes (via right) for reuse by Insert.
+	free *node[T]
+	size int
 }
 
 // New returns an empty tree.
-func New() *Tree { return &Tree{} }
+func New[T Item]() *Tree[T] { return &Tree[T]{} }
 
 // Len returns the number of stored items.
-func (t *Tree) Len() int { return t.size }
+func (t *Tree[T]) Len() int { return t.size }
 
 // less orders items by (Key, ID).
-func less(a, b Item) bool {
+func less[T Item](a, b T) bool {
 	if a.Key() != b.Key() {
 		return a.Key() < b.Key()
 	}
 	return a.ID() < b.ID()
 }
 
-// Min returns the leftmost (smallest) item, or nil.
-func (t *Tree) Min() Item {
+// Min returns the leftmost (smallest) item; ok is false on an empty tree.
+func (t *Tree[T]) Min() (item T, ok bool) {
 	if t.leftmost == nil {
-		return nil
+		return item, false
 	}
-	return t.leftmost.item
+	return t.leftmost.item, true
+}
+
+// newNode takes a node off the freelist, or allocates one.
+func (t *Tree[T]) newNode(item T) *node[T] {
+	if n := t.free; n != nil {
+		t.free = n.right
+		n.right = nil
+		n.item = item
+		return n
+	}
+	return &node[T]{item: item}
+}
+
+// releaseNode clears a detached node and chains it on the freelist.
+func (t *Tree[T]) releaseNode(n *node[T]) {
+	var zero T
+	*n = node[T]{item: zero, right: t.free}
+	t.free = n
 }
 
 // Insert adds item to the tree. Inserting the same item twice corrupts the
 // tree; callers track membership.
-func (t *Tree) Insert(item Item) {
-	n := &node{item: item}
+func (t *Tree[T]) Insert(item T) {
+	n := t.newNode(item)
 	// BST insert.
-	var parent *node
+	var parent *node[T]
 	cur := t.root
 	wentLeftAlways := true
 	for cur != nil {
@@ -95,7 +120,7 @@ func (t *Tree) Insert(item Item) {
 
 // Delete removes the node holding item (matched by Key+ID identity). It
 // reports whether the item was found.
-func (t *Tree) Delete(item Item) bool {
+func (t *Tree[T]) Delete(item T) bool {
 	n := t.find(item)
 	if n == nil {
 		return false
@@ -105,14 +130,15 @@ func (t *Tree) Delete(item Item) bool {
 	}
 	t.deleteNode(n)
 	t.size--
+	t.releaseNode(n)
 	return true
 }
 
 // Contains reports whether item (by Key+ID) is in the tree.
-func (t *Tree) Contains(item Item) bool { return t.find(item) != nil }
+func (t *Tree[T]) Contains(item T) bool { return t.find(item) != nil }
 
 // Each visits items in ascending order.
-func (t *Tree) Each(fn func(Item) bool) {
+func (t *Tree[T]) Each(fn func(T) bool) {
 	for n := t.leftmost; n != nil; n = successor(n) {
 		if !fn(n.item) {
 			return
@@ -121,9 +147,9 @@ func (t *Tree) Each(fn func(Item) bool) {
 }
 
 // Items returns all items in ascending order (for tests and traces).
-func (t *Tree) Items() []Item {
-	out := make([]Item, 0, t.size)
-	t.Each(func(i Item) bool {
+func (t *Tree[T]) Items() []T {
+	out := make([]T, 0, t.size)
+	t.Each(func(i T) bool {
 		out = append(out, i)
 		return true
 	})
@@ -131,7 +157,7 @@ func (t *Tree) Items() []Item {
 }
 
 // find locates the node with the same (Key, ID) as item.
-func (t *Tree) find(item Item) *node {
+func (t *Tree[T]) find(item T) *node[T] {
 	cur := t.root
 	for cur != nil {
 		switch {
@@ -146,7 +172,7 @@ func (t *Tree) find(item Item) *node {
 	return nil
 }
 
-func successor(n *node) *node {
+func successor[T Item](n *node[T]) *node[T] {
 	if n.right != nil {
 		n = n.right
 		for n.left != nil {
@@ -160,7 +186,7 @@ func successor(n *node) *node {
 	return n.parent
 }
 
-func (t *Tree) rotateLeft(x *node) {
+func (t *Tree[T]) rotateLeft(x *node[T]) {
 	y := x.right
 	x.right = y.left
 	if y.left != nil {
@@ -179,7 +205,7 @@ func (t *Tree) rotateLeft(x *node) {
 	x.parent = y
 }
 
-func (t *Tree) rotateRight(x *node) {
+func (t *Tree[T]) rotateRight(x *node[T]) {
 	y := x.left
 	x.left = y.right
 	if y.right != nil {
@@ -198,7 +224,7 @@ func (t *Tree) rotateRight(x *node) {
 	x.parent = y
 }
 
-func (t *Tree) insertFixup(z *node) {
+func (t *Tree[T]) insertFixup(z *node[T]) {
 	for z.parent != nil && z.parent.color == red {
 		gp := z.parent.parent
 		if z.parent == gp.left {
@@ -239,7 +265,7 @@ func (t *Tree) insertFixup(z *node) {
 }
 
 // transplant replaces subtree u with subtree v.
-func (t *Tree) transplant(u, v *node) {
+func (t *Tree[T]) transplant(u, v *node[T]) {
 	switch {
 	case u.parent == nil:
 		t.root = v
@@ -253,11 +279,11 @@ func (t *Tree) transplant(u, v *node) {
 	}
 }
 
-func (t *Tree) deleteNode(z *node) {
+func (t *Tree[T]) deleteNode(z *node[T]) {
 	y := z
 	yColor := y.color
-	var x *node
-	var xParent *node
+	var x *node[T]
+	var xParent *node[T]
 	switch {
 	case z.left == nil:
 		x = z.right
@@ -292,7 +318,7 @@ func (t *Tree) deleteNode(z *node) {
 	}
 }
 
-func (t *Tree) deleteFixup(x *node, parent *node) {
+func (t *Tree[T]) deleteFixup(x *node[T], parent *node[T]) {
 	for x != t.root && (x == nil || x.color == black) {
 		if parent == nil {
 			break
@@ -365,7 +391,7 @@ func (t *Tree) deleteFixup(x *node, parent *node) {
 }
 
 // validate checks the red-black invariants; tests use it.
-func (t *Tree) validate() error {
+func (t *Tree[T]) validate() error {
 	if t.root == nil {
 		if t.leftmost != nil || t.size != 0 {
 			return errInvariant("empty tree with cached state")
@@ -392,7 +418,7 @@ type errInvariant string
 func (e errInvariant) Error() string { return "rbtree: " + string(e) }
 
 // checkNode returns the black-height of the subtree.
-func checkNode(n *node) (int, error) {
+func checkNode[T Item](n *node[T]) (int, error) {
 	if n == nil {
 		return 1, nil
 	}

@@ -17,8 +17,8 @@ func (i it) Key() int64 { return i.key }
 func (i it) ID() int    { return i.id }
 
 func TestEmpty(t *testing.T) {
-	tr := New()
-	if tr.Len() != 0 || tr.Min() != nil {
+	tr := New[it]()
+	if _, ok := tr.Min(); tr.Len() != 0 || ok {
 		t.Fatal("empty tree state")
 	}
 	if tr.Delete(it{1, 1}) {
@@ -30,7 +30,7 @@ func TestEmpty(t *testing.T) {
 }
 
 func TestInsertMinDelete(t *testing.T) {
-	tr := New()
+	tr := New[it]()
 	items := []it{{5, 1}, {3, 2}, {8, 3}, {3, 1}, {1, 4}}
 	for _, i := range items {
 		tr.Insert(i)
@@ -41,14 +41,14 @@ func TestInsertMinDelete(t *testing.T) {
 	if tr.Len() != 5 {
 		t.Fatalf("len = %d", tr.Len())
 	}
-	if m := tr.Min().(it); m != (it{1, 4}) {
+	if m, _ := tr.Min(); m != (it{1, 4}) {
 		t.Fatalf("min = %v", m)
 	}
 	// Tie-break by ID: delete the leftmost repeatedly, expect sorted order.
 	want := []it{{1, 4}, {3, 1}, {3, 2}, {5, 1}, {8, 3}}
 	for _, w := range want {
-		m := tr.Min().(it)
-		if m != w {
+		m, ok := tr.Min()
+		if !ok || m != w {
 			t.Fatalf("min = %v, want %v", m, w)
 		}
 		if !tr.Delete(m) {
@@ -58,13 +58,13 @@ func TestInsertMinDelete(t *testing.T) {
 			t.Fatalf("after delete %v: %v", m, err)
 		}
 	}
-	if tr.Len() != 0 || tr.Min() != nil {
+	if _, ok := tr.Min(); tr.Len() != 0 || ok {
 		t.Fatal("tree not empty at end")
 	}
 }
 
 func TestContainsAndMiss(t *testing.T) {
-	tr := New()
+	tr := New[it]()
 	tr.Insert(it{10, 1})
 	tr.Insert(it{20, 2})
 	if !tr.Contains(it{10, 1}) || tr.Contains(it{10, 2}) || tr.Contains(it{15, 1}) {
@@ -76,12 +76,12 @@ func TestContainsAndMiss(t *testing.T) {
 }
 
 func TestEachAscendingAndEarlyStop(t *testing.T) {
-	tr := New()
+	tr := New[it]()
 	for i := 0; i < 20; i++ {
 		tr.Insert(it{int64((i * 7) % 20), i})
 	}
 	var keys []int64
-	tr.Each(func(x Item) bool {
+	tr.Each(func(x it) bool {
 		keys = append(keys, x.Key())
 		return true
 	})
@@ -89,7 +89,7 @@ func TestEachAscendingAndEarlyStop(t *testing.T) {
 		t.Fatalf("not ascending: %v", keys)
 	}
 	n := 0
-	tr.Each(func(Item) bool { n++; return n < 3 })
+	tr.Each(func(it) bool { n++; return n < 3 })
 	if n != 3 {
 		t.Fatalf("early stop visited %d", n)
 	}
@@ -99,7 +99,7 @@ func TestEachAscendingAndEarlyStop(t *testing.T) {
 // reference model while checking invariants continuously.
 func TestRandomOpsAgainstSortedSlice(t *testing.T) {
 	r := rng.New(99)
-	tr := New()
+	tr := New[it]()
 	ref := map[it]bool{}
 	for op := 0; op < 5000; op++ {
 		x := it{key: r.Int63n(50), id: int(r.Int63n(50))}
@@ -140,7 +140,7 @@ func TestRandomOpsAgainstSortedSlice(t *testing.T) {
 		t.Fatalf("len %d vs %d", len(got), len(want))
 	}
 	for i := range got {
-		if got[i].(it) != want[i] {
+		if got[i] != want[i] {
 			t.Fatalf("item %d: %v vs %v", i, got[i], want[i])
 		}
 	}
@@ -150,12 +150,13 @@ func TestRandomOpsAgainstSortedSlice(t *testing.T) {
 // minimum after a random insert batch.
 func TestQuickMinIsSmallest(t *testing.T) {
 	f := func(keys []int16) bool {
-		tr := New()
+		tr := New[it]()
 		for i, k := range keys {
 			tr.Insert(it{int64(k), i})
 		}
 		if len(keys) == 0 {
-			return tr.Min() == nil
+			_, ok := tr.Min()
+			return !ok
 		}
 		min := keys[0]
 		for _, k := range keys {
@@ -163,16 +164,39 @@ func TestQuickMinIsSmallest(t *testing.T) {
 				min = k
 			}
 		}
-		return tr.Min().Key() == int64(min) && tr.validate() == nil
+		m, ok := tr.Min()
+		return ok && m.Key() == int64(min) && tr.validate() == nil
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Fatal(err)
 	}
 }
 
+// TestSteadyStateChurnAllocs: the freelist makes delete/insert churn at a
+// stable population allocation-free — the scheduler's enqueue/dequeue path
+// rides on this.
+func TestSteadyStateChurnAllocs(t *testing.T) {
+	r := rng.New(7)
+	tr := New[it]()
+	items := make([]it, 64)
+	for i := range items {
+		items[i] = it{key: r.Int63n(1 << 30), id: i}
+		tr.Insert(items[i])
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		for i := range items {
+			tr.Delete(items[i])
+			tr.Insert(items[i])
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state churn allocates %.1f allocs/run, want 0", avg)
+	}
+}
+
 func BenchmarkInsertDelete(b *testing.B) {
 	r := rng.New(1)
-	tr := New()
+	tr := New[it]()
 	items := make([]it, 1024)
 	for i := range items {
 		items[i] = it{key: r.Int63n(1 << 30), id: i}

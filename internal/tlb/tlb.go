@@ -44,12 +44,19 @@ type entry struct {
 // TLB is a set-associative, LRU translation buffer indexed by the low bits
 // of the virtual page number (the linear indexing Gras et al. reverse
 // engineered for the L1 iTLB; it is what makes eviction sets constructible).
+// Like cache.Cache, set storage is carved lazily on first fill — a nil set
+// misses — so machines with many idle cores pay nothing for their TLBs.
 type TLB struct {
 	cfg     Config
 	sets    [][]entry
 	setMask uint64
 	tick    uint64
+	// arena is spare backing storage sets are carved from, in chunks.
+	arena []entry
 }
+
+// setChunk is how many sets' worth of entries one arena growth provisions.
+const setChunk = 16
 
 // New returns an empty TLB. It reports an error if the set count is not a
 // positive power of two.
@@ -58,11 +65,18 @@ func New(cfg Config) (*TLB, error) {
 	if n <= 0 || n&(n-1) != 0 {
 		return nil, fmt.Errorf("tlb %s: set count %d not a positive power of two", cfg.Name, n)
 	}
-	sets := make([][]entry, n)
-	for i := range sets {
-		sets[i] = make([]entry, cfg.Ways)
+	return &TLB{cfg: cfg, sets: make([][]entry, n), setMask: uint64(n - 1)}, nil
+}
+
+// carve provisions the entries of set si on its first fill.
+func (t *TLB) carve(si int) []entry {
+	if len(t.arena) < t.cfg.Ways {
+		t.arena = make([]entry, setChunk*t.cfg.Ways)
 	}
-	return &TLB{cfg: cfg, sets: sets, setMask: uint64(n - 1)}, nil
+	s := t.arena[:t.cfg.Ways:t.cfg.Ways]
+	t.arena = t.arena[t.cfg.Ways:]
+	t.sets[si] = s
+	return s
 }
 
 // MustNew is New for statically known-good configurations; it panics on
@@ -106,7 +120,11 @@ func (t *TLB) Touch(vpn uint64) bool {
 
 // Insert fills vpn, evicting the LRU entry of its set if needed.
 func (t *TLB) Insert(vpn uint64) {
-	set := t.sets[t.SetIndex(vpn)]
+	si := t.SetIndex(vpn)
+	set := t.sets[si]
+	if set == nil {
+		set = t.carve(si)
+	}
 	t.tick++
 	for i := range set {
 		if set[i].valid && set[i].vpn == vpn {
@@ -190,9 +208,8 @@ type CoreTLBs struct {
 // second-level hits, full page-table walks, and whole-TLB flushes. Every
 // core shares the same metric names, so the counters aggregate machine-wide.
 func (c *CoreTLBs) InstrumentMetrics(r *metrics.Registry) {
-	c.tel.itlbHits = r.Counter(`tlb_hits_total{level="itlb"}`)
-	c.tel.dtlbHits = r.Counter(`tlb_hits_total{level="dtlb"}`)
-	c.tel.stlbHits = r.Counter(`tlb_hits_total{level="stlb"}`)
+	fam := r.CounterFamily("tlb_hits_total", "level", []string{"itlb", "dtlb", "stlb"})
+	c.tel.itlbHits, c.tel.dtlbHits, c.tel.stlbHits = fam[0], fam[1], fam[2]
 	c.tel.walks = r.Counter("tlb_walks_total")
 	c.tel.flushes = r.Counter("tlb_flush_total")
 }

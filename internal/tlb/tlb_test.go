@@ -137,3 +137,24 @@ func TestEvictionPagesEvict(t *testing.T) {
 		t.Fatalf("post-eviction translation = %d, want walk", lat)
 	}
 }
+
+// TestTranslateZeroAllocs gates the translation hot path: after the working
+// set's TLB sets have been carved, fetch and data translations — hits,
+// sTLB promotions and full walks — must not allocate.
+func TestTranslateZeroAllocs(t *testing.T) {
+	c := I9900KTLBs()
+	pages := make([]uint64, 32)
+	for i := range pages {
+		pages[i] = uint64(0x40_0000 + i*PageSize)
+	}
+	warm := func() {
+		for _, p := range pages {
+			c.TranslateFetch(p)
+			c.TranslateData(p + 8)
+		}
+	}
+	warm() // carve the working set's TLB sets
+	if avg := testing.AllocsPerRun(100, warm); avg != 0 {
+		t.Fatalf("warm translations allocate %v/run, want 0", avg)
+	}
+}

@@ -41,6 +41,14 @@ type Options struct {
 	// every watchdog-guarded experiment phase (exps.Watchdog), bounding how
 	// long a perturbed machine may run before settling for partial results.
 	SimBudget timebase.Duration
+	// InvariantStride, when non-zero, overrides the cadence (in processed
+	// events) of the kernel's full invariant scan in every machine the
+	// experiment builds; negative disables checking. Invariant scans are
+	// pure checking — the stride changes how quickly a corruption is
+	// caught, never what the simulation does — so results stay bit-
+	// identical at any stride. The bench harness relaxes it; tests and
+	// ordinary runs keep the kernel default (2048).
+	InvariantStride int
 }
 
 func (o Options) seed() uint64 {
@@ -419,7 +427,12 @@ func (o Options) applyAmbient() func() {
 	if o.SimBudget > 0 {
 		restoreBudget = exps.ScopeWatchdogBudget(o.SimBudget)
 	}
+	restoreStride := func() {}
+	if o.InvariantStride != 0 {
+		restoreStride = exps.ScopeInvariantStride(o.InvariantStride)
+	}
 	return func() {
+		restoreStride()
 		restoreBudget()
 		restoreChaos()
 	}
