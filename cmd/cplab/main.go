@@ -8,6 +8,7 @@
 //	cplab all [flags]              # regenerate everything, in paper order
 //	cplab campaign [flags]         # checkpointed sweep (resumes if manifest exists)
 //	cplab resume [flags]           # continue an interrupted campaign
+//	cplab cluster [flags]          # shard a campaign across cplabd workers
 //	cplab trace record <id> [flags]# record the kernel event stream to a .cptrace
 //	cplab trace diff <got> <want>  # first-divergence report between two traces
 //	cplab metrics -exp <id>        # run instrumented, export telemetry (Prometheus/JSON)
@@ -90,6 +91,8 @@ func run(args []string) int {
 		return campaignCmd(args[1:], false)
 	case "resume":
 		return campaignCmd(args[1:], true)
+	case "cluster":
+		return clusterCmd(args[1:])
 	case "metrics":
 		return metricsCmd(args[1:])
 	case "profile":
@@ -539,6 +542,7 @@ usage:
   cplab all [flags]
   cplab campaign [flags] [-manifest P] [-ids CSV] [-retries N] [-expwall D] [-wall D] [-haltafter N] [-parallel N] [-force]
   cplab resume [same flags — continues the manifest]
+  cplab cluster -workers URLS [flags] [-shard N] [-parallel N] [-hang D] [-steal D] [-chaosnet R] [-metricsaddr A] [-force]
   cplab trace record <id> [-o path] [-maxevents N] [flags]
   cplab trace diff <got.cptrace> <want.cptrace>
   cplab metrics -exp <id> [-json] [-o path] [flags]

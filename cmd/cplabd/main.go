@@ -13,7 +13,6 @@ import (
 	"flag"
 	"fmt"
 	"net"
-	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -47,12 +46,12 @@ func run(args []string) int {
 		Entries: func(sp labd.Spec) []campaign.Entry {
 			return repro.CampaignEntries(sp.IDs, optionsOf(sp), sp.Retries)
 		},
-		Validate:   validate,
-		Normalize:  normalize,
-		Note:       note,
-		QueueLimit: *queueLimit,
-		ExpWall:    *expwall,
-		Log:        os.Stderr,
+		ValidateSpec: validate,
+		Normalize:    normalize,
+		Note:         note,
+		QueueLimit:   *queueLimit,
+		ExpWall:      *expwall,
+		Log:          os.Stderr,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cplabd:", err)
@@ -67,7 +66,8 @@ func run(args []string) int {
 	srv.Start()
 	fmt.Fprintf(os.Stderr, "cplabd: listening on %s (state %s)\n", ln.Addr(), *state)
 
-	hs := &http.Server{Handler: srv.Handler()}
+	// The hardened server: header/read/idle timeouts against slow clients.
+	hs := labd.NewHTTPServer(srv.Handler())
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
 

@@ -105,7 +105,7 @@ type Campaign struct {
 func New(cfg Config, entries []Entry) (*Campaign, error) {
 	c := &Campaign{cfg: cfg, entries: indexEntries(entries)}
 	c.man = &Manifest{
-		Version: manifestVersion,
+		Version: ManifestVersion,
 		Seed:    cfg.Seed,
 		Note:    cfg.Note,
 		IDs:     idsOf(entries),

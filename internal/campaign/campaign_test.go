@@ -314,7 +314,7 @@ func TestCheckpointAfterEveryEntry(t *testing.T) {
 
 func TestManifestRowsAndCounts(t *testing.T) {
 	man := &Manifest{
-		Version: manifestVersion,
+		Version: ManifestVersion,
 		IDs:     []string{"a", "b", "c", "d"},
 		Entries: map[string]*Record{
 			"a": {ID: "a", Status: StatusOK, Attempts: 1},

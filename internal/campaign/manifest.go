@@ -9,8 +9,10 @@ import (
 	"repro/internal/report"
 )
 
-// manifestVersion is the on-disk manifest format version.
-const manifestVersion = 1
+// ManifestVersion is the on-disk manifest format version. It is exported
+// so the cluster fabric can assemble merged manifests that are
+// byte-identical to the campaign engine's own.
+const ManifestVersion = 1
 
 // Status is the recorded outcome of one campaign entry.
 type Status string
@@ -112,8 +114,8 @@ func Load(path string) (*Manifest, error) {
 	if err := json.Unmarshal(data, m); err != nil {
 		return nil, fmt.Errorf("campaign: manifest %s: %w", path, err)
 	}
-	if m.Version != manifestVersion {
-		return nil, fmt.Errorf("campaign: manifest %s has version %d, want %d", path, m.Version, manifestVersion)
+	if m.Version != ManifestVersion {
+		return nil, fmt.Errorf("campaign: manifest %s has version %d, want %d", path, m.Version, ManifestVersion)
 	}
 	if m.Entries == nil {
 		m.Entries = map[string]*Record{}

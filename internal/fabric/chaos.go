@@ -1,0 +1,189 @@
+package fabric
+
+// chaos.go is the internal/fault philosophy applied to the network layer:
+// a RoundTripper that injects the failure modes a real cluster sees —
+// dropped connections, latency spikes, 5xx responses, and mid-body
+// disconnects — from a seeded deterministic stream. The fabric tests run
+// the coordinator through it to prove the merged manifest stays
+// byte-stable under fire, and `cplab cluster -chaosnet` wires it into the
+// real binary so CI can do the same against live cplabd processes.
+//
+// Faults are loud by construction: a drop or truncation surfaces as a
+// transport error the retry loop sees, never as silently corrupted data.
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/rng"
+)
+
+// ChaosConfig tunes a ChaosTransport. The zero value injects nothing.
+type ChaosConfig struct {
+	// Drop is the probability the request dies with a connection error
+	// before reaching the worker.
+	Drop float64
+	// Delay is the probability of added latency, uniform in (0, DelayMax].
+	Delay float64
+	// DelayMax bounds injected latency (default 50ms).
+	DelayMax time.Duration
+	// Err5xx is the probability of a synthetic 503 instead of the real
+	// response.
+	Err5xx float64
+	// Truncate is the probability the response body disconnects midway.
+	Truncate float64
+	// Seed seeds the decision stream; equal seeds replay the same fault
+	// schedule against the same request sequence.
+	Seed uint64
+}
+
+// Validate checks the configuration: every rate must be a probability in
+// [0, 1] and the delay bound non-negative.
+func (c ChaosConfig) Validate() error {
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{{"Drop", c.Drop}, {"Delay", c.Delay}, {"Err5xx", c.Err5xx}, {"Truncate", c.Truncate}} {
+		if math.IsNaN(p.v) || p.v < 0 || p.v > 1 {
+			return fmt.Errorf("fabric: chaos %s %v outside [0, 1]", p.name, p.v)
+		}
+	}
+	if c.DelayMax < 0 {
+		return fmt.Errorf("fabric: negative chaos DelayMax %s", c.DelayMax)
+	}
+	return nil
+}
+
+// Enabled reports whether the configuration injects anything at all.
+func (c ChaosConfig) Enabled() bool {
+	return c.Drop > 0 || c.Delay > 0 || c.Err5xx > 0 || c.Truncate > 0
+}
+
+// ChaosTransport injects network faults around a base RoundTripper.
+type ChaosTransport struct {
+	cfg  ChaosConfig
+	base http.RoundTripper
+
+	mu     sync.Mutex
+	rng    *rng.RNG
+	counts map[string]int64
+}
+
+// NewChaosTransport wraps base (nil = http.DefaultTransport) in fault
+// injection. It rejects invalid configurations (see ChaosConfig.Validate).
+func NewChaosTransport(cfg ChaosConfig, base http.RoundTripper) (*ChaosTransport, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.DelayMax <= 0 {
+		cfg.DelayMax = 50 * time.Millisecond
+	}
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return &ChaosTransport{cfg: cfg, base: base, rng: rng.New(cfg.Seed), counts: map[string]int64{}}, nil
+}
+
+// MustNewChaosTransport is NewChaosTransport that panics on error.
+func MustNewChaosTransport(cfg ChaosConfig, base http.RoundTripper) *ChaosTransport {
+	t, err := NewChaosTransport(cfg, base)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Counts returns a copy of the injected-fault tallies by kind.
+func (t *ChaosTransport) Counts() map[string]int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[string]int64, len(t.counts))
+	for k, v := range t.counts {
+		out[k] = v
+	}
+	return out
+}
+
+// RoundTrip makes the injection decisions for one request under the lock,
+// then acts on them outside it (delays must not serialize the fleet).
+func (t *ChaosTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	t.mu.Lock()
+	drop := t.rng.Bool(t.cfg.Drop)
+	var delay time.Duration
+	if t.rng.Bool(t.cfg.Delay) {
+		delay = time.Duration(1 + t.rng.Int63n(int64(t.cfg.DelayMax)))
+	}
+	err5xx := t.rng.Bool(t.cfg.Err5xx)
+	truncate := t.rng.Bool(t.cfg.Truncate)
+	switch {
+	case drop:
+		t.counts["drop"]++
+	case delay > 0:
+		t.counts["delay"]++
+	}
+	if !drop && err5xx {
+		t.counts["err5xx"]++
+	}
+	if !drop && !err5xx && truncate {
+		t.counts["truncate"]++
+	}
+	t.mu.Unlock()
+
+	if delay > 0 {
+		select {
+		case <-time.After(delay):
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		}
+	}
+	if drop {
+		return nil, fmt.Errorf("fabric: chaos dropped %s %s", req.Method, req.URL.Path)
+	}
+	if err5xx {
+		return &http.Response{
+			StatusCode: http.StatusServiceUnavailable,
+			Status:     "503 chaos",
+			Proto:      "HTTP/1.1", ProtoMajor: 1, ProtoMinor: 1,
+			Header:  http.Header{"Content-Type": []string{"text/plain"}},
+			Body:    http.NoBody,
+			Request: req,
+		}, nil
+	}
+	resp, err := t.base.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	if truncate {
+		limit := int64(64)
+		if resp.ContentLength > 1 {
+			limit = resp.ContentLength / 2
+		}
+		resp.Body = &truncatedBody{rc: resp.Body, left: limit}
+	}
+	return resp, nil
+}
+
+// truncatedBody serves a prefix of the wrapped body, then fails like a
+// connection torn down mid-transfer.
+type truncatedBody struct {
+	rc   io.ReadCloser
+	left int64
+}
+
+func (b *truncatedBody) Read(p []byte) (int, error) {
+	if b.left <= 0 {
+		return 0, fmt.Errorf("fabric: chaos truncated response body")
+	}
+	if int64(len(p)) > b.left {
+		p = p[:b.left]
+	}
+	n, err := b.rc.Read(p)
+	b.left -= int64(n)
+	return n, err
+}
+
+func (b *truncatedBody) Close() error { return b.rc.Close() }

@@ -1,0 +1,137 @@
+package fabric
+
+// checkpoint.go is the cluster checkpoint sidecar: the merged manifest at
+// Config.Path already checkpoints the committed shard prefix (and is, by
+// the in-order-commit discipline, byte-identical to a serial run's
+// checkpoint at the same prefix), but partial progress inside uncommitted
+// shards would be lost with it alone. The sidecar banks each uncommitted
+// shard's freshest partial manifest so Resume can requeue those shards
+// with their committed entries intact. The sidecar is advisory: deleting
+// it only costs re-running the uncommitted shards from scratch.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/campaign"
+)
+
+// clusterCheckpointVersion is bumped on incompatible sidecar layouts.
+const clusterCheckpointVersion = 1
+
+// clusterCheckpoint is the on-disk sidecar format.
+type clusterCheckpoint struct {
+	Version   int               `json:"version"`
+	Seed      uint64            `json:"seed"`
+	Note      string            `json:"note,omitempty"`
+	ShardSize int               `json:"shard_size"`
+	Shards    []shardCheckpoint `json:"shards"`
+}
+
+// shardCheckpoint is one uncommitted shard's banked partial.
+type shardCheckpoint struct {
+	Index   int                `json:"index"`
+	IDs     []string           `json:"ids"`
+	Partial *campaign.Manifest `json:"partial"`
+}
+
+// saveClusterCheckpoint snapshots every uncommitted shard's partial under
+// the coordinator lock, then writes the sidecar atomically outside it.
+// Failures are logged, not fatal: the sidecar is a recovery optimization.
+func (co *Coordinator) saveClusterCheckpoint() {
+	ck := clusterCheckpoint{
+		Version:   clusterCheckpointVersion,
+		Seed:      co.cfg.Spec.Seed,
+		Note:      co.cfg.Note,
+		ShardSize: co.cfg.ShardSize,
+	}
+	co.mu.Lock()
+	for _, sh := range co.shards[co.nextCommit:] {
+		if sh.state == shardCommitted || sh.partial == nil {
+			continue
+		}
+		ck.Shards = append(ck.Shards, shardCheckpoint{
+			Index:   sh.index,
+			IDs:     sh.ids,
+			Partial: sh.partial,
+		})
+	}
+	co.mu.Unlock()
+
+	data, err := json.MarshalIndent(&ck, "", "  ")
+	if err != nil {
+		co.logf("fabric: cluster checkpoint: %v", err)
+		return
+	}
+	data = append(data, '\n')
+	// Serialize file writes: concurrent drivers may checkpoint at once and
+	// the tmp path is shared.
+	co.ckptMu.Lock()
+	defer co.ckptMu.Unlock()
+	tmp := co.cfg.ClusterPath + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		co.logf("fabric: cluster checkpoint: %v", err)
+		return
+	}
+	if err := os.Rename(tmp, co.cfg.ClusterPath); err != nil {
+		co.logf("fabric: cluster checkpoint: %v", err)
+	}
+}
+
+// loadClusterCheckpoint folds a sidecar (when present) back into the
+// uncommitted shards during Resume. A sidecar recorded under a different
+// seed, note or sharding is an operator error and refused loudly rather
+// than silently ignored.
+func (co *Coordinator) loadClusterCheckpoint() error {
+	data, err := os.ReadFile(co.cfg.ClusterPath)
+	if os.IsNotExist(err) {
+		return nil // merged manifest alone; uncommitted shards restart clean
+	}
+	if err != nil {
+		return err
+	}
+	var ck clusterCheckpoint
+	if err := json.Unmarshal(data, &ck); err != nil {
+		return fmt.Errorf("fabric: cluster checkpoint %s: %w", co.cfg.ClusterPath, err)
+	}
+	if ck.Version != clusterCheckpointVersion {
+		return fmt.Errorf("fabric: cluster checkpoint %s has version %d, want %d", co.cfg.ClusterPath, ck.Version, clusterCheckpointVersion)
+	}
+	if ck.Seed != co.cfg.Spec.Seed {
+		return fmt.Errorf("fabric: cluster checkpoint %s was recorded with seed %d, not %d", co.cfg.ClusterPath, ck.Seed, co.cfg.Spec.Seed)
+	}
+	if ck.Note != co.cfg.Note {
+		return fmt.Errorf("fabric: cluster checkpoint %s was recorded under config %q, not %q", co.cfg.ClusterPath, ck.Note, co.cfg.Note)
+	}
+	if ck.ShardSize != co.cfg.ShardSize {
+		return fmt.Errorf("fabric: cluster checkpoint %s was recorded with shard size %d, not %d", co.cfg.ClusterPath, ck.ShardSize, co.cfg.ShardSize)
+	}
+	for _, sc := range ck.Shards {
+		if sc.Index < 0 || sc.Index >= len(co.shards) || sc.Partial == nil {
+			continue
+		}
+		sh := co.shards[sc.Index]
+		if sh.state == shardCommitted || !sameIDs(sh.ids, sc.IDs) {
+			continue
+		}
+		if sc.Partial.Entries == nil {
+			sc.Partial.Entries = map[string]*campaign.Record{}
+		}
+		co.updatePartial(sh, sc.Partial)
+	}
+	return nil
+}
+
+// sameIDs reports element-wise equality.
+func sameIDs(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,216 @@
+package fabric
+
+// client.go is the coordinator's side of the worker protocol: a thin HTTP
+// client over the lab service's job API (POST /jobs, poll, fetch manifest,
+// cancel) with per-request timeouts, plus the seeded-jitter retry loop the
+// drivers wrap every request in.
+//
+// Submissions are retried like every other request. A retry after an
+// ambiguous failure (the request timed out after the worker accepted it)
+// can enqueue a duplicate shard job; that is deliberate: shard records are
+// functions of the plan and seed alone, so a duplicate produces identical
+// bytes and costs only worker time — never correctness. The orphan runs
+// FIFO behind the tracked job and work-stealing absorbs the delay.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/labd"
+	"repro/internal/rng"
+)
+
+// client talks to one worker.
+type client struct {
+	base string // worker base URL, no trailing slash
+	hc   *http.Client
+	wait time.Duration // per-request timeout
+}
+
+// newClient builds a client for one worker base URL.
+func newClient(base string, transport http.RoundTripper, timeout time.Duration) *client {
+	return &client{
+		base: strings.TrimRight(base, "/"),
+		hc:   &http.Client{Transport: transport},
+		wait: timeout,
+	}
+}
+
+// statusError is a non-2xx response. 4xx responses are the worker telling
+// us the request itself is wrong; retrying them verbatim cannot help.
+type statusError struct {
+	code int
+	msg  string
+}
+
+func (e *statusError) Error() string {
+	return fmt.Sprintf("worker returned %d: %s", e.code, e.msg)
+}
+
+// retryable reports whether err could plausibly succeed on a retry:
+// transport errors and 5xx responses are transient, 4xx are not.
+func retryable(err error) bool {
+	if se, ok := err.(*statusError); ok {
+		return se.code >= 500
+	}
+	return true
+}
+
+// do performs one request and decodes a JSON response into out (out may be
+// nil for responses whose body is discarded). The request carries a
+// per-request timeout on top of the caller's ctx, so one black-holed
+// connection cannot wedge a driver.
+func (c *client) do(ctx context.Context, method, path string, body []byte, out any) error {
+	rctx, cancel := context.WithTimeout(ctx, c.wait)
+	defer cancel()
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(rctx, method, c.base+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	// Read the whole body before judging: a mid-body disconnect on a 200
+	// must surface as an error, not a silently truncated decode.
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return fmt.Errorf("reading response: %w", err)
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		msg := strings.TrimSpace(string(data))
+		var decoded struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(data, &decoded) == nil && decoded.Error != "" {
+			msg = decoded.Error
+		}
+		return &statusError{code: resp.StatusCode, msg: msg}
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.Unmarshal(data, out); err != nil {
+		return fmt.Errorf("decoding response: %w", err)
+	}
+	return nil
+}
+
+// submit POSTs a spec and returns the accepted job view.
+func (c *client) submit(ctx context.Context, spec labd.Spec) (labd.JobView, error) {
+	b, err := json.Marshal(spec)
+	if err != nil {
+		return labd.JobView{}, err
+	}
+	var view labd.JobView
+	if err := c.do(ctx, http.MethodPost, "/jobs", b, &view); err != nil {
+		return labd.JobView{}, err
+	}
+	return view, nil
+}
+
+// job fetches one job's view.
+func (c *client) job(ctx context.Context, id string) (labd.JobView, error) {
+	var view labd.JobView
+	if err := c.do(ctx, http.MethodGet, "/jobs/"+id, nil, &view); err != nil {
+		return labd.JobView{}, err
+	}
+	return view, nil
+}
+
+// manifest fetches the job's checkpointed manifest.
+func (c *client) manifest(ctx context.Context, id string) (*campaign.Manifest, error) {
+	man := &campaign.Manifest{}
+	if err := c.do(ctx, http.MethodGet, "/jobs/"+id+"/manifest", nil, man); err != nil {
+		return nil, err
+	}
+	if man.Version != campaign.ManifestVersion {
+		return nil, fmt.Errorf("worker manifest has version %d, want %d", man.Version, campaign.ManifestVersion)
+	}
+	if man.Entries == nil {
+		man.Entries = map[string]*campaign.Record{}
+	}
+	return man, nil
+}
+
+// cancel DELETEs a job. Already-terminal (409) and unknown (404) jobs are
+// success: the caller only wants the job to not be running.
+func (c *client) cancel(ctx context.Context, id string) error {
+	err := c.do(ctx, http.MethodDelete, "/jobs/"+id, nil, nil)
+	if se, ok := err.(*statusError); ok && (se.code == http.StatusConflict || se.code == http.StatusNotFound) {
+		return nil
+	}
+	return err
+}
+
+// ping probes worker liveness with the cheapest read on the API.
+func (c *client) ping(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/jobs", nil, &[]labd.JobView{})
+}
+
+// retrier wraps requests in bounded retries with seeded-jitter exponential
+// backoff. Each driver owns one retrier whose RNG is forked from the
+// campaign seed by worker index, so backoff schedules are deterministic
+// (given the fault schedule) and race-free without locking — the
+// reproducibility the fabric unit tests rely on under -race.
+type retrier struct {
+	max     int           // retries after the first attempt
+	base    time.Duration // first backoff step
+	cap     time.Duration // backoff ceiling
+	rng     *rng.RNG
+	onRetry func(op string) // observes every retry (metrics); may be nil
+}
+
+// do runs f until it succeeds, exhausts the budget, returns a
+// non-retryable error, or ctx dies. The returned error is the last one f
+// produced (or ctx's).
+func (r *retrier) do(ctx context.Context, op string, f func() error) error {
+	var err error
+	for attempt := 0; ; attempt++ {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		if err = f(); err == nil {
+			return nil
+		}
+		if !retryable(err) || attempt >= r.max {
+			return err
+		}
+		if r.onRetry != nil {
+			r.onRetry(op)
+		}
+		select {
+		case <-time.After(r.backoff(attempt)):
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// backoff is the classic half-fixed, half-jittered exponential step:
+// base<<attempt capped at cap, of which half is deterministic and half is
+// drawn from the retrier's seeded stream. The jitter decorrelates workers
+// hammering a recovering daemon without sacrificing reproducibility.
+func (r *retrier) backoff(attempt int) time.Duration {
+	d := r.base << uint(attempt)
+	if d <= 0 || d > r.cap {
+		d = r.cap
+	}
+	half := int64(d / 2)
+	return time.Duration(half + r.rng.Int63n(half+1))
+}

@@ -1,0 +1,297 @@
+package labd
+
+// hardening_test.go covers the service's defensive surface: Config
+// validation, the POST /jobs body cap, queue-cap refusal and recovery,
+// the two cancellation paths (queued jobs never run; running jobs keep
+// their committed prefix), and resume-seeded submissions — the labd half
+// of the cluster fabric's requeue contract.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/campaign"
+)
+
+func TestConfigValidate(t *testing.T) {
+	valid := Config{Entries: fakeEntries(nil), StateDir: "dir"}
+	if err := valid.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		mut  func(*Config)
+		want string
+	}{
+		{"nil entries", func(c *Config) { c.Entries = nil }, "Entries"},
+		{"empty state dir", func(c *Config) { c.StateDir = "" }, "StateDir"},
+		{"negative queue limit", func(c *Config) { c.QueueLimit = -1 }, "QueueLimit"},
+		{"negative expwall", func(c *Config) { c.ExpWall = -time.Second }, "ExpWall"},
+		{"negative body cap", func(c *Config) { c.MaxBodyBytes = -1 }, "MaxBodyBytes"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := valid
+			tc.mut(&cfg)
+			err := cfg.Validate()
+			if err == nil {
+				t.Fatalf("invalid config accepted")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not name %s", err, tc.want)
+			}
+			// NewServer enforces the same check.
+			if _, err := NewServer(cfg); err == nil {
+				t.Fatal("NewServer accepted an invalid config")
+			}
+		})
+	}
+}
+
+func TestMustNewServerPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNewServer did not panic on an invalid config")
+		}
+	}()
+	MustNewServer(Config{})
+}
+
+// TestBodyCap: a spec larger than MaxBodyBytes is refused with 413 before
+// it can balloon the daemon's memory, and the error names the limit.
+func TestBodyCap(t *testing.T) {
+	srv := MustNewServer(Config{
+		StateDir:     t.TempDir(),
+		Entries:      fakeEntries(nil),
+		MaxBodyBytes: 512,
+	})
+	srv.Start()
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+	defer srv.Drain(context.Background())
+
+	big := Spec{IDs: []string{strings.Repeat("x", 2048)}}
+	b, _ := json.Marshal(big)
+	resp, err := http.Post(hs.URL+"/jobs", "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := readBody(resp)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized spec: status %d, want 413 (body %s)", resp.StatusCode, body)
+	}
+	if !strings.Contains(body, "512") {
+		t.Fatalf("413 body does not name the limit: %s", body)
+	}
+
+	// A reasonable spec on the same server still goes through.
+	view := submit(t, hs, Spec{IDs: []string{"a"}})
+	waitState(t, hs, view.ID, StateDone)
+}
+
+// TestQueueCapRecovers: the 503 at capacity is a backpressure signal, not
+// a latch — once the queue drains, submissions are accepted again.
+func TestQueueCapRecovers(t *testing.T) {
+	gate := make(chan struct{})
+	srv := MustNewServer(Config{StateDir: t.TempDir(), Entries: fakeEntries(gate), QueueLimit: 1})
+	srv.Start()
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Drain(ctx)
+	}()
+
+	running := submit(t, hs, Spec{IDs: []string{"slow-a"}})
+	waitState(t, hs, running.ID, StateRunning)
+	queued := submit(t, hs, Spec{IDs: []string{"b"}})
+
+	b, _ := json.Marshal(Spec{IDs: []string{"c"}})
+	resp, err := http.Post(hs.URL+"/jobs", "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("at capacity: status %d, want 503", resp.StatusCode)
+	}
+
+	close(gate)
+	waitState(t, hs, running.ID, StateDone)
+	waitState(t, hs, queued.ID, StateDone)
+	late := submit(t, hs, Spec{IDs: []string{"c"}})
+	waitState(t, hs, late.ID, StateDone)
+}
+
+// TestCancelQueuedNeverRuns: cancelling a queued job must prevent it from
+// ever dispatching — no manifest, no state directory mutation, and the
+// dispatcher skips straight past it once unblocked.
+func TestCancelQueuedNeverRuns(t *testing.T) {
+	gate := make(chan struct{})
+	dir := t.TempDir()
+	srv := MustNewServer(Config{StateDir: dir, Entries: fakeEntries(gate)})
+	srv.Start()
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Drain(ctx)
+	}()
+
+	running := submit(t, hs, Spec{IDs: []string{"slow-a"}})
+	doomed := submit(t, hs, Spec{IDs: []string{"b"}})
+	after := submit(t, hs, Spec{IDs: []string{"c"}})
+	waitState(t, hs, running.ID, StateRunning)
+
+	req, _ := http.NewRequest(http.MethodDelete, hs.URL+"/jobs/"+doomed.ID, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel queued: status %d", resp.StatusCode)
+	}
+	if got := getJob(t, hs, doomed.ID); got.State != StateCanceled {
+		t.Fatalf("cancelled-while-queued job state %s", got.State)
+	}
+
+	close(gate)
+	waitState(t, hs, running.ID, StateDone)
+	// The job submitted *behind* the cancelled one completes: the dispatcher
+	// skipped the corpse instead of stalling on it.
+	waitState(t, hs, after.ID, StateDone)
+
+	if got := getJob(t, hs, doomed.ID); got.State != StateCanceled || got.Done != 0 {
+		t.Fatalf("cancelled job after queue drained: %+v", got)
+	}
+	if _, err := os.Stat(filepath.Join(dir, doomed.ID, "manifest.json")); !os.IsNotExist(err) {
+		t.Fatalf("cancelled-while-queued job wrote a manifest (err %v)", err)
+	}
+}
+
+// TestCancelRunningKeepsPrefix: cancelling a running job stops it, but the
+// entries committed before the cancel stay checkpointed in the manifest —
+// the property the cluster fabric's hung-job cancellation leans on.
+func TestCancelRunningKeepsPrefix(t *testing.T) {
+	gate := make(chan struct{})
+	dir := t.TempDir()
+	srv := MustNewServer(Config{StateDir: dir, Entries: fakeEntries(gate)})
+	srv.Start()
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Drain(ctx)
+	}()
+
+	// a commits, slow-b wedges, c never runs.
+	view := submit(t, hs, Spec{IDs: []string{"a", "slow-b", "c"}, Seed: 9})
+	deadline := time.Now().Add(15 * time.Second)
+	for getJob(t, hs, view.ID).Done < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("entry a never committed")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	req, _ := http.NewRequest(http.MethodDelete, hs.URL+"/jobs/"+view.ID, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel running: status %d", resp.StatusCode)
+	}
+	close(gate) // release the wedged entry so the cancel can land
+	waitState(t, hs, view.ID, StateCanceled)
+
+	man, err := campaign.Load(filepath.Join(dir, view.ID, "manifest.json"))
+	if err != nil {
+		t.Fatalf("cancelled job lost its checkpoint: %v", err)
+	}
+	rec := man.Entries["a"]
+	if rec == nil || rec.Status != campaign.StatusOK {
+		t.Fatalf("committed prefix lost: %+v", rec)
+	}
+	if man.Entries["c"] != nil {
+		t.Fatalf("entry past the cancel has a record: %+v", man.Entries["c"])
+	}
+}
+
+// TestResumeSeededSubmission: a spec carrying a checkpointed manifest
+// resumes from it — committed entries are not re-run and the final
+// manifest is byte-identical to an uninterrupted job's.
+func TestResumeSeededSubmission(t *testing.T) {
+	note := func(sp Spec) string { return fmt.Sprintf("paper=%t", sp.Paper) }
+	newSrv := func() (*Server, *httptest.Server) {
+		srv := MustNewServer(Config{StateDir: t.TempDir(), Entries: fakeEntries(nil), Note: note})
+		srv.Start()
+		hs := httptest.NewServer(srv.Handler())
+		t.Cleanup(func() {
+			hs.Close()
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			srv.Drain(ctx)
+		})
+		return srv, hs
+	}
+
+	// Reference: the full plan, uninterrupted.
+	_, hsRef := newSrv()
+	refView := submit(t, hsRef, Spec{IDs: []string{"a", "b", "c"}, Seed: 5})
+	waitState(t, hsRef, refView.ID, StateDone)
+	want := fetchManifest(t, hsRef, refView.ID)
+
+	// A partial checkpoint: only "a" committed, as if the first worker died
+	// mid-shard.
+	var partial campaign.Manifest
+	if err := json.Unmarshal([]byte(want), &partial); err != nil {
+		t.Fatal(err)
+	}
+	partial.Entries = map[string]*campaign.Record{"a": partial.Entries["a"]}
+
+	_, hs := newSrv()
+	view := submit(t, hs, Spec{IDs: []string{"a", "b", "c"}, Seed: 5, Resume: &partial})
+	final := waitState(t, hs, view.ID, StateDone)
+	if !final.Clean {
+		t.Fatalf("resumed job not clean: %+v", final)
+	}
+	if got := fetchManifest(t, hs, view.ID); got != want {
+		t.Fatalf("resume-seeded manifest differs:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+
+	// A mismatched resume manifest (wrong seed) is refused up front.
+	bad := partial
+	bad.Seed = 6
+	b, _ := json.Marshal(Spec{IDs: []string{"a", "b", "c"}, Seed: 5, Resume: &bad})
+	resp, err := http.Post(hs.URL+"/jobs", "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := readBody(resp)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("mismatched resume seed: status %d (body %s), want 400", resp.StatusCode, body)
+	}
+}
+
+// readBody drains and closes a response body.
+func readBody(resp *http.Response) (string, error) {
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	return strings.TrimSpace(string(b)), err
+}

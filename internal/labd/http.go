@@ -2,10 +2,27 @@ package labd
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"os"
+	"time"
 )
+
+// NewHTTPServer wraps a handler in an http.Server with the service's
+// hardening defaults: a header-read timeout (slowloris protection), a full
+// request-read timeout, and an idle-connection timeout. Write timeouts are
+// deliberately absent — manifest responses can be large and a slow scrape
+// must not be killed mid-body. Both cplabd and the cluster coordinator's
+// metrics listener serve through this.
+func NewHTTPServer(handler http.Handler) *http.Server {
+	return &http.Server{
+		Handler:           handler,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+}
 
 // Handler returns the service's HTTP API:
 //
@@ -28,9 +45,16 @@ func (s *Server) Handler() http.Handler {
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var spec Spec
-	dec := json.NewDecoder(r.Body)
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&spec); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			httpError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("spec exceeds the %d-byte body limit", tooBig.Limit))
+			return
+		}
 		httpError(w, http.StatusBadRequest, fmt.Sprintf("bad spec: %v", err))
 		return
 	}

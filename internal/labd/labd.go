@@ -52,6 +52,14 @@ type Spec struct {
 	// Parallel is the number of campaign workers for this job (0 or 1 =
 	// serial; the manifest is byte-identical either way).
 	Parallel int `json:"parallel,omitempty"`
+	// Resume optionally seeds the job with a previously checkpointed
+	// manifest: before the job first runs, the manifest is written to the
+	// job's state directory (unless one already exists) and the campaign
+	// continues from it via campaign.Resume, re-running only missing and
+	// failed entries. The cluster fabric uses this to requeue a shard on
+	// another worker without losing the committed prefix. The manifest's
+	// seed and note must match the spec's.
+	Resume *campaign.Manifest `json:"resume,omitempty"`
 }
 
 // State is a job's lifecycle state.
@@ -83,8 +91,8 @@ type Config struct {
 	StateDir string
 	// Entries builds the campaign plan for a spec. Required.
 	Entries func(Spec) []campaign.Entry
-	// Validate vets a spec at submission (nil accepts everything).
-	Validate func(Spec) error
+	// ValidateSpec vets a spec at submission (nil accepts everything).
+	ValidateSpec func(Spec) error
 	// Normalize canonicalizes a spec at submission, before validation and
 	// persistence (nil keeps it as-is); cplabd uses it to default the seed.
 	Normalize func(Spec) Spec
@@ -97,8 +105,35 @@ type Config struct {
 	QueueLimit int
 	// ExpWall bounds each entry's wall-clock time (0 = unbounded).
 	ExpWall time.Duration
+	// MaxBodyBytes caps the POST /jobs request body (default 8 MiB). Resume
+	// manifests ride in the spec, so the cap is generous but present: an
+	// unbounded body would let one client exhaust the daemon's memory.
+	MaxBodyBytes int64
 	// Log receives service progress lines (nil discards them).
 	Log io.Writer
+}
+
+// Validate checks the configuration in the style of fault.Config.Validate:
+// the two required hooks must be present and every numeric tunable
+// non-negative, so a mis-wired daemon fails loudly at construction instead
+// of misbehaving under load.
+func (c Config) Validate() error {
+	if c.Entries == nil {
+		return fmt.Errorf("labd: Config.Entries is required")
+	}
+	if c.StateDir == "" {
+		return fmt.Errorf("labd: Config.StateDir is required")
+	}
+	if c.QueueLimit < 0 {
+		return fmt.Errorf("labd: negative QueueLimit %d", c.QueueLimit)
+	}
+	if c.ExpWall < 0 {
+		return fmt.Errorf("labd: negative ExpWall %s", c.ExpWall)
+	}
+	if c.MaxBodyBytes < 0 {
+		return fmt.Errorf("labd: negative MaxBodyBytes %d", c.MaxBodyBytes)
+	}
+	return nil
 }
 
 // JobView is the HTTP-facing snapshot of one job.
@@ -160,14 +195,14 @@ type Server struct {
 // server. Unfinished jobs from a previous process are found here but only
 // re-enqueued by Start.
 func NewServer(cfg Config) (*Server, error) {
-	if cfg.Entries == nil {
-		return nil, fmt.Errorf("labd: Config.Entries is required")
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
-	if cfg.StateDir == "" {
-		return nil, fmt.Errorf("labd: Config.StateDir is required")
-	}
-	if cfg.QueueLimit <= 0 {
+	if cfg.QueueLimit == 0 {
 		cfg.QueueLimit = 64
+	}
+	if cfg.MaxBodyBytes == 0 {
+		cfg.MaxBodyBytes = 8 << 20
 	}
 	if err := os.MkdirAll(cfg.StateDir, 0o755); err != nil {
 		return nil, fmt.Errorf("labd: %w", err)
@@ -183,6 +218,16 @@ func NewServer(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	return s, nil
+}
+
+// MustNewServer is NewServer that panics on error, for wiring where the
+// configuration is statically known to be valid.
+func MustNewServer(cfg Config) *Server {
+	s, err := NewServer(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
 }
 
 // load scans the state directory for persisted jobs.
@@ -342,6 +387,19 @@ func (s *Server) runJob(j *job) {
 		},
 	}
 
+	// A spec-carried resume manifest seeds the job's checkpoint before the
+	// first run: the stat below then finds it and the ordinary Resume path
+	// takes over. A manifest already on disk (this worker ran part of the
+	// job before) wins over the carried one, which is at best a copy of it.
+	if spec.Resume != nil {
+		if _, statErr := os.Stat(ccfg.Path); os.IsNotExist(statErr) {
+			if err := spec.Resume.Save(ccfg.Path); err != nil {
+				s.finish(j, StateFailed, fmt.Sprintf("seeding resume manifest: %v", err), false)
+				return
+			}
+		}
+	}
+
 	var c *campaign.Campaign
 	var err error
 	if _, statErr := os.Stat(ccfg.Path); statErr == nil {
@@ -424,9 +482,25 @@ func (s *Server) Submit(spec Spec) (JobView, error) {
 	if s.cfg.Normalize != nil {
 		spec = s.cfg.Normalize(spec)
 	}
-	if s.cfg.Validate != nil {
-		if err := s.cfg.Validate(spec); err != nil {
+	if s.cfg.ValidateSpec != nil {
+		if err := s.cfg.ValidateSpec(spec); err != nil {
 			return JobView{}, &submitError{status: http.StatusBadRequest, msg: err.Error()}
+		}
+	}
+	// A carried resume manifest that cannot possibly match the spec is
+	// refused up front, so a mis-assembled requeue fails the submission
+	// (where the client retries against a different plan) instead of
+	// landing the job in a terminal failed state.
+	if spec.Resume != nil {
+		if spec.Resume.Seed != spec.Seed {
+			return JobView{}, &submitError{status: http.StatusBadRequest,
+				msg: fmt.Sprintf("resume manifest seed %d does not match spec seed %d", spec.Resume.Seed, spec.Seed)}
+		}
+		if s.cfg.Note != nil {
+			if note := s.cfg.Note(spec); spec.Resume.Note != note {
+				return JobView{}, &submitError{status: http.StatusBadRequest,
+					msg: fmt.Sprintf("resume manifest note %q does not match spec note %q", spec.Resume.Note, note)}
+			}
 		}
 	}
 	s.mu.Lock()
@@ -533,9 +607,13 @@ func (s *Server) WriteMetrics(w io.Writer) error {
 	return reg.WritePrometheus(w)
 }
 
-// viewLocked snapshots a job; the caller holds s.mu.
+// viewLocked snapshots a job; the caller holds s.mu. The spec's carried
+// resume manifest is stripped from views: it can be megabytes of records
+// the client already has, and job listings must stay cheap.
 func viewLocked(j *job) JobView {
-	return JobView{ID: j.id, State: j.state, Spec: j.spec, Done: j.done, Total: j.total, Error: j.errMsg, Clean: j.clean}
+	spec := j.spec
+	spec.Resume = nil
+	return JobView{ID: j.id, State: j.state, Spec: spec, Done: j.done, Total: j.total, Error: j.errMsg, Clean: j.clean}
 }
 
 // persistLocked writes the job's state.json atomically; the caller holds

@@ -231,7 +231,7 @@ func TestValidateRejectsBadSpec(t *testing.T) {
 	srv, err := NewServer(Config{
 		StateDir: dir,
 		Entries:  fakeEntries(nil),
-		Validate: func(sp Spec) error {
+		ValidateSpec: func(sp Spec) error {
 			if sp.Faults > 1 {
 				return fmt.Errorf("faults %g outside [0,1]", sp.Faults)
 			}
