@@ -9,6 +9,7 @@
 //	cplab campaign [flags]         # checkpointed sweep (resumes if manifest exists)
 //	cplab resume [flags]           # continue an interrupted campaign
 //	cplab cluster [flags]          # shard a campaign across cplabd workers
+//	cplab fsck [-repair] <path>    # validate (and repair) campaign state on disk
 //	cplab trace record <id> [flags]# record the kernel event stream to a .cptrace
 //	cplab trace diff <got> <want>  # first-divergence report between two traces
 //	cplab metrics -exp <id>        # run instrumented, export telemetry (Prometheus/JSON)
@@ -33,6 +34,7 @@
 //	-haltafter N  halt (resumable) after N experiments — interruption injection
 //	-parallel N   campaign workers; manifest bytes are identical at any width
 //	-force        discard an existing manifest and start over
+//	-diskchaos R  inject ENOSPC/EIO into manifest writes at rate R (testing)
 //
 // Output on stdout is bit-for-bit deterministic for a given seed and flag
 // set; wall-clock timings and summaries go to stderr. Exit codes: 0 clean,
@@ -52,6 +54,8 @@ import (
 
 	"repro"
 	"repro/internal/campaign"
+	"repro/internal/durable"
+	"repro/internal/fsfault"
 	"repro/internal/report"
 	"repro/internal/timebase"
 	"repro/internal/trace"
@@ -93,6 +97,8 @@ func run(args []string) int {
 		return campaignCmd(args[1:], true)
 	case "cluster":
 		return clusterCmd(args[1:])
+	case "fsck":
+		return fsckCmd(args[1:])
 	case "metrics":
 		return metricsCmd(args[1:])
 	case "profile":
@@ -273,6 +279,8 @@ func campaignCmd(args []string, resumeOnly bool) int {
 	haltAfter := fs.Int("haltafter", 0, "halt (resumable) after N experiments this session (0 = off)")
 	parallel := fs.Int("parallel", 1, "campaign workers (manifest is byte-identical at any width)")
 	force := fs.Bool("force", false, "discard an existing manifest and start over")
+	diskchaos := fs.Float64("diskchaos", 0, "inject ENOSPC/EIO into manifest writes with this probability (testing)")
+	diskchaosseed := fs.Uint64("diskchaosseed", 1, "seed for the -diskchaos fault schedule")
 	fs.Parse(args)
 	o, err := cf.options()
 	if err != nil {
@@ -311,9 +319,25 @@ func campaignCmd(args []string, resumeOnly bool) int {
 	if *wall > 0 {
 		cfg.Deadline = time.Now().Add(*wall)
 	}
+	if *diskchaos > 0 {
+		inj, ierr := fsfault.New(fsfault.Config{Seed: *diskchaosseed, ErrRate: *diskchaos})
+		if ierr != nil {
+			fmt.Fprintln(os.Stderr, "cplab:", ierr)
+			return exitUsage
+		}
+		cfg.FS = inj
+		fmt.Fprintf(os.Stderr, "cplab: disk chaos enabled (rate %g, seed %d)\n", *diskchaos, *diskchaosseed)
+	}
 
-	_, statErr := os.Stat(*manifest)
-	exists := statErr == nil
+	// A store whose manifest was destroyed but whose journal or banked
+	// generation survives is resumable — recovery rebuilds it.
+	exists := false
+	for _, p := range []string{*manifest, campaign.WALPath(*manifest), *manifest + durable.PrevSuffix} {
+		if _, statErr := os.Stat(p); statErr == nil {
+			exists = true
+			break
+		}
+	}
 	var c *campaign.Campaign
 	switch {
 	case resumeOnly:
@@ -543,6 +567,7 @@ usage:
   cplab campaign [flags] [-manifest P] [-ids CSV] [-retries N] [-expwall D] [-wall D] [-haltafter N] [-parallel N] [-force]
   cplab resume [same flags — continues the manifest]
   cplab cluster -workers URLS [flags] [-shard N] [-parallel N] [-hang D] [-steal D] [-chaosnet R] [-metricsaddr A] [-force]
+  cplab fsck [-repair] <manifest|dir>...
   cplab trace record <id> [-o path] [-maxevents N] [flags]
   cplab trace diff <got.cptrace> <want.cptrace>
   cplab metrics -exp <id> [-json] [-o path] [flags]

@@ -14,6 +14,7 @@ import (
 
 	"repro"
 	"repro/internal/campaign"
+	"repro/internal/durable"
 	"repro/internal/metrics"
 )
 
@@ -416,7 +417,7 @@ func emit(path string, data []byte) int {
 		os.Stdout.Write(data)
 		return exitOK
 	}
-	if err := os.WriteFile(path, data, 0o644); err != nil {
+	if err := durable.WriteFileAtomic(durable.OS(), path, data, 0o644); err != nil {
 		fmt.Fprintln(os.Stderr, "cplab:", err)
 		return exitDegraded
 	}

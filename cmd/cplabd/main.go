@@ -20,6 +20,8 @@ import (
 
 	"repro"
 	"repro/internal/campaign"
+	"repro/internal/durable"
+	"repro/internal/fsfault"
 	"repro/internal/labd"
 	"repro/internal/timebase"
 )
@@ -35,14 +37,27 @@ func run(args []string) int {
 	expwall := fs.Duration("expwall", 0, "wall-clock budget per campaign entry (0 = unbounded)")
 	queueLimit := fs.Int("queue", 64, "maximum queued jobs before submissions are refused")
 	drainWait := fs.Duration("drain", 30*time.Second, "shutdown budget for checkpointing in-flight work")
+	diskchaos := fs.Float64("diskchaos", 0, "inject ENOSPC/EIO into state-dir writes with this probability (testing)")
+	diskchaosseed := fs.Uint64("diskchaosseed", 1, "seed for the -diskchaos fault schedule")
 	fs.Parse(args)
 	if fs.NArg() > 0 {
 		fmt.Fprintln(os.Stderr, "cplabd: unexpected arguments:", fs.Args())
 		return 2
 	}
+	var stateFS durable.FS
+	if *diskchaos > 0 {
+		inj, err := fsfault.New(fsfault.Config{Seed: *diskchaosseed, ErrRate: *diskchaos})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cplabd:", err)
+			return 2
+		}
+		stateFS = inj
+		fmt.Fprintf(os.Stderr, "cplabd: disk chaos enabled (rate %g, seed %d)\n", *diskchaos, *diskchaosseed)
+	}
 
 	srv, err := labd.NewServer(labd.Config{
 		StateDir: *state,
+		FS:       stateFS,
 		Entries: func(sp labd.Spec) []campaign.Entry {
 			return repro.CampaignEntries(sp.IDs, optionsOf(sp), sp.Retries)
 		},

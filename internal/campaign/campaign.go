@@ -20,6 +20,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/durable"
 	"repro/internal/kern"
 	"repro/internal/metrics"
 	"repro/internal/pool"
@@ -88,8 +89,20 @@ type Config struct {
 	// that called Run/RunParallel — so it may touch shared state without
 	// extra locking. The lab service's progress metrics hang off this.
 	OnRecord func(*Record)
+	// FS is the filesystem all checkpoint I/O goes through; nil means the
+	// real disk. Tests and the -diskchaos flag install an fsfault.Injector
+	// here.
+	FS durable.FS
 	// Log receives progress lines (nil discards them).
 	Log io.Writer
+}
+
+// fs resolves the configured filesystem.
+func (c *Config) fs() durable.FS {
+	if c.FS != nil {
+		return c.FS
+	}
+	return durable.OS()
 }
 
 // Campaign is a supervised, resumable experiment sweep.
@@ -98,12 +111,20 @@ type Campaign struct {
 	entries map[string]Entry
 	man     *Manifest
 	logMu   sync.Mutex
+	// fresh marks a campaign built by New: opening its checkpointer
+	// discards prior on-disk generations instead of reconciling with them.
+	fresh bool
+	// recovered marks a resume that served state from the journal or the
+	// banked previous generation instead of the manifest itself; the
+	// checkpointer re-materializes the manifest before any entry runs.
+	recovered bool
+	cp        *Checkpointer
 }
 
 // New starts a fresh campaign over the given entries, discarding any prior
 // manifest state at cfg.Path (the first checkpoint overwrites it).
 func New(cfg Config, entries []Entry) (*Campaign, error) {
-	c := &Campaign{cfg: cfg, entries: indexEntries(entries)}
+	c := &Campaign{cfg: cfg, entries: indexEntries(entries), fresh: true}
 	c.man = &Manifest{
 		Version: ManifestVersion,
 		Seed:    cfg.Seed,
@@ -114,15 +135,18 @@ func New(cfg Config, entries []Entry) (*Campaign, error) {
 	return c, nil
 }
 
-// Resume loads the manifest at cfg.Path and continues the campaign: entries
-// with final records are kept as-is, missing entries run normally, and
-// failed entries re-run with a bumped seed. The stored plan must match the
-// given one (same seed, note and IDs).
+// Resume loads the best recoverable state at cfg.Path — the manifest, its
+// banked previous generation, or a rebuild from the entry journal,
+// whichever carries the longest valid committed prefix, with corrupt
+// files quarantined — and continues the campaign: entries with final
+// records are kept as-is, missing entries run normally, and failed
+// entries re-run with a bumped seed. The stored plan must match the given
+// one (same seed, note and IDs).
 func Resume(cfg Config, entries []Entry) (*Campaign, error) {
 	if cfg.Path == "" {
 		return nil, fmt.Errorf("campaign: resume needs a manifest path")
 	}
-	man, err := Load(cfg.Path)
+	man, health, err := LoadRecovered(cfg.fs(), cfg.Path)
 	if err != nil {
 		return nil, err
 	}
@@ -141,7 +165,8 @@ func Resume(cfg Config, entries []Entry) (*Campaign, error) {
 			return nil, fmt.Errorf("campaign: manifest %s plans %q at position %d, not %q", cfg.Path, man.IDs[i], i, id)
 		}
 	}
-	return &Campaign{cfg: cfg, entries: indexEntries(entries), man: man}, nil
+	return &Campaign{cfg: cfg, entries: indexEntries(entries), man: man,
+		recovered: health.Best != "manifest"}, nil
 }
 
 // Manifest returns the campaign's (live) manifest.
@@ -193,6 +218,28 @@ type containResult struct {
 // registry, never the shared one, so overlapping entries cannot bleed
 // counts into each other's records.
 func (c *Campaign) RunParallel(ctx context.Context, workers int) (*Manifest, error) {
+	// Open the durable store before anything runs: a fresh campaign
+	// discards prior generations and seeds its journal; a resumed one
+	// reconciles the journal with the recovered manifest (and, when
+	// recovery served the journal or .prev instead of the manifest,
+	// re-materializes the manifest immediately so a crash before the first
+	// commit cannot regress the store).
+	if c.cfg.Path != "" && c.cp == nil {
+		cp, err := NewCheckpointer(c.cfg.fs(), c.cfg.Path, c.man, c.fresh)
+		if err != nil {
+			return c.man, c.haltOnDiskErr(err)
+		}
+		c.cp = cp
+		c.fresh = false
+		if c.recovered {
+			c.logf("campaign: manifest at %s recovered from a secondary source; rewriting it", c.cfg.Path)
+			if err := c.cp.Commit(c.man); err != nil {
+				return c.man, c.haltOnDiskErr(err)
+			}
+			c.recovered = false
+		}
+	}
+
 	// Resolve every campaign counter once up front: metrics.Ambient() walks
 	// the goroutine-scoped override chain and Counter() is a map lookup, and
 	// the sequencer otherwise pays both per checkpoint.
@@ -250,7 +297,7 @@ func (c *Campaign) RunParallel(ctx context.Context, workers int) (*Manifest, err
 				c.man.Entries[j.id] = &Record{ID: j.id, Status: StatusSkipped,
 					Failure: &Failure{Msg: "no runner (unknown experiment id)"}}
 				c.notify(c.man.Entries[j.id])
-				return false, c.checkpoint(mCheckpoints)
+				return false, c.checkpoint(mCheckpoints, c.man.Entries[j.id])
 			}
 			mEntries.Inc()
 			if res.att.Err != nil {
@@ -260,7 +307,7 @@ func (c *Campaign) RunParallel(ctx context.Context, workers int) (*Manifest, err
 			rec.Telemetry = res.telemetry
 			c.man.Entries[j.id] = rec
 			c.notify(rec)
-			if err := c.checkpoint(mCheckpoints); err != nil {
+			if err := c.checkpoint(mCheckpoints, rec); err != nil {
 				return false, err
 			}
 			ranThisSession++
@@ -285,9 +332,22 @@ func (c *Campaign) RunParallel(ctx context.Context, workers int) (*Manifest, err
 		c.logf("campaign: halted by cancellation (resumable)")
 		return c.man, ErrHalted
 	case err != nil:
-		return c.man, err
+		return c.man, c.haltOnDiskErr(err)
 	}
 	return c.man, nil
+}
+
+// haltOnDiskErr turns an environmental disk fault (ENOSPC, EIO, quota,
+// read-only remount) into a resumable halt: every record committed before
+// the fault is already checkpointed, so the right move is to stop cleanly
+// (exit 3 at the CLI, StateHalted in labd) and let the operator free
+// space and resume — not to crash. Every other error passes through.
+func (c *Campaign) haltOnDiskErr(err error) error {
+	if err == nil || !durable.DiskErr(err) {
+		return err
+	}
+	c.logf("campaign: disk fault: %v — halting (resumable)", err)
+	return fmt.Errorf("campaign: disk fault: %v: %w", err, ErrHalted)
 }
 
 // notify invokes the OnRecord hook.
@@ -387,14 +447,15 @@ func firstLine(s string) string {
 	return s
 }
 
-// checkpoint saves the manifest if a path is configured. The caller passes
-// its pre-resolved campaign_checkpoints_total handle (possibly nil).
-func (c *Campaign) checkpoint(m *metrics.Counter) error {
-	if c.cfg.Path == "" {
+// checkpoint durably commits newly recorded entries (journal first, then
+// the manifest) if a path is configured. The caller passes its
+// pre-resolved campaign_checkpoints_total handle (possibly nil).
+func (c *Campaign) checkpoint(m *metrics.Counter, recs ...*Record) error {
+	if c.cp == nil {
 		return nil
 	}
 	m.Inc()
-	return c.man.Save(c.cfg.Path)
+	return c.cp.Commit(c.man, recs...)
 }
 
 // bump returns the configured or default resume seed stride.

@@ -1,0 +1,222 @@
+package campaign
+
+// corrupt_test.go tables manifest corruption: the manifest is truncated
+// at every offset and has every single byte flipped, and in every case
+// loading must either salvage committed state or refuse with a structured
+// *durable.CorruptError — never a raw json error escaping, never a panic,
+// and (with the journal present) never losing a single committed entry.
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/durable"
+)
+
+// buildStore runs a campaign in two sessions so the store has all three
+// sources: manifest, banked .prev, and the journal. Returns the manifest
+// path and its pristine bytes.
+func buildStore(t *testing.T) (string, []byte) {
+	t.Helper()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "m.json")
+	plan := []Entry{okEntry("a"), okEntry("b"), okEntry("c"), okEntry("d")}
+	c, err := New(Config{Path: path, Seed: 3, HaltAfter: 2}, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Run(); !errors.Is(err, ErrHalted) {
+		t.Fatalf("first session: %v", err)
+	}
+	c, err = Resume(Config{Path: path, Seed: 3}, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sib := range []string{path + durable.PrevSuffix, WALPath(path)} {
+		if _, err := os.Stat(sib); err != nil {
+			t.Fatalf("store incomplete, %s missing: %v", sib, err)
+		}
+	}
+	return path, data
+}
+
+// TestManifestCorruptionStrictLoad: with only the damaged manifest to go
+// on, Load must return intact content or a structured error — the full
+// truncate-everywhere / flip-everywhere table.
+func TestManifestCorruptionStrictLoad(t *testing.T) {
+	path, pristine := buildStore(t)
+	want, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	check := func(label string, mutated []byte) {
+		t.Helper()
+		if err := os.WriteFile(path, mutated, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		m, err := Load(path)
+		if err != nil {
+			var ce *durable.CorruptError
+			if !errors.As(err, &ce) {
+				t.Fatalf("%s: unstructured error: %v", label, err)
+			}
+			return
+		}
+		// Accepted: the committed content must be identical to the
+		// original. (The Sum field is excluded: a flip inside the literal
+		// `"sum"` key name makes JSON drop the unknown key, degrading the
+		// file to a legacy unchecksummed manifest — every record is still
+		// intact, which is exactly the salvage the contract asks for.)
+		mm, ww := *m, *want
+		mm.Sum, ww.Sum = "", ""
+		if !reflect.DeepEqual(&mm, &ww) {
+			t.Fatalf("%s: damaged manifest accepted with different content", label)
+		}
+	}
+
+	for off := 0; off < len(pristine); off++ {
+		check("truncate", pristine[:off])
+	}
+	for off := 0; off < len(pristine); off++ {
+		mut := append([]byte(nil), pristine...)
+		mut[off] ^= 0xff
+		check("flip", mut)
+	}
+}
+
+// TestManifestCorruptionRecovery: with the journal and .prev alongside, a
+// damaged manifest must never cost a single committed entry —
+// LoadRecovered salvages all records from a secondary source and
+// quarantines the wreck.
+func TestManifestCorruptionRecovery(t *testing.T) {
+	path, pristine := buildStore(t)
+	base, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRecords := len(base.Entries)
+	walBytes, err := os.ReadFile(WALPath(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prevBytes, err := os.ReadFile(path + durable.PrevSuffix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restore := func() {
+		for _, f := range []struct {
+			p string
+			b []byte
+		}{{path, pristine}, {WALPath(path), walBytes}, {path + durable.PrevSuffix, prevBytes}} {
+			if err := os.WriteFile(f.p, f.b, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Drop quarantine litter so names stay stable across cases.
+		ents, _ := os.ReadDir(filepath.Dir(path))
+		for _, e := range ents {
+			name := e.Name()
+			if len(name) > len(durable.QuarantineSuffix) && filepath.Ext(name) != ".json" && filepath.Ext(name) != ".wal" && filepath.Ext(name) != ".prev" {
+				os.Remove(filepath.Join(filepath.Dir(path), name))
+			}
+		}
+	}
+
+	check := func(label string, mutated []byte) {
+		t.Helper()
+		restore()
+		if err := os.WriteFile(path, mutated, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		m, h, err := LoadRecovered(durable.OS(), path)
+		if err != nil {
+			t.Fatalf("%s: recovery failed with the journal intact: %v (health %+v)", label, err, h)
+		}
+		if len(m.Entries) != wantRecords {
+			t.Fatalf("%s: recovery lost entries: got %d want %d (served %q)", label, len(m.Entries), wantRecords, h.Best)
+		}
+		for id, rec := range base.Entries {
+			got := m.Entries[id]
+			if got == nil || got.Rendered != rec.Rendered || got.Status != rec.Status || got.Seed != rec.Seed {
+				t.Fatalf("%s: record %s damaged after recovery", label, id)
+			}
+		}
+		if h.Best != "manifest" && h.Manifest.Quarantined == "" && h.Manifest.Present {
+			t.Fatalf("%s: corrupt manifest served from %q but not quarantined (health %+v)", label, h.Best, h)
+		}
+	}
+
+	// Offset classes: inside the header fields, inside an entry record,
+	// inside the sum field, at both edges — plus a stride over everything.
+	offsets := []int{0, 1, len(pristine) / 4, len(pristine) / 2, 3 * len(pristine) / 4, len(pristine) - 2, len(pristine) - 1}
+	for off := 7; off < len(pristine); off += 13 {
+		offsets = append(offsets, off)
+	}
+	for _, off := range offsets {
+		check("truncate", pristine[:off])
+		mut := append([]byte(nil), pristine...)
+		mut[off] ^= 0xff
+		check("flip", mut)
+	}
+
+	// And a resume on top of a flipped manifest must run to the same final
+	// bytes as if nothing happened.
+	restore()
+	mut := append([]byte(nil), pristine...)
+	mut[len(mut)/2] ^= 0xff
+	if err := os.WriteFile(path, mut, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	plan := []Entry{okEntry("a"), okEntry("b"), okEntry("c"), okEntry("d")}
+	c, err := Resume(Config{Path: path, Seed: 3}, plan)
+	if err != nil {
+		t.Fatalf("resume over corrupt manifest: %v", err)
+	}
+	if _, err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(pristine) {
+		t.Fatalf("resume over corrupt manifest produced different bytes")
+	}
+}
+
+// TestAllSourcesDamagedRefusesLoudly: when manifest, .prev and journal
+// are all wrecked, recovery must refuse with a structured error (and
+// quarantine the wreckage), never pretend success.
+func TestAllSourcesDamagedRefusesLoudly(t *testing.T) {
+	path, _ := buildStore(t)
+	for _, p := range []string{path, path + durable.PrevSuffix, WALPath(path)} {
+		if err := os.WriteFile(p, []byte("{torn beyond recognition"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, h, err := LoadRecovered(durable.OS(), path)
+	if err == nil {
+		t.Fatal("recovery claimed success over an all-damaged store")
+	}
+	var ce *durable.CorruptError
+	if !errors.As(err, &ce) {
+		t.Fatalf("unstructured error: %v", err)
+	}
+	if h.Manifest.Quarantined == "" {
+		t.Fatalf("corrupt manifest not quarantined: %+v", h)
+	}
+	if _, err := os.Stat(h.Manifest.Quarantined); err != nil {
+		t.Fatalf("quarantined bytes missing: %v", err)
+	}
+}

@@ -3,9 +3,9 @@ package campaign
 import (
 	"encoding/json"
 	"fmt"
-	"os"
 	"strings"
 
+	"repro/internal/durable"
 	"repro/internal/report"
 )
 
@@ -102,20 +102,62 @@ type Manifest struct {
 	Note    string             `json:"note,omitempty"`
 	IDs     []string           `json:"ids"`
 	Entries map[string]*Record `json:"entries"`
+	// Sum is the manifest's self-checksum: "crc32c:%08x" over the manifest
+	// serialized with Sum empty. It is recomputed on load from the parsed
+	// content (Go's JSON serialization is deterministic: struct field
+	// order, sorted map keys, shortest float form), so a flipped byte
+	// anywhere in the payload is caught even when the JSON still parses.
+	// Empty Sum (pre-durability manifests) skips verification.
+	Sum string `json:"sum,omitempty"`
 }
 
-// Load reads a manifest checkpoint.
-func Load(path string) (*Manifest, error) {
-	data, err := os.ReadFile(path)
+// checksum computes the manifest's canonical self-checksum value.
+func (m *Manifest) checksum() (string, error) {
+	shadow := *m
+	shadow.Sum = ""
+	base, err := json.MarshalIndent(&shadow, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("crc32c:%08x", durable.Checksum(base)), nil
+}
+
+// encode seals and serializes the manifest: Sum is refreshed from the
+// current content and the exact checkpoint bytes are returned.
+func (m *Manifest) encode() ([]byte, error) {
+	sum, err := m.checksum()
 	if err != nil {
 		return nil, err
 	}
+	m.Sum = sum
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// decodeManifest parses and validates manifest bytes. Damage — unparseable
+// JSON, a wrong version, a checksum mismatch — comes back as a structured
+// *durable.CorruptError, never a raw json error escaping to the caller.
+func decodeManifest(path string, data []byte) (*Manifest, error) {
 	m := &Manifest{}
 	if err := json.Unmarshal(data, m); err != nil {
-		return nil, fmt.Errorf("campaign: manifest %s: %w", path, err)
+		return nil, &durable.CorruptError{Path: path, Reason: "unparseable manifest JSON", Err: err}
 	}
 	if m.Version != ManifestVersion {
-		return nil, fmt.Errorf("campaign: manifest %s has version %d, want %d", path, m.Version, ManifestVersion)
+		return nil, &durable.CorruptError{Path: path,
+			Reason: fmt.Sprintf("manifest version %d, want %d", m.Version, ManifestVersion)}
+	}
+	if m.Sum != "" {
+		want, err := m.checksum()
+		if err != nil {
+			return nil, err
+		}
+		if m.Sum != want {
+			return nil, &durable.CorruptError{Path: path,
+				Reason: fmt.Sprintf("checksum mismatch: recorded %s, content is %s", m.Sum, want)}
+		}
 	}
 	if m.Entries == nil {
 		m.Entries = map[string]*Record{}
@@ -123,18 +165,33 @@ func Load(path string) (*Manifest, error) {
 	return m, nil
 }
 
-// Save atomically checkpoints the manifest (tmp file + rename), so a kill
-// mid-write leaves the previous checkpoint intact.
-func (m *Manifest) Save(path string) error {
-	data, err := json.MarshalIndent(m, "", "  ")
+// Load reads a manifest checkpoint from the real disk, strictly: any
+// damage is a *durable.CorruptError. It does not attempt recovery — that
+// is LoadRecovered's job.
+func Load(path string) (*Manifest, error) { return LoadFS(durable.OS(), path) }
+
+// LoadFS is Load over an explicit filesystem.
+func LoadFS(f durable.FS, path string) (*Manifest, error) {
+	data, err := f.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return decodeManifest(path, data)
+}
+
+// Save durably checkpoints the manifest to the real disk.
+func (m *Manifest) Save(path string) error { return m.SaveFS(durable.OS(), path) }
+
+// SaveFS checkpoints the manifest through the durable layer: the previous
+// generation is banked as path+".prev" and the new bytes land via the full
+// atomic protocol (tmp + fsync + rename + fsync dir), so a kill at any
+// instant leaves a complete former or current checkpoint recoverable.
+func (m *Manifest) SaveFS(f durable.FS, path string) error {
+	data, err := m.encode()
 	if err != nil {
 		return err
 	}
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
-		return err
-	}
-	return os.Rename(tmp, path)
+	return durable.SaveGenerations(f, path, data, 0o644)
 }
 
 // Complete reports whether every planned entry has a final record (failed

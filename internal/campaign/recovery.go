@@ -1,0 +1,223 @@
+package campaign
+
+// recovery.go is the read side of the durable store: given a manifest
+// path it weighs the three on-disk sources — the manifest, its banked
+// previous generation ("<path>.prev") and the entry journal
+// ("<path>.wal") — validates each, quarantines corrupt files, and serves
+// the candidate carrying the longest valid committed prefix. Resume and
+// `cplab fsck` are both built on it.
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+
+	"repro/internal/durable"
+)
+
+// SourceHealth is one recovery source's validation result.
+type SourceHealth struct {
+	// Present reports the file exists.
+	Present bool `json:"present"`
+	// OK reports it parsed and checksummed clean.
+	OK bool `json:"ok"`
+	// Err is why validation failed, or why a valid source was excluded
+	// from recovery (plan mismatch).
+	Err string `json:"err,omitempty"`
+	// Records is the number of committed entries the source carries.
+	Records int `json:"records"`
+	// Torn marks a journal whose tail was damaged; the records above are
+	// its valid prefix. Normal after a crash mid-append, not corruption.
+	Torn bool `json:"torn,omitempty"`
+	// Quarantined is where LoadRecovered moved a corrupt file, "" if the
+	// file was left in place (Inspect never moves anything).
+	Quarantined string `json:"quarantined,omitempty"`
+}
+
+// Health is the full recovery picture for one manifest path.
+type Health struct {
+	Path     string       `json:"path"`
+	Manifest SourceHealth `json:"manifest"`
+	Prev     SourceHealth `json:"prev"`
+	WAL      SourceHealth `json:"wal"`
+	// Best names the source recovery would serve ("manifest", "wal",
+	// "prev"), or "" when no source is usable.
+	Best string `json:"best,omitempty"`
+	// BestRecords is the committed-entry count of that source.
+	BestRecords int `json:"best_records"`
+	// Complete reports the best source covers its entire plan.
+	Complete bool `json:"complete"`
+}
+
+// candidates holds the parsed manifests behind a Health (nil = unusable).
+type candidates struct {
+	man, prev, wal *Manifest
+}
+
+// Inspect validates all recovery sources for the manifest at path without
+// modifying anything on disk — the dry-run behind `cplab fsck`.
+func Inspect(f durable.FS, path string) *Health {
+	h, _ := inspect(f, path)
+	return h
+}
+
+// inspect validates the three sources and picks the best candidate.
+func inspect(f durable.FS, path string) (*Health, candidates) {
+	h := &Health{Path: path}
+	var c candidates
+	c.man = loadSource(f, path, &h.Manifest)
+	c.prev = loadSource(f, path+durable.PrevSuffix, &h.Prev)
+	c.wal = loadWALSource(f, WALPath(path), &h.WAL)
+
+	// The plan is dictated by the highest-priority valid source; a valid
+	// source recorded under a DIFFERENT plan (stale litter from an earlier
+	// campaign at the same path) must not compete on record count.
+	var plan *Manifest
+	for _, cand := range []*Manifest{c.man, c.wal, c.prev} {
+		if cand != nil {
+			plan = cand
+			break
+		}
+	}
+	if plan == nil {
+		return h, c
+	}
+	demote := func(cand **Manifest, sh *SourceHealth) {
+		if *cand != nil && !headerOf(*cand).matches(plan) {
+			sh.Err = "plan differs from the primary source; excluded from recovery"
+			*cand = nil
+		}
+	}
+	demote(&c.man, &h.Manifest)
+	demote(&c.wal, &h.WAL)
+	demote(&c.prev, &h.Prev)
+
+	// Most committed entries wins; ties go manifest > wal > prev (the
+	// manifest is authoritative for retry bookkeeping, the journal can
+	// only be ahead by entries the manifest save lost to a crash).
+	type pick struct {
+		name string
+		m    *Manifest
+	}
+	for _, p := range []pick{{"manifest", c.man}, {"wal", c.wal}, {"prev", c.prev}} {
+		if p.m == nil {
+			continue
+		}
+		if h.Best == "" || len(p.m.Entries) > h.BestRecords {
+			h.Best, h.BestRecords = p.name, len(p.m.Entries)
+		}
+	}
+	if h.Best != "" {
+		best := map[string]*Manifest{"manifest": c.man, "wal": c.wal, "prev": c.prev}[h.Best]
+		h.Complete = best.Complete()
+	}
+	return h, c
+}
+
+// loadSource strictly loads one manifest-format source, recording its
+// health. Returns nil when unusable.
+func loadSource(f durable.FS, path string, sh *SourceHealth) *Manifest {
+	data, err := f.ReadFile(path)
+	if err != nil {
+		if !errors.Is(err, fs.ErrNotExist) {
+			sh.Present, sh.Err = true, err.Error()
+		}
+		return nil
+	}
+	sh.Present = true
+	m, err := decodeManifest(path, data)
+	if err != nil {
+		sh.Err = err.Error()
+		return nil
+	}
+	sh.OK, sh.Records = true, len(m.Entries)
+	return m
+}
+
+// loadWALSource rebuilds a manifest from a journal, recording its health.
+func loadWALSource(f durable.FS, path string, sh *SourceHealth) *Manifest {
+	d, err := durable.ReadLog(f, path)
+	if err != nil {
+		if !errors.Is(err, fs.ErrNotExist) {
+			sh.Present, sh.Err = true, err.Error()
+		}
+		return nil
+	}
+	sh.Present, sh.Torn = true, d.Torn
+	if d.Torn {
+		sh.Err = fmt.Sprintf("torn at line %d: %s (valid prefix kept)", d.TornLine, d.TornReason)
+	}
+	hdr, folded, _ := foldWAL(d)
+	if hdr == nil {
+		if sh.Err == "" {
+			sh.Err = "no valid plan header"
+		}
+		return nil
+	}
+	if hdr.Version != ManifestVersion {
+		sh.Err = fmt.Sprintf("journal version %d, want %d", hdr.Version, ManifestVersion)
+		return nil
+	}
+	sh.OK, sh.Records = true, len(folded)
+	return &Manifest{Version: hdr.Version, Seed: hdr.Seed, Note: hdr.Note, IDs: hdr.IDs, Entries: folded}
+}
+
+// LoadRecovered loads the best available committed state for the manifest
+// at path, quarantining corrupt files as it goes (torn journal tails are
+// rewritten by the checkpointer later, not quarantined). A missing store
+// returns fs.ErrNotExist; a store where every source is damaged returns
+// the manifest's *durable.CorruptError.
+func LoadRecovered(f durable.FS, path string) (*Manifest, *Health, error) {
+	h, c := inspect(f, path)
+	// Quarantine files that are present but unusable — keeping the bytes
+	// for postmortem while getting them out of every future load's way. A
+	// merely-torn journal is NOT quarantined (the checkpointer rewrites
+	// it); a valid-but-plan-excluded .prev bank is left alone (the next
+	// save replaces it); a plan-excluded journal goes (the checkpointer
+	// would otherwise reconcile against stale litter forever).
+	maybeQuarantine := func(p string, usable bool, sh *SourceHealth) {
+		if !sh.Present || usable {
+			return
+		}
+		if dst, err := durable.Quarantine(f, p); err == nil {
+			sh.Quarantined = dst
+		}
+	}
+	maybeQuarantine(path, c.man != nil, &h.Manifest)
+	maybeQuarantine(path+durable.PrevSuffix, c.prev != nil || h.Prev.OK, &h.Prev)
+	maybeQuarantine(WALPath(path), c.wal != nil || (h.WAL.Torn && !h.WAL.OK), &h.WAL)
+
+	switch h.Best {
+	case "manifest":
+		return c.man, h, nil
+	case "wal":
+		return c.wal, h, nil
+	case "prev":
+		return c.prev, h, nil
+	}
+	if !h.Manifest.Present && !h.Prev.Present && !h.WAL.Present {
+		return nil, h, fmt.Errorf("campaign: manifest %s: %w", path, fs.ErrNotExist)
+	}
+	return nil, h, &durable.CorruptError{Path: path,
+		Reason:      "no recoverable state: manifest, previous generation and journal are all damaged",
+		Quarantined: h.Manifest.Quarantined}
+}
+
+// Repair recovers the best committed state at path and rewrites both the
+// manifest and its journal from it, leaving a clean, consistent store
+// (corrupt originals survive as .quarantined files). It returns the
+// recovered manifest and the pre-repair health.
+func Repair(f durable.FS, path string) (*Manifest, *Health, error) {
+	man, h, err := LoadRecovered(f, path)
+	if err != nil {
+		return nil, h, err
+	}
+	cp, err := NewCheckpointer(f, path, man, false)
+	if err != nil {
+		return nil, h, err
+	}
+	if err := cp.Commit(man); err != nil {
+		return nil, h, err
+	}
+	return man, h, nil
+}

@@ -1,0 +1,177 @@
+package campaign
+
+// store.go is the campaign's write-side durability: a Checkpointer that
+// owns the manifest file and its append-only entry journal ("<manifest>.wal").
+// Every committed record is first appended to the journal (one CRC-guarded
+// line) and then the manifest is rewritten through the durable
+// dual-generation protocol, so after a crash at ANY instant the committed
+// prefix is reconstructible from at least one of manifest / .prev / WAL —
+// recovery.go's job.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+
+	"repro/internal/durable"
+)
+
+// WALSuffix is the manifest journal's suffix: "<manifest>.wal".
+const WALSuffix = ".wal"
+
+// WALPath returns the journal path for a manifest path.
+func WALPath(path string) string { return path + WALSuffix }
+
+// walHeader is the journal's first line: the campaign plan, so a journal
+// alone can be rebuilt into a manifest and a journal from a different
+// plan is never folded into this one.
+type walHeader struct {
+	Version int      `json:"version"`
+	Seed    uint64   `json:"seed"`
+	Note    string   `json:"note,omitempty"`
+	IDs     []string `json:"ids"`
+}
+
+func headerOf(m *Manifest) walHeader {
+	return walHeader{Version: m.Version, Seed: m.Seed, Note: m.Note, IDs: m.IDs}
+}
+
+func (h walHeader) matches(m *Manifest) bool {
+	if h.Version != m.Version || h.Seed != m.Seed || h.Note != m.Note || len(h.IDs) != len(m.IDs) {
+		return false
+	}
+	for i := range h.IDs {
+		if h.IDs[i] != m.IDs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Checkpointer persists a campaign's state: WAL line(s) first, then the
+// manifest, both through the durable layer.
+type Checkpointer struct {
+	fs   durable.FS
+	path string
+	wal  *durable.Log
+}
+
+// NewCheckpointer opens the durable store for a manifest at path.
+//
+// fresh (a brand-new campaign) discards every prior generation at the
+// path — manifest, .prev bank, journal — so stale state from an unrelated
+// earlier campaign can never be "recovered" into this one, and resets the
+// journal to just the plan header. The manifest file itself is not
+// written until the first Commit.
+//
+// Resume reconciles the journal with the loaded manifest: a journal
+// that is missing, belongs to a different plan, or holds fewer committed
+// entries than the manifest is rewritten from the manifest; otherwise it
+// is kept and appended to (its extra already-folded duplicates are
+// harmless).
+func NewCheckpointer(f durable.FS, path string, man *Manifest, fresh bool) (*Checkpointer, error) {
+	cp := &Checkpointer{fs: f, path: path, wal: durable.NewLog(f, WALPath(path))}
+	// Sweep this store's own crash litter (never the whole directory —
+	// other stores' tmp files are theirs to sweep).
+	for _, p := range []string{path + durable.TmpSuffix, WALPath(path) + durable.TmpSuffix} {
+		if err := f.Remove(p); err != nil && !errors.Is(err, fs.ErrNotExist) {
+			return nil, fmt.Errorf("campaign: sweep %s: %w", p, err)
+		}
+	}
+	if fresh {
+		for _, p := range []string{path, path + durable.PrevSuffix} {
+			if err := f.Remove(p); err != nil && !errors.Is(err, fs.ErrNotExist) {
+				return nil, fmt.Errorf("campaign: discard %s: %w", p, err)
+			}
+		}
+		if err := cp.rewriteWAL(man); err != nil {
+			return nil, err
+		}
+		return cp, nil
+	}
+	d, err := durable.ReadLog(f, cp.wal.Path())
+	if err != nil {
+		if !errors.Is(err, fs.ErrNotExist) {
+			return nil, fmt.Errorf("campaign: read journal: %w", err)
+		}
+		if err := cp.rewriteWAL(man); err != nil {
+			return nil, err
+		}
+		return cp, nil
+	}
+	hdr, folded, _ := foldWAL(d)
+	if hdr == nil || !hdr.matches(man) || len(folded) < len(man.Entries) || d.Torn {
+		if err := cp.rewriteWAL(man); err != nil {
+			return nil, err
+		}
+	}
+	return cp, nil
+}
+
+// rewriteWAL resets the journal to the plan header plus the manifest's
+// committed records in plan order.
+func (cp *Checkpointer) rewriteWAL(man *Manifest) error {
+	payloads := [][]byte{}
+	hdr, err := json.Marshal(headerOf(man))
+	if err != nil {
+		return err
+	}
+	payloads = append(payloads, hdr)
+	for _, id := range man.IDs {
+		rec := man.Entries[id]
+		if rec == nil {
+			continue
+		}
+		line, err := json.Marshal(rec)
+		if err != nil {
+			return err
+		}
+		payloads = append(payloads, line)
+	}
+	if err := cp.wal.Reset(payloads...); err != nil {
+		return fmt.Errorf("campaign: rewrite journal: %w", err)
+	}
+	return nil
+}
+
+// Commit durably lands newly recorded entries: each record is appended to
+// the journal (and fsynced) first, then the whole manifest is saved
+// through the dual-generation protocol. Crash between the two loses
+// nothing — recovery folds the journal, which is already ahead.
+func (cp *Checkpointer) Commit(man *Manifest, recs ...*Record) error {
+	for _, rec := range recs {
+		line, err := json.Marshal(rec)
+		if err != nil {
+			return err
+		}
+		if err := cp.wal.Append(line); err != nil {
+			return fmt.Errorf("campaign: journal: %w", err)
+		}
+	}
+	return man.SaveFS(cp.fs, cp.path)
+}
+
+// foldWAL parses journal payloads into (header, records folded by ID in
+// append order, number of record lines). A payload that fails to parse
+// ends the fold there, mirroring the CRC layer's torn-tail rule.
+func foldWAL(d *durable.LogData) (*walHeader, map[string]*Record, int) {
+	if len(d.Payloads) == 0 {
+		return nil, nil, 0
+	}
+	hdr := &walHeader{}
+	if err := json.Unmarshal(d.Payloads[0], hdr); err != nil || hdr.Version == 0 || hdr.IDs == nil {
+		return nil, nil, 0
+	}
+	folded := map[string]*Record{}
+	lines := 0
+	for _, p := range d.Payloads[1:] {
+		rec := &Record{}
+		if err := json.Unmarshal(p, rec); err != nil || rec.ID == "" {
+			break
+		}
+		folded[rec.ID] = rec
+		lines++
+	}
+	return hdr, folded, lines
+}

@@ -1,0 +1,200 @@
+package campaign
+
+// torture_test.go is the crash-torture gate from the durability issue:
+// with fsfault injecting a crash at EVERY write-path step of a campaign —
+// pre-fsync, post-write/pre-rename, post-rename/pre-dirsync, and every
+// other mutating syscall boundary — every resume must complete and the
+// final manifest must be byte-identical to an uninterrupted run, losing
+// at most the in-flight (uncommitted) entry.
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/durable"
+	"repro/internal/fsfault"
+)
+
+// torturePlan is the small deterministic campaign the torture runs.
+func torturePlan() []Entry {
+	return []Entry{
+		okEntry("alpha"), okEntry("beta"), okEntry("gamma"),
+		okEntry("delta"), okEntry("epsilon"), okEntry("zeta"),
+	}
+}
+
+// tortureRef runs the plan undisturbed and returns the manifest bytes
+// every recovered run must reproduce.
+func tortureRef(t *testing.T) []byte {
+	t.Helper()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ref.json")
+	c, err := New(Config{Path: path, Seed: 11}, torturePlan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Run(); err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// runToCrash runs a fresh campaign under the injector until it dies (or,
+// unexpectedly, completes). It returns how many records were committed
+// (observed via OnRecord, which fires just before each checkpoint — so
+// durable commits are at least notified-1).
+func runToCrash(t *testing.T, path string, inj *fsfault.Injector) (notified int, err error) {
+	t.Helper()
+	cfg := Config{Path: path, Seed: 11, FS: inj, OnRecord: func(*Record) { notified++ }}
+	c, nerr := New(cfg, torturePlan())
+	if nerr != nil {
+		t.Fatal(nerr)
+	}
+	_, err = c.Run()
+	return notified, err
+}
+
+// resumeClean finishes the campaign on the real (fault-free) disk,
+// starting over when the crash predates anything durable.
+func resumeClean(t *testing.T, path string) {
+	t.Helper()
+	cfg := Config{Path: path, Seed: 11}
+	c, err := Resume(cfg, torturePlan())
+	if errors.Is(err, fs.ErrNotExist) {
+		c, err = New(cfg, torturePlan())
+	}
+	if err != nil {
+		t.Fatalf("resume after crash: %v", err)
+	}
+	if _, err := c.Run(); err != nil {
+		t.Fatalf("resumed run: %v", err)
+	}
+}
+
+// countSteps measures how many mutating filesystem operations one full
+// campaign performs, so the torture can crash at every single one.
+func countSteps(t *testing.T) int {
+	t.Helper()
+	dir := t.TempDir()
+	inj := fsfault.MustNew(fsfault.Config{Seed: 1})
+	if _, err := runToCrash(t, filepath.Join(dir, "count.json"), inj); err != nil {
+		t.Fatalf("counting pass failed: %v", err)
+	}
+	return inj.Steps()
+}
+
+func TestCrashTortureEveryStep(t *testing.T) {
+	ref := tortureRef(t)
+	steps := countSteps(t)
+	if steps < 20 {
+		t.Fatalf("implausibly few write-path steps (%d) — injector not seeing the traffic", steps)
+	}
+	for _, seed := range []uint64{1, 2, 3} {
+		for k := 1; k <= steps; k++ {
+			t.Run(fmt.Sprintf("seed%d/step%03d", seed, k), func(t *testing.T) {
+				dir := t.TempDir()
+				path := filepath.Join(dir, "m.json")
+				inj := fsfault.MustNew(fsfault.Config{Seed: seed, CrashAfter: k})
+				notified, err := runToCrash(t, path, inj)
+				if err == nil {
+					// The campaign finished before the crash step — only
+					// possible when k exceeds this run's traffic.
+					if k <= steps && inj.Crashed() {
+						t.Fatalf("run completed despite crashing")
+					}
+					return
+				}
+				// The "no more than in-flight lost" bound: every record that
+				// was durably committed before the crash must still be
+				// recoverable. OnRecord fires just before the checkpoint
+				// lands, so at most the last notified record may be lost.
+				h := Inspect(durable.OS(), path)
+				if min := notified - 1; h.BestRecords < min {
+					t.Fatalf("crash lost committed entries: %d notified, best source has %d (health %+v)",
+						notified, h.BestRecords, h)
+				}
+				resumeClean(t, path)
+				got, rerr := os.ReadFile(path)
+				if rerr != nil {
+					t.Fatalf("read resumed manifest: %v", rerr)
+				}
+				if string(got) != string(ref) {
+					t.Fatalf("resumed manifest differs from uninterrupted run:\n--- resumed\n%s\n--- reference\n%s", got, ref)
+				}
+			})
+		}
+	}
+}
+
+// TestCrashTortureLyingFsync drops the durability bound (a lying fsync is
+// allowed to lose "committed" data — that is its crime) but resume must
+// STILL always work and converge to the reference bytes.
+func TestCrashTortureLyingFsync(t *testing.T) {
+	ref := tortureRef(t)
+	steps := countSteps(t)
+	for k := 1; k <= steps; k += 3 {
+		t.Run(fmt.Sprintf("step%03d", k), func(t *testing.T) {
+			dir := t.TempDir()
+			path := filepath.Join(dir, "m.json")
+			inj := fsfault.MustNew(fsfault.Config{Seed: uint64(k), CrashAfter: k, LieFsync: 0.7})
+			if _, err := runToCrash(t, path, inj); err == nil {
+				return
+			}
+			resumeClean(t, path)
+			got, rerr := os.ReadFile(path)
+			if rerr != nil {
+				t.Fatalf("read resumed manifest: %v", rerr)
+			}
+			if string(got) != string(ref) {
+				t.Fatalf("resumed manifest differs from reference after lying-fsync crash")
+			}
+		})
+	}
+}
+
+// TestDiskFaultHaltsResumable: ENOSPC/EIO from the disk must surface as
+// the resumable-halt contract (ErrHalted, exit 3 at the CLI), and a
+// resume on a healthy disk must converge to the reference bytes.
+func TestDiskFaultHaltsResumable(t *testing.T) {
+	ref := tortureRef(t)
+	halted := 0
+	for seed := uint64(1); seed <= 10; seed++ {
+		dir := t.TempDir()
+		path := filepath.Join(dir, "m.json")
+		inj := fsfault.MustNew(fsfault.Config{Seed: seed, ErrRate: 0.3})
+		cfg := Config{Path: path, Seed: 11, FS: inj}
+		c, err := New(cfg, torturePlan())
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = c.Run()
+		switch {
+		case err == nil:
+			// Got lucky with the dice — nothing to resume.
+			continue
+		case errors.Is(err, ErrHalted):
+			halted++
+		default:
+			t.Fatalf("seed %d: disk fault surfaced as %v, want ErrHalted", seed, err)
+		}
+		resumeClean(t, path)
+		got, rerr := os.ReadFile(path)
+		if rerr != nil {
+			t.Fatal(rerr)
+		}
+		if string(got) != string(ref) {
+			t.Fatalf("seed %d: resumed manifest differs from reference", seed)
+		}
+	}
+	if halted == 0 {
+		t.Fatal("ErrRate=0.3 over 10 seeds never halted — fault injection inert")
+	}
+}

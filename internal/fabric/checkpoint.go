@@ -11,10 +11,12 @@ package fabric
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
-	"os"
+	"io/fs"
 
 	"repro/internal/campaign"
+	"repro/internal/durable"
 )
 
 // clusterCheckpointVersion is bumped on incompatible sidecar layouts.
@@ -69,23 +71,20 @@ func (co *Coordinator) saveClusterCheckpoint() {
 	// the tmp path is shared.
 	co.ckptMu.Lock()
 	defer co.ckptMu.Unlock()
-	tmp := co.cfg.ClusterPath + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
-		co.logf("fabric: cluster checkpoint: %v", err)
-		return
-	}
-	if err := os.Rename(tmp, co.cfg.ClusterPath); err != nil {
+	if err := durable.WriteFileAtomic(co.cfg.fs(), co.cfg.ClusterPath, data, 0o644); err != nil {
 		co.logf("fabric: cluster checkpoint: %v", err)
 	}
 }
 
 // loadClusterCheckpoint folds a sidecar (when present) back into the
-// uncommitted shards during Resume. A sidecar recorded under a different
-// seed, note or sharding is an operator error and refused loudly rather
-// than silently ignored.
+// uncommitted shards during Resume. The sidecar is advisory, so a corrupt
+// one (unparseable, wrong version) is quarantined and resume continues
+// without it — the only cost is re-running uncommitted shards. But a
+// sidecar recorded under a different seed, note or sharding is an
+// operator error and refused loudly rather than silently ignored.
 func (co *Coordinator) loadClusterCheckpoint() error {
-	data, err := os.ReadFile(co.cfg.ClusterPath)
-	if os.IsNotExist(err) {
+	data, err := co.cfg.fs().ReadFile(co.cfg.ClusterPath)
+	if errors.Is(err, fs.ErrNotExist) {
 		return nil // merged manifest alone; uncommitted shards restart clean
 	}
 	if err != nil {
@@ -93,10 +92,12 @@ func (co *Coordinator) loadClusterCheckpoint() error {
 	}
 	var ck clusterCheckpoint
 	if err := json.Unmarshal(data, &ck); err != nil {
-		return fmt.Errorf("fabric: cluster checkpoint %s: %w", co.cfg.ClusterPath, err)
+		co.quarantineSidecar(fmt.Sprintf("unparseable: %v", err))
+		return nil
 	}
 	if ck.Version != clusterCheckpointVersion {
-		return fmt.Errorf("fabric: cluster checkpoint %s has version %d, want %d", co.cfg.ClusterPath, ck.Version, clusterCheckpointVersion)
+		co.quarantineSidecar(fmt.Sprintf("version %d, want %d", ck.Version, clusterCheckpointVersion))
+		return nil
 	}
 	if ck.Seed != co.cfg.Spec.Seed {
 		return fmt.Errorf("fabric: cluster checkpoint %s was recorded with seed %d, not %d", co.cfg.ClusterPath, ck.Seed, co.cfg.Spec.Seed)
@@ -121,6 +122,18 @@ func (co *Coordinator) loadClusterCheckpoint() error {
 		co.updatePartial(sh, sc.Partial)
 	}
 	return nil
+}
+
+// quarantineSidecar sets a corrupt sidecar aside (preserving the bytes
+// for post-mortems) so resume proceeds without it instead of tripping
+// over the same wreck again.
+func (co *Coordinator) quarantineSidecar(reason string) {
+	q, err := durable.Quarantine(co.cfg.fs(), co.cfg.ClusterPath)
+	if err != nil {
+		co.logf("fabric: cluster checkpoint %s corrupt (%s); quarantine failed: %v", co.cfg.ClusterPath, reason, err)
+		return
+	}
+	co.logf("fabric: cluster checkpoint %s corrupt (%s); quarantined as %s, uncommitted shards restart clean", co.cfg.ClusterPath, reason, q)
 }
 
 // sameIDs reports element-wise equality.

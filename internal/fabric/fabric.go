@@ -44,11 +44,11 @@ import (
 	"io"
 	"net/http"
 	"net/url"
-	"os"
 	"sync"
 	"time"
 
 	"repro/internal/campaign"
+	"repro/internal/durable"
 	"repro/internal/labd"
 	"repro/internal/metrics"
 	"repro/internal/rng"
@@ -114,6 +114,10 @@ type Config struct {
 	// Transport overrides the HTTP transport (nil = default). Tests and
 	// `cplab cluster -chaosnet` install a ChaosTransport here.
 	Transport http.RoundTripper
+	// FS is the filesystem all checkpoint I/O (merged manifest, journal,
+	// cluster sidecar) goes through; nil means the real disk. Tests
+	// install an fsfault.Injector here.
+	FS durable.FS
 	// Log receives coordinator progress lines (nil discards them).
 	Log io.Writer
 }
@@ -168,6 +172,14 @@ func (c Config) Validate() error {
 		return fmt.Errorf("fabric: negative MaxShardAttempts %d", c.MaxShardAttempts)
 	}
 	return nil
+}
+
+// fs resolves the configured filesystem.
+func (c Config) fs() durable.FS {
+	if c.FS != nil {
+		return c.FS
+	}
+	return durable.OS()
 }
 
 // withDefaults fills zero tunables.
@@ -262,6 +274,11 @@ type Coordinator struct {
 	cond   *sync.Cond
 	ckptMu sync.Mutex // serializes cluster-checkpoint file writes
 
+	// fresh marks a coordinator built by New: opening the durable store
+	// discards prior on-disk generations instead of reconciling with them.
+	fresh bool
+	cp    *campaign.Checkpointer
+
 	reg            *metrics.Registry
 	mShards        map[shardState]*metrics.Gauge
 	mWorkersOK     *metrics.Gauge
@@ -290,6 +307,7 @@ func New(cfg Config, plan []string) (*Coordinator, error) {
 		IDs:     append([]string(nil), plan...),
 		Entries: map[string]*campaign.Record{},
 	}
+	co.fresh = true
 	return co, nil
 }
 
@@ -312,7 +330,7 @@ func Resume(cfg Config, plan []string) (*Coordinator, error) {
 	if err != nil {
 		return nil, err
 	}
-	man, err := campaign.Load(co.cfg.Path)
+	man, _, err := campaign.LoadRecovered(co.cfg.fs(), co.cfg.Path)
 	if err != nil {
 		return nil, err
 	}
@@ -435,6 +453,20 @@ func (co *Coordinator) WriteMetrics(w io.Writer) error {
 // worker unhealthy, or a shard exhausted MaxShardAttempts), or the
 // checkpoint I/O error that stopped it.
 func (co *Coordinator) Run(ctx context.Context) (*campaign.Manifest, error) {
+	// Open the durable store up front: a fresh cluster campaign discards
+	// prior generations at the path, a resumed one reconciles the entry
+	// journal with the recovered merged manifest.
+	cp, err := campaign.NewCheckpointer(co.cfg.fs(), co.cfg.Path, co.man, co.fresh)
+	if err != nil {
+		if durable.DiskErr(err) {
+			co.logf("fabric: disk fault opening checkpoint store: %v (halted, resumable)", err)
+			return co.man, fmt.Errorf("fabric: disk fault: %v: %w", err, ErrHalted)
+		}
+		return co.man, err
+	}
+	co.cp = cp
+	co.fresh = false
+
 	// A cancelled ctx must wake the commit loop and every cond waiter.
 	watchDone := make(chan struct{})
 	go func() {
@@ -468,8 +500,10 @@ func (co *Coordinator) Run(ctx context.Context) (*campaign.Manifest, error) {
 			break
 		}
 		sh := co.shards[co.nextCommit]
+		recs := make([]*campaign.Record, 0, len(sh.ids))
 		for _, id := range sh.ids {
 			co.man.Entries[id] = sh.records[id]
+			recs = append(recs, sh.records[id])
 		}
 		sh.state = shardCommitted
 		sh.records = nil
@@ -480,7 +514,17 @@ func (co *Coordinator) Run(ctx context.Context) (*campaign.Manifest, error) {
 		co.mu.Unlock()
 		co.cond.Broadcast()
 		co.logf("fabric: shard %d/%d committed (%s..%s)", committed, len(co.shards), sh.ids[0], sh.ids[len(sh.ids)-1])
-		if err := co.man.Save(co.cfg.Path); err != nil {
+		if err := co.cp.Commit(co.man, recs...); err != nil {
+			if durable.DiskErr(err) {
+				// Disk full / failing: every previously committed shard is
+				// durable, so halt resumably instead of reporting a fatal
+				// checkpoint error — the operator frees space and resumes.
+				co.logf("fabric: disk fault: %v (halted, resumable)", err)
+				co.mu.Lock()
+				co.haltLocked("disk fault: " + err.Error())
+				co.mu.Unlock()
+				break
+			}
 			commitErr = fmt.Errorf("fabric: checkpoint %s: %w", co.cfg.Path, err)
 			co.mu.Lock()
 			co.haltLocked(commitErr.Error())
@@ -505,7 +549,7 @@ func (co *Coordinator) Run(ctx context.Context) (*campaign.Manifest, error) {
 	}
 	// Complete: the sidecar is stale; the merged manifest alone is the
 	// result. A leftover sidecar would confuse the next Resume.
-	os.Remove(co.cfg.ClusterPath)
+	co.cfg.fs().Remove(co.cfg.ClusterPath)
 	return co.man, nil
 }
 

@@ -101,7 +101,10 @@ func testConfig(t *testing.T, workers []string, seed uint64) Config {
 		RequestTimeout: 5 * time.Second,
 		PollInterval:   10 * time.Millisecond,
 		HangTimeout:    time.Minute,
-		StealAfter:     50 * time.Millisecond,
+		// High enough that no steal fires in quiet tests even when durable
+		// per-entry fsyncs slow workers under -race; steal-focused tests
+		// override it downward.
+		StealAfter: time.Second,
 		ProbeInterval:  25 * time.Millisecond,
 		MaxRetries:     6,
 		BaseBackoff:    5 * time.Millisecond,

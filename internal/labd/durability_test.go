@@ -1,0 +1,86 @@
+package labd
+
+// durability_test.go covers the daemon's crash-litter handling: orphaned
+// *.tmp files (atomic writes a dead process never finished) are swept at
+// startup, and a corrupt state.json is quarantined — bytes preserved,
+// the job dropped from the registry — instead of wedging the daemon.
+
+import (
+	"context"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestStartupSweepsTmpAndQuarantinesCorruptState(t *testing.T) {
+	dir := t.TempDir()
+
+	// Session one: a real job leaves a valid state dir behind.
+	srv, err := NewServer(Config{StateDir: dir, Entries: fakeEntries(nil)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Start()
+	hs := httptest.NewServer(srv.Handler())
+	view := submit(t, hs, Spec{IDs: []string{"a"}, Seed: 5})
+	waitState(t, hs, view.ID, StateDone)
+	hs.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate the aftermath of a SIGKILL mid-write: tmp litter in the
+	// state dir and the job dir, plus a second job whose state.json is
+	// torn garbage.
+	jobDir := filepath.Join(dir, view.ID)
+	litter := []string{
+		filepath.Join(dir, "state.json.tmp"),
+		filepath.Join(jobDir, "manifest.json.tmp"),
+	}
+	for _, p := range litter {
+		if err := os.WriteFile(p, []byte("half a write"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadDir := filepath.Join(dir, "job-000099")
+	if err := os.MkdirAll(deadDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	deadState := filepath.Join(deadDir, "state.json")
+	if err := os.WriteFile(deadState, []byte(`{"id": "job-0000`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Session two: startup must clean all of it and keep the good job.
+	var log strings.Builder
+	srv2, err := NewServer(Config{StateDir: dir, Entries: fakeEntries(nil), Log: &log})
+	if err != nil {
+		t.Fatalf("restart over littered state dir: %v", err)
+	}
+	srv2.Start()
+	defer srv2.Drain(context.Background())
+
+	for _, p := range litter {
+		if _, err := os.Stat(p); err == nil {
+			t.Errorf("orphaned %s survived startup", p)
+		}
+	}
+	if _, err := os.Stat(deadState); err == nil {
+		t.Error("corrupt state.json still in place")
+	}
+	if _, err := os.Stat(deadState + ".quarantined"); err != nil {
+		t.Errorf("corrupt state.json not quarantined: %v", err)
+	}
+	jobs := srv2.Jobs()
+	if len(jobs) != 1 || jobs[0].ID != view.ID {
+		t.Fatalf("registry after cleanup: %+v, want only %s", jobs, view.ID)
+	}
+	if !strings.Contains(log.String(), "quarantined") || !strings.Contains(log.String(), "swept") {
+		t.Errorf("cleanup not reported in the log:\n%s", log.String())
+	}
+}

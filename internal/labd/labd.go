@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"repro/internal/campaign"
+	"repro/internal/durable"
 	"repro/internal/metrics"
 )
 
@@ -109,8 +110,20 @@ type Config struct {
 	// manifests ride in the spec, so the cap is generous but present: an
 	// unbounded body would let one client exhaust the daemon's memory.
 	MaxBodyBytes int64
+	// FS is the filesystem all job-state and campaign checkpoint I/O goes
+	// through; nil means the real disk. cplabd's -diskchaos flag installs
+	// an fsfault.Injector here.
+	FS durable.FS
 	// Log receives service progress lines (nil discards them).
 	Log io.Writer
+}
+
+// fs resolves the configured filesystem.
+func (c Config) fs() durable.FS {
+	if c.FS != nil {
+		return c.FS
+	}
+	return durable.OS()
 }
 
 // Validate checks the configuration in the style of fault.Config.Validate:
@@ -230,9 +243,19 @@ func MustNewServer(cfg Config) *Server {
 	return s
 }
 
-// load scans the state directory for persisted jobs.
+// load scans the state directory for persisted jobs. Crash litter is
+// cleaned as it goes: orphaned *.tmp files (from atomic writes a dead
+// process never finished) are swept from the state dir and every job dir,
+// and a corrupt state.json is quarantined — its bytes kept for postmortem
+// but never mistaken for live state again.
 func (s *Server) load() error {
-	dirs, err := os.ReadDir(s.cfg.StateDir)
+	f := s.cfg.fs()
+	if swept, err := durable.SweepTmp(f, s.cfg.StateDir); err == nil {
+		for _, p := range swept {
+			s.logf("labd: swept orphaned %s", p)
+		}
+	}
+	dirs, err := f.ReadDir(s.cfg.StateDir)
 	if err != nil {
 		return fmt.Errorf("labd: %w", err)
 	}
@@ -241,13 +264,24 @@ func (s *Server) load() error {
 		if !d.IsDir() {
 			continue
 		}
-		b, err := os.ReadFile(filepath.Join(s.cfg.StateDir, d.Name(), "state.json"))
+		jobDir := filepath.Join(s.cfg.StateDir, d.Name())
+		if swept, err := durable.SweepTmp(f, jobDir); err == nil {
+			for _, p := range swept {
+				s.logf("labd: swept orphaned %s", p)
+			}
+		}
+		statePath := filepath.Join(jobDir, "state.json")
+		b, err := f.ReadFile(statePath)
 		if err != nil {
 			continue // not a job dir (or a torn submit); skip it
 		}
 		var st jobState
 		if err := json.Unmarshal(b, &st); err != nil {
-			s.logf("labd: ignoring corrupt state for %s: %v", d.Name(), err)
+			dst, qerr := durable.Quarantine(f, statePath)
+			if qerr != nil {
+				dst = "(quarantine failed: " + qerr.Error() + ")"
+			}
+			s.logf("labd: corrupt state for %s quarantined as %s: %v", d.Name(), dst, err)
 			continue
 		}
 		j := &job{id: st.ID, seq: st.Seq, state: st.State, spec: st.Spec, errMsg: st.Error, clean: st.Clean}
@@ -378,6 +412,7 @@ func (s *Server) runJob(j *job) {
 		Seed:    spec.Seed,
 		Note:    note,
 		ExpWall: s.cfg.ExpWall,
+		FS:      s.cfg.FS,
 		Log:     s.cfg.Log,
 		OnRecord: func(*campaign.Record) {
 			s.mu.Lock()
@@ -392,8 +427,8 @@ func (s *Server) runJob(j *job) {
 	// takes over. A manifest already on disk (this worker ran part of the
 	// job before) wins over the carried one, which is at best a copy of it.
 	if spec.Resume != nil {
-		if _, statErr := os.Stat(ccfg.Path); os.IsNotExist(statErr) {
-			if err := spec.Resume.Save(ccfg.Path); err != nil {
+		if _, statErr := s.cfg.fs().Stat(ccfg.Path); statErr != nil {
+			if err := spec.Resume.SaveFS(s.cfg.fs(), ccfg.Path); err != nil {
 				s.finish(j, StateFailed, fmt.Sprintf("seeding resume manifest: %v", err), false)
 				return
 			}
@@ -402,7 +437,7 @@ func (s *Server) runJob(j *job) {
 
 	var c *campaign.Campaign
 	var err error
-	if _, statErr := os.Stat(ccfg.Path); statErr == nil {
+	if _, statErr := s.cfg.fs().Stat(ccfg.Path); statErr == nil {
 		c, err = campaign.Resume(ccfg, entries)
 	} else {
 		c, err = campaign.New(ccfg, entries)
@@ -628,12 +663,7 @@ func (s *Server) persistLocked(j *job) {
 	}
 	b = append(b, '\n')
 	path := filepath.Join(s.cfg.StateDir, j.id, "state.json")
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, b, 0o644); err != nil {
-		s.logf("labd: persist %s: %v", j.id, err)
-		return
-	}
-	if err := os.Rename(tmp, path); err != nil {
+	if err := durable.WriteFileAtomic(s.cfg.fs(), path, b, 0o644); err != nil {
 		s.logf("labd: persist %s: %v", j.id, err)
 	}
 }

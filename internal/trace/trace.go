@@ -23,11 +23,14 @@ package trace
 
 import (
 	"bufio"
+	"bytes"
 	"fmt"
 	"io"
 	"os"
 	"strconv"
 	"strings"
+
+	"repro/internal/durable"
 
 	"repro/internal/timebase"
 )
@@ -170,23 +173,15 @@ func (t *Trace) Encode(w io.Writer) error {
 	return bw.Flush()
 }
 
-// WriteFile atomically writes the trace to path (tmp file + rename).
+// WriteFile durably writes the trace to path through the shared atomic
+// protocol (tmp + fsync + rename + fsync dir); failures at any step leave
+// no *.tmp litter behind. The cptrace byte format is unchanged.
 func (t *Trace) WriteFile(path string) error {
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
-	if err != nil {
+	var buf bytes.Buffer
+	if err := t.Encode(&buf); err != nil {
 		return err
 	}
-	if err := t.Encode(f); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	return os.Rename(tmp, path)
+	return durable.WriteFileAtomic(durable.OS(), path, buf.Bytes(), 0o644)
 }
 
 // ReadFile reads a trace file written by WriteFile/Encode.
