@@ -68,6 +68,12 @@ func clusterCmd(args []string) int {
 		fmt.Fprintf(os.Stderr, "cplab: -chaosnet %v is outside [0,1]\n", *chaosnet)
 		return exitUsage
 	}
+	stop, err := cf.startSpansAs("cplab", fmt.Sprintf("cluster-seed%d", *cf.seed))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cplab:", err)
+		return exitUsage
+	}
+	defer stop()
 
 	var workers []string
 	for _, w := range strings.Split(*workersCSV, ",") {
@@ -146,10 +152,16 @@ func clusterCmd(args []string) int {
 			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 			co.WriteMetrics(w)
 		})
+		mux.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			enc.Encode(co.Status())
+		})
 		ms := labd.NewHTTPServer(mux)
 		go ms.Serve(ln)
 		defer ms.Close()
-		fmt.Fprintf(os.Stderr, "cplab: coordinator metrics on http://%s/metrics\n", ln.Addr())
+		fmt.Fprintf(os.Stderr, "cplab: coordinator metrics on http://%s/metrics, progress on /status\n", ln.Addr())
 	}
 
 	ctx := context.Background()

@@ -12,6 +12,8 @@
 //	cplab fsck [-repair] <path>    # validate (and repair) campaign state on disk
 //	cplab trace record <id> [flags]# record the kernel event stream to a .cptrace
 //	cplab trace diff <got> <want>  # first-divergence report between two traces
+//	cplab timeline [-o P] <logs>   # fold span logs into a Perfetto-loadable trace
+//	cplab tail -addr A             # live cluster progress from a /status endpoint
 //	cplab metrics -exp <id>        # run instrumented, export telemetry (Prometheus/JSON)
 //	cplab profile -exp <id>        # run profiled, report wall cost by event kind/phase
 //	cplab bench [-o P]             # time the simulator, write BENCH_PR4.json
@@ -23,6 +25,8 @@
 //	-json         emit metrics (run/all) or the manifest (campaign) as JSON
 //	-faults R     inject faults at per-opportunity rate R in [0,1] (chaos mode)
 //	-simbudget D  ambient simulated-time budget per watchdog phase (0 = defaults)
+//	-spans P      record a span timeline (JSONL) to P; observation only
+//	-spanslices   with -spans, also record per-event scheduler slices
 //
 // Campaign flags:
 //
@@ -97,6 +101,10 @@ func run(args []string) int {
 		return campaignCmd(args[1:], true)
 	case "cluster":
 		return clusterCmd(args[1:])
+	case "timeline":
+		return timelineCmd(args[1:])
+	case "tail":
+		return tailCmd(args[1:])
 	case "fsck":
 		return fsckCmd(args[1:])
 	case "metrics":
@@ -125,21 +133,25 @@ func run(args []string) int {
 
 // commonFlags are the flags every experiment-running subcommand shares.
 type commonFlags struct {
-	paper     *bool
-	seed      *uint64
-	asJSON    *bool
-	faults    *float64
-	simbudget *time.Duration
+	paper      *bool
+	seed       *uint64
+	asJSON     *bool
+	faults     *float64
+	simbudget  *time.Duration
+	spans      *string
+	spanslices *bool
 }
 
 // addCommon registers the common flags on fs.
 func addCommon(fs *flag.FlagSet) *commonFlags {
 	return &commonFlags{
-		paper:     fs.Bool("paper", false, "run at the paper's sample sizes"),
-		seed:      fs.Uint64("seed", 1, "deterministic seed"),
-		asJSON:    fs.Bool("json", false, "emit metrics/manifest as JSON instead of rendered figures"),
-		faults:    fs.Float64("faults", 0, "fault-injection rate per opportunity in [0,1] (0 disables)"),
-		simbudget: fs.Duration("simbudget", 0, "simulated-time budget per watchdog phase (0 = experiment defaults)"),
+		paper:      fs.Bool("paper", false, "run at the paper's sample sizes"),
+		seed:       fs.Uint64("seed", 1, "deterministic seed"),
+		asJSON:     fs.Bool("json", false, "emit metrics/manifest as JSON instead of rendered figures"),
+		faults:     fs.Float64("faults", 0, "fault-injection rate per opportunity in [0,1] (0 disables)"),
+		simbudget:  fs.Duration("simbudget", 0, "simulated-time budget per watchdog phase (0 = experiment defaults)"),
+		spans:      fs.String("spans", "", "record a span timeline to this JSONL path (observation only)"),
+		spanslices: fs.Bool("spanslices", false, "with -spans: record per-event scheduler slices (verbose)"),
 	}
 }
 
@@ -179,6 +191,12 @@ func runCmd(args []string) int {
 		fmt.Fprintln(os.Stderr, "cplab:", err)
 		return exitUsage
 	}
+	stop, err := cf.startSpans("cplab")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cplab:", err)
+		return exitUsage
+	}
+	defer stop()
 	if err := runOne(id, o, *cf.asJSON); err != nil {
 		fmt.Fprintln(os.Stderr, "cplab:", err)
 		return exitDegraded
@@ -196,6 +214,12 @@ func allCmd(args []string) int {
 		fmt.Fprintln(os.Stderr, "cplab:", err)
 		return exitUsage
 	}
+	stop, err := cf.startSpans("cplab")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cplab:", err)
+		return exitUsage
+	}
+	defer stop()
 	if !runAll(o, *cf.asJSON) {
 		return exitDegraded
 	}
@@ -295,6 +319,12 @@ func campaignCmd(args []string, resumeOnly bool) int {
 		fmt.Fprintf(os.Stderr, "cplab: -parallel %d is not positive\n", *parallel)
 		return exitUsage
 	}
+	stop, err := cf.startSpans("cplab")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cplab:", err)
+		return exitUsage
+	}
+	defer stop()
 
 	var ids []string
 	if *idsCSV != "" {
@@ -440,6 +470,12 @@ func traceRecordCmd(args []string) int {
 		fmt.Fprintln(os.Stderr, "cplab:", err)
 		return exitUsage
 	}
+	stop, err := cf.startSpans("cplab")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cplab:", err)
+		return exitUsage
+	}
+	defer stop()
 	_, tr, err := repro.RunTraced(id, o, *maxEvents)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cplab:", err)
@@ -570,6 +606,8 @@ usage:
   cplab fsck [-repair] <manifest|dir>...
   cplab trace record <id> [-o path] [-maxevents N] [flags]
   cplab trace diff <got.cptrace> <want.cptrace>
+  cplab timeline [-o trace.json] <spans.jsonl> [more.jsonl...]
+  cplab tail -addr HOST:PORT [-interval D] [-n N]
   cplab metrics -exp <id> [-json] [-o path] [flags]
   cplab profile -exp <id> [-json] [-o path] [flags]
   cplab bench [-o path] [-paper] [-seed N]

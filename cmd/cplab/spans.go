@@ -1,0 +1,50 @@
+package main
+
+// spans.go wires the span layer into the CLI: every experiment-running
+// subcommand accepts -spans <path> (plus -spanslices for per-event
+// scheduler slices), installing a process-ambient tracing context around
+// the run. Tracing is observation only — stdout, golden traces and
+// manifests are byte-identical with it on or off.
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/obs"
+)
+
+// startSpans opens the span log named by -spans and installs the ambient
+// tracing context. The returned stop function restores the previous
+// context, flushes and reports; it is a no-op closure when -spans is off.
+func (c *commonFlags) startSpans(proc string) (stop func(), err error) {
+	// The trace ID is seed-derived, not clock-derived, so reruns of the
+	// same configuration stitch under the same trace.
+	return c.startSpansAs(proc, fmt.Sprintf("%s-seed%d", proc, *c.seed))
+}
+
+// startSpansAs is startSpans with an explicit trace ID — the cluster
+// coordinator uses a "cluster-seed<N>" trace so worker job spans adopting
+// it via the propagation headers stitch under one timeline.
+func (c *commonFlags) startSpansAs(proc, trace string) (stop func(), err error) {
+	if *c.spans == "" {
+		return func() {}, nil
+	}
+	tr, err := obs.New(obs.Config{
+		Proc:     proc,
+		Trace:    trace,
+		Path:     *c.spans,
+		Truncate: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	prev := obs.SetAmbient(&obs.Ctx{Tracer: tr, Slices: *c.spanslices})
+	return func() {
+		obs.SetAmbient(prev)
+		if cerr := tr.Close(); cerr != nil {
+			fmt.Fprintln(os.Stderr, "cplab: spans:", cerr)
+			return
+		}
+		fmt.Fprintf(os.Stderr, "cplab: spans: wrote %d spans to %s\n", tr.Spans(), *c.spans)
+	}, nil
+}

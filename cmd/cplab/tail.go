@@ -1,0 +1,98 @@
+package main
+
+// tail.go is `cplab tail`: a human-readable poll of a coordinator's
+// /status endpoint — per-worker shard assignments, entries/sec and ETA —
+// the live companion to the recorded span timeline.
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/fabric"
+)
+
+// tailCmd polls a coordinator /status endpoint and renders progress lines
+// until the sweep completes, halts, or -n polls have been made.
+func tailCmd(args []string) int {
+	fs := flag.NewFlagSet("tail", flag.ExitOnError)
+	addr := fs.String("addr", "", "coordinator status address, e.g. 127.0.0.1:9090 (required)")
+	interval := fs.Duration("interval", time.Second, "poll cadence")
+	count := fs.Int("n", 0, "stop after N polls (0 = until complete or halted)")
+	fs.Parse(args)
+	if *addr == "" {
+		fmt.Fprintln(os.Stderr, "cplab tail -addr HOST:PORT [-interval D] [-n N]")
+		return exitUsage
+	}
+	base := *addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	url := strings.TrimSuffix(base, "/") + "/status"
+	client := &http.Client{Timeout: 10 * time.Second}
+	for polls := 0; ; {
+		st, err := fetchStatus(client, url)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cplab:", err)
+			return exitDegraded
+		}
+		fmt.Println(renderStatus(st))
+		polls++
+		switch {
+		case st.Halted:
+			fmt.Fprintf(os.Stderr, "cplab: cluster halted: %s\n", st.Reason)
+			return exitHalted
+		case st.Complete:
+			return exitOK
+		case *count > 0 && polls >= *count:
+			return exitOK
+		}
+		time.Sleep(*interval)
+	}
+}
+
+func fetchStatus(client *http.Client, url string) (fabric.Status, error) {
+	var st fabric.Status
+	resp, err := client.Get(url)
+	if err != nil {
+		return st, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return st, fmt.Errorf("%s: %s", url, resp.Status)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return st, fmt.Errorf("%s: %v", url, err)
+	}
+	return st, nil
+}
+
+// renderStatus formats one Status snapshot as a single progress line.
+func renderStatus(st fabric.Status) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "shards %d/%d  entries %d/%d",
+		st.ShardsCommitted, st.ShardsTotal, st.EntriesDone, st.EntriesTotal)
+	if st.EntriesPerSec > 0 {
+		fmt.Fprintf(&b, "  %.2f entries/s", st.EntriesPerSec)
+	}
+	if st.ETASec >= 0 {
+		fmt.Fprintf(&b, "  eta %s", (time.Duration(st.ETASec * float64(time.Second))).Round(time.Second))
+	}
+	for _, w := range st.Workers {
+		state := "idle"
+		if !w.Healthy {
+			state = "down"
+		} else if w.Shard >= 0 {
+			state = fmt.Sprintf("shard %02d", w.Shard)
+			if w.Job != "" {
+				state += " " + w.Job
+			}
+		}
+		fmt.Fprintf(&b, "  [%s %s]", w.Base, state)
+	}
+	return b.String()
+}

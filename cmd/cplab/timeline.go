@@ -1,0 +1,56 @@
+package main
+
+// timeline.go folds one or more JSONL span logs (coordinator + workers)
+// into Chrome trace-event JSON for Perfetto / chrome://tracing. The
+// propagated Cp-Trace-Id/Cp-Span-Id lineage recorded in the logs stitches
+// the processes into one causal timeline, with wall-clock and sim-clock
+// tracks kept apart.
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/obs"
+)
+
+// timelineCmd exports span logs as a Chrome trace.
+func timelineCmd(args []string) int {
+	fs := flag.NewFlagSet("timeline", flag.ExitOnError)
+	out := fs.String("o", "trace.json", `output trace path ("-" = stdout)`)
+	fs.Parse(args)
+	if fs.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "cplab timeline [-o trace.json] <spans.jsonl> [more.jsonl...]")
+		return exitUsage
+	}
+	var logs []*obs.Log
+	for _, path := range fs.Args() {
+		lg, err := obs.ReadLog(nil, path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cplab:", err)
+			return exitDegraded
+		}
+		if lg.Dropped > 0 {
+			fmt.Fprintf(os.Stderr, "cplab: %s: skipped %d unparseable line(s) (torn tail)\n", path, lg.Dropped)
+		}
+		logs = append(logs, lg)
+	}
+	merged := obs.Merge(logs...)
+	if len(merged.Spans) == 0 {
+		fmt.Fprintln(os.Stderr, "cplab: no spans in the given logs")
+		return exitDegraded
+	}
+	b, err := obs.ChromeTrace(merged)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cplab:", err)
+		return exitDegraded
+	}
+	b = append(b, '\n')
+	if code := emit(*out, b); code != exitOK {
+		return code
+	}
+	procs := merged.Procs()
+	fmt.Fprintf(os.Stderr, "cplab: timeline: %d spans from %d process(es) %v\n",
+		len(merged.Spans), len(procs), procs)
+	return exitOK
+}

@@ -13,6 +13,8 @@ import (
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -23,6 +25,7 @@ import (
 	"repro/internal/durable"
 	"repro/internal/fsfault"
 	"repro/internal/labd"
+	"repro/internal/obs"
 	"repro/internal/timebase"
 )
 
@@ -39,6 +42,9 @@ func run(args []string) int {
 	drainWait := fs.Duration("drain", 30*time.Second, "shutdown budget for checkpointing in-flight work")
 	diskchaos := fs.Float64("diskchaos", 0, "inject ENOSPC/EIO into state-dir writes with this probability (testing)")
 	diskchaosseed := fs.Uint64("diskchaosseed", 1, "seed for the -diskchaos fault schedule")
+	spans := fs.String("spans", "", "append job span timelines to this JSONL path (observation only)")
+	spanslices := fs.Bool("spanslices", false, "with -spans: record per-event scheduler slices (verbose)")
+	pprofOn := fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ on the service mux")
 	fs.Parse(args)
 	if fs.NArg() > 0 {
 		fmt.Fprintln(os.Stderr, "cplabd: unexpected arguments:", fs.Args())
@@ -78,11 +84,53 @@ func run(args []string) int {
 		fmt.Fprintln(os.Stderr, "cplabd:", err)
 		return 1
 	}
+
+	// Span tracing: the daemon appends (never truncates) so restarted
+	// workers extend the same log, and each job span adopts the trace the
+	// coordinator propagated over HTTP. The process name carries the
+	// listen address so multi-worker timelines get distinct tracks.
+	if *spans != "" {
+		tr, terr := obs.New(obs.Config{
+			Proc:  "cplabd " + ln.Addr().String(),
+			Trace: "cplabd",
+			Path:  *spans,
+		})
+		if terr != nil {
+			fmt.Fprintln(os.Stderr, "cplabd:", terr)
+			return 2
+		}
+		obs.SetAmbient(&obs.Ctx{Tracer: tr, Slices: *spanslices})
+		defer func() {
+			obs.SetAmbient(nil)
+			if cerr := tr.Close(); cerr != nil {
+				fmt.Fprintln(os.Stderr, "cplabd: spans:", cerr)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "cplabd: spans: wrote %d spans to %s\n", tr.Spans(), *spans)
+		}()
+	}
+
 	srv.Start()
 	fmt.Fprintf(os.Stderr, "cplabd: listening on %s (state %s)\n", ln.Addr(), *state)
 
+	// The service handler, optionally wrapped with pprof on an explicit
+	// mux — never the DefaultServeMux, which third-party imports can
+	// pollute.
+	var handler http.Handler = srv.Handler()
+	if *pprofOn {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/", handler)
+		handler = mux
+		fmt.Fprintf(os.Stderr, "cplabd: pprof on http://%s/debug/pprof/\n", ln.Addr())
+	}
+
 	// The hardened server: header/read/idle timeouts against slow clients.
-	hs := labd.NewHTTPServer(srv.Handler())
+	hs := labd.NewHTTPServer(handler)
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
 

@@ -17,12 +17,14 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"strconv"
 	"sync"
 	"time"
 
 	"repro/internal/durable"
 	"repro/internal/kern"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/pool"
 )
 
@@ -250,6 +252,19 @@ func (c *Campaign) RunParallel(ctx context.Context, workers int) (*Manifest, err
 	mResumeHits := reg.Counter("campaign_resume_hits_total")
 	mCheckpoints := reg.Counter("campaign_checkpoints_total")
 
+	// Ambient span context, resolved once like the registry. The campaign
+	// span roots this run's entry spans; when a caller (labd) already
+	// opened a parent (the job span), entries nest under a campaign span
+	// below it so multi-campaign processes stay separable.
+	octx := obs.Ambient()
+	var root *obs.Span
+	if octx.Enabled() {
+		root = octx.Tracer.Start("campaign", obs.TierCampaign, octx.Parent)
+		root.SetAttr("seed", strconv.FormatUint(c.man.Seed, 10))
+		root.SetAttr("entries", strconv.Itoa(len(c.man.IDs)))
+		root.SetAttr("workers", strconv.Itoa(workers))
+	}
+
 	// Snapshot the work: plan order, minus final records. Seeds and session
 	// numbers are derived here, before anything runs, so they cannot depend
 	// on execution order.
@@ -286,7 +301,24 @@ func (c *Campaign) RunParallel(ctx context.Context, workers int) (*Manifest, err
 			}
 			c.logf("campaign: %s (seed %d, session %d)", j.id, j.seed, j.session)
 			start := time.Now()
-			res := c.contain(j.id, j.entry, j.seed)
+			var esp *obs.Span
+			if octx.Enabled() {
+				esp = octx.Tracer.Start(j.id, obs.TierEntry, root)
+				esp.SetAttr("seed", strconv.FormatUint(j.seed, 10))
+				esp.SetAttr("session", strconv.Itoa(j.session))
+				if j.prev != nil && j.prev.FailedSessions > 0 {
+					esp.SetAttr("failed_sessions", strconv.Itoa(j.prev.FailedSessions))
+				}
+			}
+			res := c.contain(j.id, j.entry, j.seed, octx.Child(esp))
+			if esp != nil {
+				esp.SetAttr("attempts", strconv.Itoa(res.att.Attempts))
+				esp.SetAttr("outcome", outcomeOf(j, res))
+				if res.att.Err != nil {
+					esp.SetAttr("error", firstLine(res.att.Err.Error()))
+				}
+				esp.Finish()
+			}
 			c.logf("campaign: %s finished in %v", j.id, time.Since(start).Round(time.Millisecond))
 			return res
 		},
@@ -325,6 +357,16 @@ func (c *Campaign) RunParallel(ctx context.Context, workers int) (*Manifest, err
 			}
 			return false, nil
 		})
+	if root != nil {
+		root.SetAttr("ran", strconv.Itoa(ranThisSession))
+		if halted || err != nil {
+			root.SetAttr("halted", "true")
+		}
+		root.Finish()
+		// Flush here, not at Close: a halted labd job's spans must reach
+		// the log before the process drains.
+		_ = octx.Tracer.Flush()
+	}
 	switch {
 	case err == nil && halted:
 		return c.man, ErrHalted
@@ -335,6 +377,22 @@ func (c *Campaign) RunParallel(ctx context.Context, workers int) (*Manifest, err
 		return c.man, c.haltOnDiskErr(err)
 	}
 	return c.man, nil
+}
+
+// outcomeOf labels an entry span's result, carrying retry/resume
+// provenance: "retried" marks a success that needed a prior failed
+// session's seed bump.
+func outcomeOf(j job, res containResult) string {
+	switch {
+	case res.att.Err != nil:
+		return "failed"
+	case res.att.Degraded:
+		return "degraded"
+	case j.prev != nil && j.prev.FailedSessions > 0:
+		return "retried"
+	default:
+		return "ok"
+	}
 }
 
 // haltOnDiskErr turns an environmental disk fault (ENOSPC, EIO, quota,
@@ -364,11 +422,18 @@ func (c *Campaign) notify(rec *Record) {
 // contained goroutine itself (even on the panic path), so an abandoned
 // runner can never race the sequencer over its registry; a timed-out entry
 // records no telemetry.
-func (c *Campaign) contain(id string, e Entry, seed uint64) containResult {
+func (c *Campaign) contain(id string, e Entry, seed uint64, octx *obs.Ctx) containResult {
 	ch := make(chan containResult, 1)
 	go func() {
 		reg := metrics.New()
 		restore := metrics.ScopeAmbient(reg)
+		// The entry's span context is scoped to this goroutine the same
+		// way its registry is, so machines built here phase under the
+		// entry's span and parallel entries never share a parent.
+		var restoreObs func()
+		if octx != nil {
+			restoreObs = obs.ScopeAmbient(octx)
+		}
 		var res containResult
 		defer func() {
 			if r := recover(); r != nil {
@@ -377,6 +442,10 @@ func (c *Campaign) contain(id string, e Entry, seed uint64) containResult {
 					err = fmt.Errorf("%v", r)
 				}
 				res.att = Attempt{Attempts: 1, Err: fmt.Errorf("entry %s panicked outside its guarded runner: %w", id, err)}
+			}
+			if octx != nil {
+				octx.ClosePhase() // a panicking entry still logs its open machine phase
+				restoreObs()
 			}
 			restore()
 			res.telemetry = metrics.Delta(nil, reg.Flatten())

@@ -15,6 +15,7 @@ import (
 	"repro/internal/isa"
 	"repro/internal/kern"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/timebase"
 	"repro/internal/trace"
@@ -243,6 +244,13 @@ func NewMachine(kind Sched, seed uint64, opts ...MachineOption) *kern.Machine {
 		m.AttachTracer(col)
 		traceCap.machines = append(traceCap.machines,
 			capturedMachine{seed: seed, label: kind.String(), col: col})
+	}
+	// Same cadence as the profiler phases: when an ambient span context is
+	// installed, each machine opens a machine-tier span (ending the prior
+	// machine's), so the timeline attributes the entry's wall and sim time
+	// per machine. A nil context makes this one predicted branch.
+	if c := obs.Ambient(); c.Enabled() {
+		c.BeginMachinePhase(fmt.Sprintf("%s seed=%d", kind, seed), m)
 	}
 	return m
 }

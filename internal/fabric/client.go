@@ -24,6 +24,7 @@ import (
 
 	"repro/internal/campaign"
 	"repro/internal/labd"
+	"repro/internal/obs"
 	"repro/internal/rng"
 )
 
@@ -68,6 +69,11 @@ func retryable(err error) bool {
 // per-request timeout on top of the caller's ctx, so one black-holed
 // connection cannot wedge a driver.
 func (c *client) do(ctx context.Context, method, path string, body []byte, out any) error {
+	return c.doHeaders(ctx, method, path, body, out, nil)
+}
+
+// doHeaders is do with extra request headers (span propagation).
+func (c *client) doHeaders(ctx context.Context, method, path string, body []byte, out any, hdr http.Header) error {
 	rctx, cancel := context.WithTimeout(ctx, c.wait)
 	defer cancel()
 	var rd io.Reader
@@ -80,6 +86,11 @@ func (c *client) do(ctx context.Context, method, path string, body []byte, out a
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	for k, vs := range hdr {
+		for _, v := range vs {
+			req.Header.Set(k, v)
+		}
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
@@ -111,14 +122,23 @@ func (c *client) do(ctx context.Context, method, path string, body []byte, out a
 	return nil
 }
 
-// submit POSTs a spec and returns the accepted job view.
-func (c *client) submit(ctx context.Context, spec labd.Spec) (labd.JobView, error) {
+// submit POSTs a spec and returns the accepted job view. trace/spanRef
+// carry the coordinator's span lineage (Cp-Trace-Id / Cp-Span-Id) so the
+// worker's job spans join the cluster trace; empty values send nothing.
+func (c *client) submit(ctx context.Context, spec labd.Spec, trace, spanRef string) (labd.JobView, error) {
 	b, err := json.Marshal(spec)
 	if err != nil {
 		return labd.JobView{}, err
 	}
+	hdr := http.Header{}
+	if trace != "" {
+		hdr.Set(obs.HeaderTraceID, trace)
+	}
+	if spanRef != "" {
+		hdr.Set(obs.HeaderSpanID, spanRef)
+	}
 	var view labd.JobView
-	if err := c.do(ctx, http.MethodPost, "/jobs", b, &view); err != nil {
+	if err := c.doHeaders(ctx, http.MethodPost, "/jobs", b, &view, hdr); err != nil {
 		return labd.JobView{}, err
 	}
 	return view, nil

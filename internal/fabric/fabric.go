@@ -44,6 +44,8 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"runtime"
+	"strconv"
 	"sync"
 	"time"
 
@@ -51,6 +53,7 @@ import (
 	"repro/internal/durable"
 	"repro/internal/labd"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/rng"
 )
 
@@ -120,6 +123,11 @@ type Config struct {
 	FS durable.FS
 	// Log receives coordinator progress lines (nil discards them).
 	Log io.Writer
+	// Obs, when set, is the tracing context the coordinator roots its
+	// cluster/shard spans under instead of the process-wide ambient one.
+	// The CLI leaves it nil; tests hosting coordinator and workers in one
+	// process set it so each side traces into its own log.
+	Obs *obs.Ctx
 }
 
 // Validate checks the configuration in the style of fault.Config.Validate:
@@ -255,6 +263,10 @@ type workerState struct {
 	base    string
 	healthy bool
 	fails   int // infrastructure failures since the last success
+	// Live-progress fields for /status: the shard attempt this worker is
+	// driving right now (-1 idle) and the worker-side job ID it runs as.
+	curShard int
+	curJob   string
 }
 
 // Coordinator runs one cluster campaign. Build with New or Resume, run
@@ -289,6 +301,15 @@ type Coordinator struct {
 	mHung          *metrics.Counter
 	mSubmitted     *metrics.Counter
 	mWorkerEntries []*metrics.Counter // by worker index
+	mUptime        *metrics.Gauge
+
+	// Span state: the ambient context and cluster root span, resolved in
+	// Run before the drivers start (immutable afterwards, so drivers read
+	// them without co.mu). started/baseDone feed /status rates.
+	octx     *obs.Ctx
+	root     *obs.Span
+	started  time.Time
+	baseDone int // entries already committed when Run began (resume credit)
 
 	logMu sync.Mutex
 }
@@ -405,7 +426,7 @@ func build(cfg Config, plan []string) (*Coordinator, error) {
 		})
 	}
 	for i, base := range cfg.Workers {
-		co.workers = append(co.workers, &workerState{index: i, base: base, healthy: true})
+		co.workers = append(co.workers, &workerState{index: i, base: base, healthy: true, curShard: -1})
 	}
 
 	co.reg = metrics.New()
@@ -424,6 +445,11 @@ func build(cfg Config, plan []string) (*Coordinator, error) {
 		co.mWorkerEntries = append(co.mWorkerEntries,
 			co.reg.Counter(fmt.Sprintf("fabric_worker_entries_total{worker=%q}", w.base)))
 	}
+	co.started = time.Now()
+	co.reg.Gauge(fmt.Sprintf("fabric_build_info{goversion=%q,version=%q}",
+		runtime.Version(), obs.Version())).Set(1)
+	co.reg.Gauge("fabric_process_start_time_seconds").Set(co.started.Unix())
+	co.mUptime = co.reg.Gauge("fabric_process_uptime_seconds")
 	co.mu.Lock()
 	co.updateShardGaugesLocked()
 	co.updateWorkerGaugesLocked()
@@ -442,6 +468,7 @@ func (co *Coordinator) Manifest() *campaign.Manifest { return co.man }
 func (co *Coordinator) WriteMetrics(w io.Writer) error {
 	co.mu.Lock()
 	defer co.mu.Unlock()
+	co.mUptime.Set(int64(time.Since(co.started).Seconds()))
 	return co.reg.WritePrometheus(w)
 }
 
@@ -466,6 +493,27 @@ func (co *Coordinator) Run(ctx context.Context) (*campaign.Manifest, error) {
 	}
 	co.cp = cp
 	co.fresh = false
+
+	// Root the cluster trace before any driver starts: shard spans parent
+	// here, and the span's reference propagates to workers over the job
+	// API. Resolved once — drivers read co.octx/co.root lock-free.
+	co.octx = co.cfg.Obs
+	if co.octx == nil {
+		co.octx = obs.Ambient()
+	}
+	co.mu.Lock()
+	co.baseDone = len(co.man.Entries)
+	if co.octx.Enabled() {
+		co.root = co.octx.Tracer.Start("cluster", obs.TierCluster, co.octx.Parent)
+		co.root.SetAttr("seed", strconv.FormatUint(co.cfg.Spec.Seed, 10))
+		co.root.SetAttr("shards", strconv.Itoa(len(co.shards)))
+		co.root.SetAttr("workers", strconv.Itoa(len(co.workers)))
+		co.root.SetAttr("entries", strconv.Itoa(len(co.plan)))
+		if co.baseDone > 0 {
+			co.root.SetAttr("resumed_entries", strconv.Itoa(co.baseDone))
+		}
+	}
+	co.mu.Unlock()
 
 	// A cancelled ctx must wake the commit loop and every cond waiter.
 	watchDone := make(chan struct{})
@@ -536,6 +584,7 @@ func (co *Coordinator) Run(ctx context.Context) (*campaign.Manifest, error) {
 	wg.Wait()
 
 	if commitErr != nil {
+		co.endRoot("error: " + commitErr.Error())
 		return co.man, commitErr
 	}
 	co.mu.Lock()
@@ -545,12 +594,24 @@ func (co *Coordinator) Run(ctx context.Context) (*campaign.Manifest, error) {
 	if !complete {
 		co.saveClusterCheckpoint()
 		co.logf("fabric: halted (%s); resume from %s + %s", reason, co.cfg.Path, co.cfg.ClusterPath)
+		co.endRoot("halted: " + reason)
 		return co.man, ErrHalted
 	}
 	// Complete: the sidecar is stale; the merged manifest alone is the
 	// result. A leftover sidecar would confuse the next Resume.
 	co.cfg.fs().Remove(co.cfg.ClusterPath)
+	co.endRoot("complete")
 	return co.man, nil
+}
+
+// endRoot closes the cluster span with its outcome and flushes the log.
+func (co *Coordinator) endRoot(outcome string) {
+	if co.root == nil {
+		return
+	}
+	co.root.SetAttr("outcome", outcome)
+	co.root.Finish()
+	_ = co.octx.Tracer.Flush()
 }
 
 // driver is one worker's loop: probe health, pull the next shard (or steal
@@ -614,6 +675,7 @@ func (co *Coordinator) next(w *workerState) *shard {
 			sh.started = time.Now()
 			sh.attempts++
 			sh.runners = append(sh.runners, w.index)
+			w.curShard = sh.index
 			co.updateShardGaugesLocked()
 			return sh
 		}
@@ -638,7 +700,12 @@ func (co *Coordinator) next(w *workerState) *shard {
 		if best != nil {
 			best.attempts++
 			best.runners = append(best.runners, w.index)
+			w.curShard = best.index
 			co.mSteals.Inc()
+			if co.root != nil {
+				co.octx.Tracer.Mark(fmt.Sprintf("steal shard %02d", best.index), co.root,
+					map[string]string{"worker": w.base, "left": strconv.Itoa(bestLeft)})
+			}
 			co.logf("fabric: worker %s steals straggler shard %d (%d entries left)", w.base, best.index, bestLeft)
 			return best
 		}
@@ -673,26 +740,53 @@ func remaining(sh *shard) int {
 // manifest, finish the shard. A non-nil return means the attempt failed
 // and the shard needs requeueing — except ctx/stop errors, which settle
 // treats as shutdown.
-func (co *Coordinator) runShard(ctx context.Context, w *workerState, cl *client, ret *retrier, sh *shard) error {
+func (co *Coordinator) runShard(ctx context.Context, w *workerState, cl *client, ret *retrier, sh *shard) (err error) {
 	spec := co.cfg.Spec
 	spec.IDs = append([]string(nil), sh.ids...)
 	spec.Resume = co.partialSnapshot(sh)
 
+	// One span per shard attempt, under the cluster root. Its reference
+	// travels with the submission so the worker's job span links back
+	// here; the attempt's outcome lands on the span in the deferred close.
+	var sp *obs.Span
+	var trace, spanRef string
+	if co.root != nil {
+		sp = co.octx.Tracer.Start(fmt.Sprintf("shard %02d", sh.index), obs.TierShard, co.root)
+		sp.SetAttr("worker", w.base)
+		sp.SetAttr("attempt", strconv.Itoa(co.shardAttempts(sh)))
+		sp.SetAttr("entries", strconv.Itoa(len(sh.ids)))
+		trace, spanRef = sp.Trace, sp.Ref()
+		defer func() {
+			switch {
+			case err == nil:
+				sp.SetAttr("outcome", "done")
+			case ctx.Err() != nil || errors.Is(err, errStopping):
+				sp.SetAttr("outcome", "stopped")
+			default:
+				sp.SetAttr("outcome", "requeued")
+				sp.SetAttr("error", err.Error())
+			}
+			sp.Finish()
+		}()
+	}
+
 	var view labd.JobView
 	if err := ret.do(ctx, "submit", func() error {
-		v, err := cl.submit(ctx, spec)
-		if err == nil {
+		v, serr := cl.submit(ctx, spec, trace, spanRef)
+		if serr == nil {
 			view = v
 		}
-		return err
+		return serr
 	}); err != nil {
 		if ctx.Err() != nil {
 			return ctx.Err()
 		}
 		return fmt.Errorf("submitting shard %d: %w", sh.index, err)
 	}
+	sp.SetAttr("job", view.ID)
 	co.mu.Lock()
 	co.mSubmitted.Inc()
+	w.curJob = view.ID
 	co.mu.Unlock()
 	co.logf("fabric: shard %d -> %s %s (%d entries, attempt %d)", sh.index, w.base, view.ID, len(sh.ids), co.shardAttempts(sh))
 
@@ -706,6 +800,7 @@ func (co *Coordinator) runShard(ctx context.Context, w *workerState, cl *client,
 		if co.shardSettled(sh) {
 			// Someone else (the owner, or a thief) finished this shard
 			// first; this attempt is surplus.
+			sp.SetAttr("surplus", "true")
 			co.abort(cl, view.ID)
 			return nil
 		}
@@ -801,6 +896,8 @@ func (co *Coordinator) settle(ctx context.Context, w *workerState, sh *shard, er
 		}
 	}
 	sh.runners = keep
+	w.curShard = -1
+	w.curJob = ""
 
 	switch {
 	case err == nil:
@@ -814,6 +911,10 @@ func (co *Coordinator) settle(ctx context.Context, w *workerState, sh *shard, er
 		co.updateWorkerGaugesLocked()
 		if sh.state == shardRunning {
 			co.mRequeues.Inc()
+			if co.root != nil {
+				co.octx.Tracer.Mark(fmt.Sprintf("requeue shard %02d", sh.index), co.root,
+					map[string]string{"worker": w.base, "error": err.Error()})
+			}
 		}
 		co.logf("fabric: worker %s lost shard %d: %v", w.base, sh.index, err)
 	}

@@ -1,0 +1,169 @@
+package fabric
+
+// spans_test.go covers the observability side of the coordinator: span
+// propagation from cluster root through shard attempts into worker job
+// spans (stitched via Cp-Trace-Id/Cp-Span-Id), byte-identity of the
+// merged manifest with tracing on, and the live Status snapshot.
+
+import (
+	"context"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/labd"
+	"repro/internal/obs"
+)
+
+// newTracedTracer opens a span log under dir for one process.
+func newTracedTracer(t *testing.T, dir, proc, trace string) (*obs.Tracer, string) {
+	t.Helper()
+	path := filepath.Join(dir, proc+".jsonl")
+	tr, err := obs.New(obs.Config{Proc: proc, Trace: trace, Path: path, Truncate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr, path
+}
+
+// newTracedWorker is newWorker with a private tracing context, the way a
+// real cplabd process has its own -spans log.
+func newTracedWorker(t *testing.T, octx *obs.Ctx) *httptest.Server {
+	t.Helper()
+	srv := labd.MustNewServer(labd.Config{
+		StateDir: t.TempDir(),
+		Entries:  func(sp labd.Spec) []campaign.Entry { return entriesFor(sp.IDs, nil, 0) },
+		Note:     testNote,
+		Obs:      octx,
+	})
+	srv.Start()
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		hs.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		srv.Drain(ctx)
+	})
+	return hs
+}
+
+func TestTracedClusterStitchesAndStaysByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+	ids := plan(7)
+	const seed = 5
+
+	coordTr, coordLog := newTracedTracer(t, dir, "coordinator", "cluster-seed5")
+	var workers []string
+	var workerLogs []string
+	for i := 0; i < 2; i++ {
+		proc := "cplabd w" + string(rune('0'+i))
+		tr, log := newTracedTracer(t, dir, proc, "cplabd")
+		t.Cleanup(func() { tr.Close() })
+		workers = append(workers, newTracedWorker(t, &obs.Ctx{Tracer: tr}).URL)
+		workerLogs = append(workerLogs, log)
+	}
+
+	cfg := testConfig(t, workers, seed)
+	cfg.Obs = &obs.Ctx{Tracer: coordTr}
+	co := MustNew(cfg, ids)
+	man, err := co.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(man.Entries) != len(ids) {
+		t.Fatalf("merged %d entries, want %d", len(man.Entries), len(ids))
+	}
+
+	// Byte-identity: tracing on both sides must not perturb the manifest.
+	if got, want := mustBytes(t, cfg.Path), serialBytes(t, ids, seed); got != want {
+		t.Fatal("traced cluster manifest differs from serial campaign")
+	}
+
+	// The live status of a finished run.
+	st := co.Status()
+	if !st.Complete || st.Halted {
+		t.Fatalf("status after completion: %+v", st)
+	}
+	if st.EntriesDone != len(ids) || st.EntriesTotal != len(ids) {
+		t.Fatalf("status entries %d/%d, want %d/%d", st.EntriesDone, st.EntriesTotal, len(ids), len(ids))
+	}
+	if st.Trace != "cluster-seed5" {
+		t.Fatalf("status trace = %q", st.Trace)
+	}
+	if len(st.Workers) != 2 {
+		t.Fatalf("status workers: %+v", st.Workers)
+	}
+	for _, w := range st.Workers {
+		if w.Shard != -1 {
+			t.Fatalf("finished run still shows an assigned shard: %+v", w)
+		}
+	}
+
+	if err := coordTr.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Stitch the three logs: every worker job span must adopt the cluster
+	// trace and point its ParentRef at a coordinator shard span.
+	logs := []*obs.Log{}
+	for _, p := range append([]string{coordLog}, workerLogs...) {
+		lg, err := obs.ReadLog(nil, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		logs = append(logs, lg)
+	}
+	merged := obs.Merge(logs...)
+	if got := len(merged.Procs()); got != 3 {
+		t.Fatalf("merged procs = %v, want 3", merged.Procs())
+	}
+
+	shardRefs := map[string]bool{}
+	var clusterRoot *obs.Span
+	for _, s := range merged.Spans {
+		switch s.Tier {
+		case obs.TierCluster:
+			clusterRoot = s
+		case obs.TierShard:
+			shardRefs[s.Ref()] = true
+		}
+	}
+	if clusterRoot == nil || clusterRoot.Attrs["outcome"] != "complete" {
+		t.Fatalf("cluster root span: %+v", clusterRoot)
+	}
+	jobs := 0
+	for _, s := range merged.Spans {
+		if s.Tier != obs.TierJob {
+			continue
+		}
+		jobs++
+		if s.Trace != "cluster-seed5" {
+			t.Fatalf("job span did not adopt the cluster trace: %+v", s)
+		}
+		if !shardRefs[s.ParentRef] {
+			t.Fatalf("job span ParentRef %q matches no shard span", s.ParentRef)
+		}
+	}
+	if jobs == 0 {
+		t.Fatal("no job spans in worker logs")
+	}
+
+	// And the export stitches them with flow arrows.
+	b, err := obs.ChromeTrace(merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !containsFlowPair(b) {
+		t.Fatalf("Chrome trace has no cross-process flow events:\n%.600s", b)
+	}
+}
+
+// containsFlowPair reports whether the trace JSON contains flow ("s"/"f")
+// events.
+func containsFlowPair(b []byte) bool {
+	s := string(b)
+	return strings.Contains(s, `"ph": "s"`) && strings.Contains(s, `"ph": "f"`)
+}

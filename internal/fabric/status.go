@@ -1,0 +1,82 @@
+package fabric
+
+// status.go is the live-progress view of a running cluster campaign: the
+// coordinator snapshots its span/shard/worker state into a Status, the
+// cluster CLI serves it as the /status JSON endpoint next to /metrics,
+// and `cplab tail` renders it for humans watching a sweep. Unlike the
+// manifest, a Status is ephemeral and wall-clock-laden by design.
+
+import "time"
+
+// WorkerStatus is one worker's live state.
+type WorkerStatus struct {
+	Base    string `json:"base"`
+	Healthy bool   `json:"healthy"`
+	// Shard is the shard attempt this worker is driving (-1 when idle),
+	// Job the worker-side job ID it runs as.
+	Shard int    `json:"shard"`
+	Job   string `json:"job,omitempty"`
+}
+
+// Status is a point-in-time snapshot of cluster progress.
+type Status struct {
+	// Trace is the cluster trace ID when span tracing is enabled, the
+	// hook from live progress back into the recorded timeline.
+	Trace           string  `json:"trace,omitempty"`
+	ShardsTotal     int     `json:"shards_total"`
+	ShardsCommitted int     `json:"shards_committed"`
+	EntriesTotal    int     `json:"entries_total"`
+	EntriesDone     int     `json:"entries_done"`
+	ElapsedSec      float64 `json:"elapsed_sec"`
+	EntriesPerSec   float64 `json:"entries_per_sec"`
+	// ETASec extrapolates the remaining entries at the current rate;
+	// negative means no rate yet (nothing finished this session).
+	ETASec   float64        `json:"eta_sec"`
+	Complete bool           `json:"complete"`
+	Halted   bool           `json:"halted"`
+	Reason   string         `json:"reason,omitempty"`
+	Workers  []WorkerStatus `json:"workers"`
+}
+
+// Status snapshots the coordinator's live progress. Safe to call from any
+// goroutine while Run is in flight (the /status endpoint does).
+func (co *Coordinator) Status() Status {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	st := Status{
+		ShardsTotal:     len(co.shards),
+		ShardsCommitted: co.nextCommit,
+		EntriesTotal:    len(co.plan),
+		Halted:          co.halted,
+		Reason:          co.haltReason,
+		ETASec:          -1,
+	}
+	if co.root != nil {
+		st.Trace = co.root.Trace
+	}
+	// Done = committed records plus final records banked in uncommitted
+	// shards' freshest checkpoints, so progress moves while a shard runs.
+	st.EntriesDone = len(co.man.Entries)
+	for _, sh := range co.shards[co.nextCommit:] {
+		if sh.records != nil {
+			st.EntriesDone += len(sh.records)
+		} else if sh.partial != nil {
+			st.EntriesDone += finalRecords(sh.partial, sh.ids)
+		}
+	}
+	st.Complete = co.nextCommit >= len(co.shards)
+	st.ElapsedSec = time.Since(co.started).Seconds()
+	// Rate counts only this session's progress: resumed entries were free.
+	if ran := st.EntriesDone - co.baseDone; ran > 0 && st.ElapsedSec > 0 {
+		st.EntriesPerSec = float64(ran) / st.ElapsedSec
+		if left := st.EntriesTotal - st.EntriesDone; left >= 0 {
+			st.ETASec = float64(left) / st.EntriesPerSec
+		}
+	}
+	for _, w := range co.workers {
+		st.Workers = append(st.Workers, WorkerStatus{
+			Base: w.base, Healthy: w.healthy, Shard: w.curShard, Job: w.curJob,
+		})
+	}
+	return st
+}

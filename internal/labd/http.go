@@ -7,6 +7,8 @@ import (
 	"net/http"
 	"os"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // NewHTTPServer wraps a handler in an http.Server with the service's
@@ -58,7 +60,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, fmt.Sprintf("bad spec: %v", err))
 		return
 	}
-	view, err := s.Submit(spec)
+	// Span lineage rides the job API as plain headers so the coordinator's
+	// shard spans and this worker's job spans stitch into one trace.
+	view, err := s.SubmitTraced(spec, r.Header.Get(obs.HeaderTraceID), r.Header.Get(obs.HeaderSpanID))
 	if err != nil {
 		httpError(w, httpStatus(err), err.Error())
 		return

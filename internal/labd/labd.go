@@ -23,12 +23,14 @@ import (
 	"path/filepath"
 	"runtime"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
 	"repro/internal/campaign"
 	"repro/internal/durable"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 )
 
 // Spec is one submitted campaign: the subset of cplab's campaign flags
@@ -116,6 +118,11 @@ type Config struct {
 	FS durable.FS
 	// Log receives service progress lines (nil discards them).
 	Log io.Writer
+	// Obs, when set, is the tracing context jobs run under instead of the
+	// process-wide ambient one. cplabd leaves it nil (one daemon, one
+	// ambient tracer); tests hosting several in-process workers set it so
+	// each worker traces into its own log, as separate daemons would.
+	Obs *obs.Ctx
 }
 
 // fs resolves the configured filesystem.
@@ -174,16 +181,24 @@ type job struct {
 	clean      bool
 	cancel     context.CancelFunc // set while running
 	userCancel bool               // DELETE requested (vs drain)
+	// Propagated span lineage (Cp-Trace-Id / Cp-Span-Id): the job's spans
+	// join the submitter's trace so coordinator and worker timelines
+	// stitch. Persisted, so a restarted worker's resumed run stays on the
+	// original trace.
+	trace     string
+	traceFrom string
 }
 
 // jobState is the persisted shape of a job (stateDir/<id>/state.json).
 type jobState struct {
-	ID    string `json:"id"`
-	Seq   int    `json:"seq"`
-	State State  `json:"state"`
-	Spec  Spec   `json:"spec"`
-	Error string `json:"error,omitempty"`
-	Clean bool   `json:"clean,omitempty"`
+	ID          string `json:"id"`
+	Seq         int    `json:"seq"`
+	State       State  `json:"state"`
+	Spec        Spec   `json:"spec"`
+	Error       string `json:"error,omitempty"`
+	Clean       bool   `json:"clean,omitempty"`
+	Trace       string `json:"trace,omitempty"`
+	TraceParent string `json:"trace_parent,omitempty"`
 }
 
 // Server runs the lab service. Build with NewServer, start the dispatcher
@@ -202,6 +217,8 @@ type Server struct {
 	queue chan *job
 	quit  chan struct{}
 	idle  chan struct{} // closed when the dispatcher exits
+
+	started time.Time // process start, for the uptime metrics
 }
 
 // NewServer loads (or initializes) the state directory and returns a
@@ -221,11 +238,12 @@ func NewServer(cfg Config) (*Server, error) {
 		return nil, fmt.Errorf("labd: %w", err)
 	}
 	s := &Server{
-		cfg:   cfg,
-		jobs:  map[string]*job{},
-		queue: make(chan *job, cfg.QueueLimit),
-		quit:  make(chan struct{}),
-		idle:  make(chan struct{}),
+		cfg:     cfg,
+		jobs:    map[string]*job{},
+		queue:   make(chan *job, cfg.QueueLimit),
+		quit:    make(chan struct{}),
+		idle:    make(chan struct{}),
+		started: time.Now(),
 	}
 	if err := s.load(); err != nil {
 		return nil, err
@@ -284,7 +302,8 @@ func (s *Server) load() error {
 			s.logf("labd: corrupt state for %s quarantined as %s: %v", d.Name(), dst, err)
 			continue
 		}
-		j := &job{id: st.ID, seq: st.Seq, state: st.State, spec: st.Spec, errMsg: st.Error, clean: st.Clean}
+		j := &job{id: st.ID, seq: st.Seq, state: st.State, spec: st.Spec, errMsg: st.Error, clean: st.Clean,
+			trace: st.Trace, traceFrom: st.TraceParent}
 		// A job that was mid-run when the process died is requeued; its
 		// manifest prefix survives and Resume skips the committed records.
 		if !j.state.terminal() {
@@ -395,8 +414,37 @@ func (s *Server) runJob(j *job) {
 	j.cancel = cancel
 	j.done, j.total = 0, 0
 	spec := j.spec
+	trace, traceFrom := j.trace, j.traceFrom
 	s.persistLocked(j)
 	s.mu.Unlock()
+
+	// The job span roots this worker's share of the submitter's trace;
+	// the campaign below runs under a goroutine-scoped child context so
+	// its entry spans nest here. Disabled tracing makes all of this nil.
+	octx := s.cfg.Obs
+	if octx == nil {
+		octx = obs.Ambient()
+	}
+	var jsp *obs.Span
+	if octx.Enabled() {
+		jsp = octx.Tracer.StartRemote("job "+j.id, obs.TierJob, trace, traceFrom)
+		jsp.SetAttr("entries", strconv.Itoa(len(spec.IDs)))
+		jsp.SetAttr("seed", strconv.FormatUint(spec.Seed, 10))
+		if spec.Resume != nil {
+			jsp.SetAttr("resume", "carried")
+		}
+		defer func() {
+			s.mu.Lock()
+			st, done := j.state, j.done
+			s.mu.Unlock()
+			jsp.SetAttr("state", string(st))
+			jsp.SetAttr("done", strconv.Itoa(done))
+			jsp.Finish()
+			_ = octx.Tracer.Flush()
+		}()
+		restoreObs := obs.ScopeAmbient(octx.Child(jsp))
+		defer restoreObs()
+	}
 
 	entries := s.wrapEntries(s.cfg.Entries(spec))
 	workers := spec.Parallel
@@ -513,7 +561,12 @@ func (s *Server) finish(j *job, st State, errMsg string, clean bool) {
 }
 
 // Submit validates, persists and enqueues a job for the given spec.
-func (s *Server) Submit(spec Spec) (JobView, error) {
+func (s *Server) Submit(spec Spec) (JobView, error) { return s.SubmitTraced(spec, "", "") }
+
+// SubmitTraced is Submit carrying propagated span lineage: trace is the
+// submitter's Cp-Trace-Id and parentRef its Cp-Span-Id ("proc:id"). Empty
+// values mean an unlinked job (plain curl submissions).
+func (s *Server) SubmitTraced(spec Spec, trace, parentRef string) (JobView, error) {
 	if s.cfg.Normalize != nil {
 		spec = s.cfg.Normalize(spec)
 	}
@@ -552,7 +605,8 @@ func (s *Server) Submit(spec Spec) (JobView, error) {
 	}
 	seq := s.nextSeq
 	s.nextSeq++
-	j := &job{id: fmt.Sprintf("job-%06d", seq), seq: seq, state: StateQueued, spec: spec}
+	j := &job{id: fmt.Sprintf("job-%06d", seq), seq: seq, state: StateQueued, spec: spec,
+		trace: trace, traceFrom: parentRef}
 	if err := os.MkdirAll(filepath.Join(s.cfg.StateDir, j.id), 0o755); err != nil {
 		s.mu.Unlock()
 		return JobView{}, &submitError{status: http.StatusInternalServerError, msg: err.Error()}
@@ -638,6 +692,10 @@ func (s *Server) WriteMetrics(w io.Writer) error {
 	reg.Counter("labd_entries_total").Add(s.entriesTotal)
 	reg.Gauge("labd_workers_busy").Set(int64(s.busy))
 	reg.Gauge("labd_worker_capacity").Set(int64(runtime.GOMAXPROCS(0)))
+	reg.Gauge(fmt.Sprintf("labd_build_info{goversion=%q,version=%q}",
+		runtime.Version(), obs.Version())).Set(1)
+	reg.Gauge("labd_process_start_time_seconds").Set(s.started.Unix())
+	reg.Gauge("labd_process_uptime_seconds").Set(int64(time.Since(s.started).Seconds()))
 	s.mu.Unlock()
 	return reg.WritePrometheus(w)
 }
@@ -655,7 +713,8 @@ func viewLocked(j *job) JobView {
 // s.mu. Persistence failures are logged, not fatal: the live service keeps
 // working, only restart fidelity degrades.
 func (s *Server) persistLocked(j *job) {
-	st := jobState{ID: j.id, Seq: j.seq, State: j.state, Spec: j.spec, Error: j.errMsg, Clean: j.clean}
+	st := jobState{ID: j.id, Seq: j.seq, State: j.state, Spec: j.spec, Error: j.errMsg, Clean: j.clean,
+		Trace: j.trace, TraceParent: j.traceFrom}
 	b, err := json.MarshalIndent(st, "", "  ")
 	if err != nil {
 		s.logf("labd: persist %s: %v", j.id, err)

@@ -275,8 +275,8 @@ func TestProfilerReportOrderingAndRates(t *testing.T) {
 	if rep.EventsPerSec <= 0 {
 		t.Fatal("events/sec must be positive")
 	}
-	if len(rep.ByEvent) != 2 || rep.ByEvent[0].Key != "timer" {
-		t.Fatalf("ByEvent must be cost-sorted: %+v", rep.ByEvent)
+	if len(rep.ByEvent) != 2 || rep.ByEvent[0].Key != "tick" || rep.ByEvent[1].Key != "timer" {
+		t.Fatalf("ByEvent must be key-sorted (deterministic JSON order): %+v", rep.ByEvent)
 	}
 	if len(rep.ByPhase) != 2 || rep.ByPhase[0].Key != "01 warmup" || rep.ByPhase[1].Key != "02 measure" {
 		t.Fatalf("ByPhase must preserve run order: %+v", rep.ByPhase)
@@ -295,6 +295,14 @@ func TestProfilerReportOrderingAndRates(t *testing.T) {
 	}
 	if !strings.Contains(buf.String(), "by event kind") {
 		t.Fatalf("text report: %s", buf.String())
+	}
+	// The human-facing text table shows the expensive kind first, without
+	// disturbing the report value's key order.
+	if strings.Index(buf.String(), "timer") > strings.Index(buf.String(), "tick") {
+		t.Fatalf("text report must be cost-sorted:\n%s", buf.String())
+	}
+	if rep.ByEvent[0].Key != "tick" {
+		t.Fatalf("WriteText must not mutate the report: %+v", rep.ByEvent)
 	}
 }
 

@@ -79,9 +79,12 @@ type ProfileRow struct {
 	NSPerEvent float64 `json:"ns_per_event"`
 }
 
-// ProfileReport is the exported shape of a profiler. ByEvent is sorted by
-// wall time descending (ties by key); ByPhase preserves phase order via the
-// sequence-number prefix.
+// ProfileReport is the exported shape of a profiler. Both tables are
+// key-sorted so the JSON row order is deterministic run to run — wall
+// times are host-dependent, and sorting by them would shuffle rows across
+// otherwise-identical runs. ByPhase's keys carry a sequence-number prefix,
+// so its key order is phase order. WriteText re-sorts a display copy of
+// ByEvent by cost, where "most expensive first" is worth the instability.
 type ProfileReport struct {
 	ByEvent      []ProfileRow `json:"by_event"`
 	ByPhase      []ProfileRow `json:"by_phase"`
@@ -97,8 +100,8 @@ func (p *Profiler) Report() ProfileReport {
 	if p == nil {
 		return rep
 	}
-	rep.ByEvent = rows(p.events, true)
-	rep.ByPhase = rows(p.phases, false)
+	rep.ByEvent = rows(p.events)
+	rep.ByPhase = rows(p.phases)
 	for _, l := range p.events {
 		rep.TotalEvents += l.n
 		rep.TotalWallNS += int64(l.wall)
@@ -109,7 +112,7 @@ func (p *Profiler) Report() ProfileReport {
 	return rep
 }
 
-func rows(m map[string]*lane, byCost bool) []ProfileRow {
+func rows(m map[string]*lane) []ProfileRow {
 	out := make([]ProfileRow, 0, len(m))
 	for key, l := range m {
 		r := ProfileRow{Key: key, Events: l.n, WallNS: int64(l.wall)}
@@ -118,12 +121,7 @@ func rows(m map[string]*lane, byCost bool) []ProfileRow {
 		}
 		out = append(out, r)
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if byCost && out[i].WallNS != out[j].WallNS {
-			return out[i].WallNS > out[j].WallNS
-		}
-		return out[i].Key < out[j].Key
-	})
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
 	return out
 }
 
@@ -153,7 +151,16 @@ func (rep ProfileReport) WriteText(w io.Writer) error {
 				r.Key, r.Events, float64(r.WallNS)/1e6, r.NSPerEvent)
 		}
 	}
-	writeRows("by event kind", rep.ByEvent)
+	// Humans want the expensive kinds on top; sort a copy so the report
+	// value itself keeps its deterministic key order.
+	byCost := append([]ProfileRow(nil), rep.ByEvent...)
+	sort.Slice(byCost, func(i, j int) bool {
+		if byCost[i].WallNS != byCost[j].WallNS {
+			return byCost[i].WallNS > byCost[j].WallNS
+		}
+		return byCost[i].Key < byCost[j].Key
+	})
+	writeRows("by event kind", byCost)
 	writeRows("by phase", rep.ByPhase)
 	return bw.Flush()
 }

@@ -1,0 +1,8 @@
+package obs
+
+import "time"
+
+// wallNow is the one place the span layer touches the host clock. Spans
+// are the only artifact in the repro allowed to carry wall time; the
+// simulation itself never sees it.
+func wallNow() int64 { return time.Now().UnixNano() }

@@ -1,0 +1,379 @@
+// Package obs is the span layer: a causal timeline of what the stack did,
+// from a cluster shard down to a single scheduler stint inside one
+// simulated machine. Every tier opens spans against an ambient tracer —
+// the fabric coordinator per shard attempt, labd per job, the campaign
+// engine per entry, exps.NewMachine per machine phase — and the spans
+// flush through internal/durable as an append-only JSONL log that `cplab
+// timeline` folds into Chrome trace-event JSON for Perfetto.
+//
+// Two disciplines carry over from internal/metrics, and they are the
+// whole point:
+//
+//   - A nil *Tracer (and a nil *Ctx) is fully operational: every method
+//     no-ops and Start returns a nil *Span whose methods also no-op. The
+//     disabled path is a couple of predictable branches and zero
+//     allocations, so tracing can thread through hot call sites
+//     unconditionally.
+//
+//   - Tracing is observation only. Spans record wall-clock timestamps but
+//     never feed anything back into the simulation, the campaign plan, or
+//     a manifest; golden traces and manifests are byte-identical with
+//     tracing on or off, at any parallel width, across halt/resume. Span
+//     logs are the one artifact allowed to differ run-to-run (wall time
+//     is in them by design).
+//
+// Clock model: every span carries wall time (start/end_unix_ns, host
+// clock) and machine-tier spans additionally carry sim time
+// (sim_start/sim_end_ns, the deterministic simulated clock). The exporter
+// renders these as separate Perfetto tracks, because one sim-second may
+// cost microseconds or minutes of wall time depending on host load.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/durable"
+)
+
+// Span tiers, outermost first. The tier names double as the `tier` field
+// in the JSONL log and as grouping hints for the exporter.
+const (
+	TierProcess  = "process"  // one per span log: who wrote this file
+	TierCluster  = "cluster"  // fabric coordinator: one whole sweep
+	TierShard    = "shard"    // fabric: one shard attempt on one worker
+	TierJob      = "job"      // labd: one submitted campaign job
+	TierCampaign = "campaign" // campaign engine: one RunParallel call
+	TierEntry    = "entry"    // campaign: one experiment entry
+	TierMachine  = "machine"  // exps: one constructed machine's lifetime
+	TierSlice    = "slice"    // kern: one scheduler stint on one core
+	TierMark     = "mark"     // instant event (steal, requeue, wake)
+)
+
+// HTTP headers that stitch coordinator and worker timelines into one
+// trace: the fabric client sends them on job submission, labd adopts them
+// for the job's spans.
+const (
+	HeaderTraceID = "Cp-Trace-Id"
+	HeaderSpanID  = "Cp-Span-Id"
+)
+
+// Span is both the live handle returned by Tracer.Start and the record
+// marshalled into the JSONL span log (one line per span, written at End).
+// Exported fields are the wire format; a nil *Span is a valid no-op
+// handle.
+//
+// A span belongs to the goroutine that started it: SetAttr/End are not
+// synchronized against each other. That mirrors how every tier uses them
+// (one owner, then End).
+type Span struct {
+	Trace     string            `json:"trace"`
+	ID        uint64            `json:"id"`
+	Parent    uint64            `json:"parent,omitempty"`     // in-process parent span ID
+	ParentRef string            `json:"parent_ref,omitempty"` // cross-process parent, "proc:id"
+	Proc      string            `json:"proc"`
+	Name      string            `json:"name"`
+	Tier      string            `json:"tier"`
+	Start     int64             `json:"start_unix_ns"`
+	End       int64             `json:"end_unix_ns"`
+	SimStart  int64             `json:"sim_start_ns,omitempty"`
+	SimEnd    int64             `json:"sim_end_ns,omitempty"`
+	Attrs     map[string]string `json:"attrs,omitempty"`
+
+	tr    *Tracer
+	ended bool
+}
+
+// SetAttr records a key/value on the span. No-op on a nil or ended span.
+func (s *Span) SetAttr(k, v string) {
+	if s == nil || s.ended {
+		return
+	}
+	if s.Attrs == nil {
+		s.Attrs = make(map[string]string, 4)
+	}
+	s.Attrs[k] = v
+}
+
+// SetSim records the simulated-clock window the span covers. Zero values
+// leave the corresponding bound unset.
+func (s *Span) SetSim(start, end int64) {
+	if s == nil || s.ended {
+		return
+	}
+	s.SimStart, s.SimEnd = start, end
+}
+
+// Finish stamps the wall-clock end and emits the span to the log. Safe to
+// call on nil; a second call is a no-op. (Named Finish, not End, because
+// End is the wire field holding the timestamp.)
+func (s *Span) Finish() {
+	if s == nil || s.ended {
+		return
+	}
+	s.ended = true
+	s.End = s.tr.now()
+	s.tr.emit(s)
+}
+
+// Ref renders the span's cross-process reference ("proc:id"), the value a
+// child process puts in its ParentRef (and the fabric client sends as
+// Cp-Span-Id). Empty on a nil span.
+func (s *Span) Ref() string {
+	if s == nil {
+		return ""
+	}
+	return fmt.Sprintf("%s:%d", s.Proc, s.ID)
+}
+
+// Config configures a Tracer.
+type Config struct {
+	// Proc names the writing process in every span ("cplab", "cplabd
+	// :8741", "coordinator"). Required.
+	Proc string
+	// Trace is the default trace ID for spans whose lineage does not
+	// carry one (StartRemote can override per span). Required; keep it
+	// deterministic (derived from the seed, not the clock) so reruns
+	// stitch predictably.
+	Trace string
+	// Path is the JSONL span log, appended to via FS.
+	Path string
+	// FS is the filesystem to write through; nil means durable.OS().
+	FS durable.FS
+	// Truncate starts the log fresh instead of appending to a prior run.
+	Truncate bool
+	// now overrides the wall clock in tests.
+	now func() int64
+}
+
+// Tracer writes spans to an append-only JSONL log. Spans buffer in memory
+// and flush on size, on Flush, and on Close; the log is observability,
+// not state — no checksums, no fsync, and readers tolerate a torn tail.
+// A nil *Tracer is fully operational as a disabled tracer.
+type Tracer struct {
+	proc    string
+	trace   string
+	fs      durable.FS
+	path    string
+	nowf    func() int64
+	nextID  atomic.Uint64
+	spans   atomic.Int64
+	mu      sync.Mutex
+	buf     []byte
+	err     error
+	closed  bool
+	flushAt int
+}
+
+// flushThreshold is the buffered-bytes level that triggers an implicit
+// flush. Big enough that per-entry span traffic amortizes into few writes,
+// small enough that `cplab tail`-adjacent tooling sees progress.
+const flushThreshold = 32 << 10
+
+// New opens a span log and writes the process-header span (tier
+// "process") that names the writer and pins its build info.
+func New(cfg Config) (*Tracer, error) {
+	if cfg.Proc == "" {
+		return nil, fmt.Errorf("obs: Config.Proc is required")
+	}
+	if cfg.Trace == "" {
+		return nil, fmt.Errorf("obs: Config.Trace is required")
+	}
+	if cfg.Path == "" {
+		return nil, fmt.Errorf("obs: Config.Path is required")
+	}
+	fs := cfg.FS
+	if fs == nil {
+		fs = durable.OS()
+	}
+	t := &Tracer{
+		proc:    cfg.Proc,
+		trace:   cfg.Trace,
+		fs:      fs,
+		path:    cfg.Path,
+		nowf:    cfg.now,
+		flushAt: flushThreshold,
+	}
+	if cfg.Truncate {
+		if err := fs.WriteFile(cfg.Path, nil, 0o644); err != nil {
+			return nil, fmt.Errorf("obs: truncate span log: %w", err)
+		}
+	}
+	hdr := &Span{
+		Trace: t.trace,
+		Proc:  t.proc,
+		Name:  cfg.Proc,
+		Tier:  TierProcess,
+		Start: t.now(),
+		Attrs: map[string]string{"goversion": runtime.Version(), "version": Version()},
+	}
+	hdr.End = hdr.Start
+	t.emit(hdr)
+	if err := t.Flush(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// TraceID returns the tracer's default trace ID ("" on nil).
+func (t *Tracer) TraceID() string {
+	if t == nil {
+		return ""
+	}
+	return t.trace
+}
+
+// Spans returns the number of spans emitted so far (0 on nil).
+func (t *Tracer) Spans() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.spans.Load()
+}
+
+// Start opens a span under parent (nil parent = root of this process's
+// timeline, on the tracer's default trace). Returns nil on a nil tracer.
+func (t *Tracer) Start(name, tier string, parent *Span) *Span {
+	if t == nil {
+		return nil
+	}
+	s := &Span{
+		Trace: t.trace,
+		ID:    t.nextID.Add(1),
+		Proc:  t.proc,
+		Name:  name,
+		Tier:  tier,
+		Start: t.now(),
+		tr:    t,
+	}
+	if parent != nil {
+		s.Trace = parent.Trace
+		s.Parent = parent.ID
+	}
+	return s
+}
+
+// StartRemote opens a root span whose parent lives in another process:
+// trace is the propagated Cp-Trace-Id and parentRef the propagated
+// Cp-Span-Id ("proc:id"). Empty trace falls back to the tracer's default;
+// empty parentRef means an unparented root.
+func (t *Tracer) StartRemote(name, tier, trace, parentRef string) *Span {
+	if t == nil {
+		return nil
+	}
+	s := t.Start(name, tier, nil)
+	if trace != "" {
+		s.Trace = trace
+	}
+	s.ParentRef = parentRef
+	return s
+}
+
+// Mark emits an instant event (tier "mark", zero duration) under parent.
+func (t *Tracer) Mark(name string, parent *Span, attrs map[string]string) {
+	if t == nil {
+		return
+	}
+	s := t.Start(name, TierMark, parent)
+	for k, v := range attrs {
+		s.SetAttr(k, v)
+	}
+	s.Finish()
+}
+
+func (t *Tracer) now() int64 {
+	if t == nil {
+		return 0
+	}
+	if t.nowf != nil {
+		return t.nowf()
+	}
+	return wallNow()
+}
+
+// emit marshals one finished span onto the buffer, flushing when the
+// buffer is full. Write errors latch into t.err — observability must not
+// perturb the run, so nothing on the span path returns an error.
+func (t *Tracer) emit(s *Span) {
+	if t == nil {
+		return
+	}
+	line, err := json.Marshal(s)
+	if err != nil { // unreachable for this shape; latch anyway
+		t.mu.Lock()
+		t.err = err
+		t.mu.Unlock()
+		return
+	}
+	t.spans.Add(1)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return
+	}
+	t.buf = append(t.buf, line...)
+	t.buf = append(t.buf, '\n')
+	if len(t.buf) >= t.flushAt {
+		t.flushLocked()
+	}
+}
+
+func (t *Tracer) flushLocked() {
+	if len(t.buf) == 0 {
+		return
+	}
+	if err := t.fs.Append(t.path, t.buf, 0o644); err != nil && t.err == nil {
+		t.err = fmt.Errorf("obs: append span log: %w", err)
+	}
+	t.buf = t.buf[:0]
+}
+
+// Flush writes buffered spans to the log and reports the first latched
+// write error, if any. Nil-safe.
+func (t *Tracer) Flush() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.flushLocked()
+	return t.err
+}
+
+// Close flushes and marks the tracer closed; spans emitted after Close
+// are dropped. Nil-safe.
+func (t *Tracer) Close() error {
+	if t == nil {
+		return nil
+	}
+	err := t.Flush()
+	t.mu.Lock()
+	t.closed = true
+	t.mu.Unlock()
+	return err
+}
+
+// Version reports the main module's version as baked in by the Go
+// toolchain ("(devel)" for plain builds). Shared by the process-header
+// span and the *_build_info Prometheus gauges.
+func Version() string {
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" {
+		return bi.Main.Version
+	}
+	return "unknown"
+}
+
+// Hostname is os.Hostname with the error folded to "unknown", for status
+// payloads and span attrs.
+func Hostname() string {
+	h, err := os.Hostname()
+	if err != nil || h == "" {
+		return "unknown"
+	}
+	return h
+}

@@ -1,0 +1,250 @@
+package obs
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// newTestTracer opens a tracer over a temp file with a deterministic
+// clock, returning the tracer and the log path.
+func newTestTracer(t *testing.T, proc string) (*Tracer, string) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "spans.jsonl")
+	var tick int64
+	tr, err := New(Config{
+		Proc:     proc,
+		Trace:    proc + "-seed1",
+		Path:     path,
+		Truncate: true,
+		now:      func() int64 { tick += 1000; return tick },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr, path
+}
+
+func TestTracerWritesLineage(t *testing.T) {
+	tr, path := newTestTracer(t, "cplab")
+	root := tr.Start("campaign", TierCampaign, nil)
+	root.SetAttr("seed", "1")
+	child := tr.Start("fig4.1", TierEntry, root)
+	child.SetSim(0, 5000)
+	child.Finish()
+	child.Finish()             // double Finish is a no-op
+	child.SetAttr("late", "x") // after Finish: dropped
+	root.Finish()
+	tr.Mark("steal shard 01", root, map[string]string{"worker": "w0"})
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// header + entry + campaign + mark
+	if got := tr.Spans(); got != 4 {
+		t.Fatalf("Spans() = %d, want 4", got)
+	}
+
+	lg, err := ReadLog(nil, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lg.Spans) != 4 || lg.Dropped != 0 {
+		t.Fatalf("read %d spans (%d dropped), want 4/0", len(lg.Spans), lg.Dropped)
+	}
+	byName := map[string]*Span{}
+	for _, s := range lg.Spans {
+		byName[s.Name] = s
+	}
+	hdr := byName["cplab"]
+	if hdr == nil || hdr.Tier != TierProcess || hdr.Attrs["goversion"] == "" {
+		t.Fatalf("process header span: %+v", hdr)
+	}
+	ent := byName["fig4.1"]
+	if ent.Parent != byName["campaign"].ID || ent.Trace != "cplab-seed1" {
+		t.Fatalf("entry lineage: %+v", ent)
+	}
+	if ent.SimStart != 0 || ent.SimEnd != 5000 {
+		t.Fatalf("entry sim window: %+v", ent)
+	}
+	if _, ok := ent.Attrs["late"]; ok {
+		t.Fatal("SetAttr after Finish must be dropped")
+	}
+	if ent.End <= ent.Start {
+		t.Fatalf("span wall window inverted: start=%d end=%d", ent.Start, ent.End)
+	}
+	mark := byName["steal shard 01"]
+	if mark.Tier != TierMark || mark.Attrs["worker"] != "w0" {
+		t.Fatalf("mark span: %+v", mark)
+	}
+}
+
+func TestStartRemoteAdoptsPropagatedLineage(t *testing.T) {
+	tr, _ := newTestTracer(t, "cplabd :1")
+	sp := tr.StartRemote("job j-01", TierJob, "cluster-seed7", "coordinator:3")
+	if sp.Trace != "cluster-seed7" || sp.ParentRef != "coordinator:3" || sp.Parent != 0 {
+		t.Fatalf("remote span: %+v", sp)
+	}
+	// Empty trace falls back to the tracer default; empty ref is unparented.
+	sp2 := tr.StartRemote("job j-02", TierJob, "", "")
+	if sp2.Trace != tr.TraceID() || sp2.ParentRef != "" {
+		t.Fatalf("fallback remote span: %+v", sp2)
+	}
+	if got, want := sp.Ref(), "cplabd :1:1"; got != want {
+		t.Fatalf("Ref() = %q, want %q", got, want)
+	}
+}
+
+func TestNilTracerAndSpanAreNoOps(t *testing.T) {
+	var tr *Tracer
+	if tr.TraceID() != "" || tr.Spans() != 0 {
+		t.Fatal("nil tracer must read as empty")
+	}
+	sp := tr.Start("x", TierEntry, nil)
+	if sp != nil {
+		t.Fatal("nil tracer must hand out nil spans")
+	}
+	sp.SetAttr("k", "v")
+	sp.SetSim(1, 2)
+	sp.Finish()
+	if sp.Ref() != "" {
+		t.Fatal("nil span Ref must be empty")
+	}
+	tr.Mark("m", nil, nil)
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var c *Ctx
+	if c.Enabled() || c.Child(nil) != nil || c.Start("x", TierEntry) != nil {
+		t.Fatal("nil ctx must be disabled")
+	}
+	c.Mark("m", nil)
+	c.ClosePhase()
+	c.BeginMachinePhase("p", nil)
+}
+
+// TestSpansZeroAllocsDisabled pins the disabled path's cost: resolving the
+// ambient context and driving span handles with tracing off must not
+// allocate — this is what lets the tiers thread spans unconditionally.
+func TestSpansZeroAllocsDisabled(t *testing.T) {
+	prev := SetAmbient(nil)
+	defer SetAmbient(prev)
+	allocs := testing.AllocsPerRun(1000, func() {
+		c := Ambient()
+		if c.Enabled() {
+			t.Fatal("ambient must be disabled here")
+		}
+		sp := c.Start("entry", TierEntry)
+		sp.SetAttr("k", "v")
+		sp.SetSim(1, 2)
+		sp.Finish()
+		c.Mark("m", nil)
+		c.ClosePhase()
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled span path allocates %v allocs/op, want 0", allocs)
+	}
+}
+
+func TestScopeAmbientOverridesPerGoroutine(t *testing.T) {
+	base := &Ctx{}
+	prev := SetAmbient(base)
+	defer SetAmbient(prev)
+	scoped := &Ctx{}
+	restore := ScopeAmbient(scoped)
+	if Ambient() != scoped {
+		t.Fatal("scoped ctx must win on the installing goroutine")
+	}
+	got := make(chan *Ctx)
+	go func() { got <- Ambient() }()
+	if other := <-got; other != base {
+		t.Fatalf("other goroutine sees %p, want process-wide %p", other, base)
+	}
+	restore()
+	if Ambient() != base {
+		t.Fatal("restore must reinstate the process-wide ctx")
+	}
+}
+
+func TestTracerAppendsAcrossRestarts(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "spans.jsonl")
+	for i := 0; i < 2; i++ {
+		tr, err := New(Config{Proc: "cplabd :1", Trace: "cplabd", Path: path})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr.Start("job", TierJob, nil).Finish()
+		if err := tr.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lg, err := ReadLog(nil, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two restarts, each a header + a job span.
+	if len(lg.Spans) != 4 {
+		t.Fatalf("append-mode log has %d spans, want 4", len(lg.Spans))
+	}
+}
+
+func TestTracerCloseDropsLateSpans(t *testing.T) {
+	tr, path := newTestTracer(t, "cplab")
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	tr.Start("late", TierEntry, nil).Finish()
+	lg, err := ReadLog(nil, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lg.Spans) != 1 {
+		t.Fatalf("spans after Close must be dropped, log has %d", len(lg.Spans))
+	}
+}
+
+func TestReadLogToleratesTornTail(t *testing.T) {
+	tr, path := newTestTracer(t, "cplab")
+	tr.Start("whole", TierEntry, nil).Finish()
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash mid-append: a truncated JSON line at the tail.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"trace":"cplab-seed1","id":99,"na`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	lg, err := ReadLog(nil, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lg.Spans) != 2 || lg.Dropped != 1 {
+		t.Fatalf("torn tail: %d spans, %d dropped; want 2 spans, 1 dropped", len(lg.Spans), lg.Dropped)
+	}
+}
+
+func TestSpanWireFormat(t *testing.T) {
+	s := &Span{Trace: "t", ID: 1, Proc: "p", Name: "n", Tier: TierEntry, Start: 10, End: 20}
+	b, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"trace"`, `"start_unix_ns"`, `"end_unix_ns"`} {
+		if !strings.Contains(string(b), key) {
+			t.Fatalf("wire format missing %s: %s", key, b)
+		}
+	}
+	for _, key := range []string{`"parent"`, `"parent_ref"`, `"sim_start_ns"`, `"attrs"`} {
+		if strings.Contains(string(b), key) {
+			t.Fatalf("zero-valued %s must be omitted: %s", key, b)
+		}
+	}
+}
