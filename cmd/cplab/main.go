@@ -8,6 +8,7 @@
 //	cplab all [flags]              # regenerate everything, in paper order
 //	cplab campaign [flags]         # checkpointed sweep (resumes if manifest exists)
 //	cplab resume [flags]           # continue an interrupted campaign
+//	cplab matrix [flags]           # attack-vs-defense efficacy grid (checkpointed)
 //	cplab cluster [flags]          # shard a campaign across cplabd workers
 //	cplab fsck [-repair] <path>    # validate (and repair) campaign state on disk
 //	cplab trace record <id> [flags]# record the kernel event stream to a .cptrace
@@ -25,6 +26,7 @@
 //	-json         emit metrics (run/all) or the manifest (campaign) as JSON
 //	-faults R     inject faults at per-opportunity rate R in [0,1] (chaos mode)
 //	-simbudget D  ambient simulated-time budget per watchdog phase (0 = defaults)
+//	-defense P    install countermeasure preset P in every machine ("" = none)
 //	-spans P      record a span timeline (JSONL) to P; observation only
 //	-spanslices   with -spans, also record per-event scheduler slices
 //
@@ -58,6 +60,7 @@ import (
 
 	"repro"
 	"repro/internal/campaign"
+	"repro/internal/defense"
 	"repro/internal/durable"
 	"repro/internal/fsfault"
 	"repro/internal/report"
@@ -99,6 +102,8 @@ func run(args []string) int {
 		return campaignCmd(args[1:], false)
 	case "resume":
 		return campaignCmd(args[1:], true)
+	case "matrix":
+		return matrixCmd(args[1:])
 	case "cluster":
 		return clusterCmd(args[1:])
 	case "timeline":
@@ -127,8 +132,17 @@ func run(args []string) int {
 		usage()
 		return exitUsage
 	}
+	if s := suggestFrom(args[0], subcommands); s != "" {
+		fmt.Fprintf(os.Stderr, "cplab: unknown command %q (did you mean %q?)\n", args[0], s)
+	}
 	usage()
 	return exitUsage
+}
+
+// subcommands lists every dispatchable subcommand, for did-you-mean.
+var subcommands = []string{
+	"list", "run", "all", "campaign", "resume", "matrix", "cluster",
+	"timeline", "tail", "fsck", "metrics", "profile", "bench", "trace",
 }
 
 // commonFlags are the flags every experiment-running subcommand shares.
@@ -138,6 +152,7 @@ type commonFlags struct {
 	asJSON     *bool
 	faults     *float64
 	simbudget  *time.Duration
+	defense    *string
 	spans      *string
 	spanslices *bool
 }
@@ -150,6 +165,7 @@ func addCommon(fs *flag.FlagSet) *commonFlags {
 		asJSON:     fs.Bool("json", false, "emit metrics/manifest as JSON instead of rendered figures"),
 		faults:     fs.Float64("faults", 0, "fault-injection rate per opportunity in [0,1] (0 disables)"),
 		simbudget:  fs.Duration("simbudget", 0, "simulated-time budget per watchdog phase (0 = experiment defaults)"),
+		defense:    fs.String("defense", "", "install a countermeasure preset in every machine (see `cplab matrix -help`; \"\" = none)"),
 		spans:      fs.String("spans", "", "record a span timeline to this JSONL path (observation only)"),
 		spanslices: fs.Bool("spanslices", false, "with -spans: record per-event scheduler slices (verbose)"),
 	}
@@ -163,8 +179,14 @@ func (c *commonFlags) options() (repro.Options, error) {
 	if *c.simbudget < 0 {
 		return repro.Options{}, fmt.Errorf("-simbudget %v is negative", *c.simbudget)
 	}
+	if *c.defense != "" {
+		if _, err := defense.Preset(*c.defense); err != nil {
+			return repro.Options{}, fmt.Errorf("-defense: %w", err)
+		}
+	}
 	o := options(*c.paper, *c.seed, *c.faults)
 	o.SimBudget = timebase.Duration(*c.simbudget)
+	o.Defense = *c.defense
 	return o, nil
 }
 
@@ -335,13 +357,18 @@ func campaignCmd(args []string, resumeOnly bool) int {
 		}
 	}
 	entries := repro.CampaignEntries(ids, o, *retries)
+	// The note pins everything but the seed that shapes results, so a
+	// resume under different flags is refused instead of silently merging
+	// incomparable records. -defense is appended only when set, keeping
+	// pre-defense manifests resumable byte-identically.
+	note := fmt.Sprintf("paper=%t faults=%g simbudget=%s retries=%d", *cf.paper, *cf.faults, o.SimBudget, *retries)
+	if o.Defense != "" {
+		note += " defense=" + o.Defense
+	}
 	cfg := campaign.Config{
-		Path: *manifest,
-		Seed: *cf.seed,
-		// The note pins everything but the seed that shapes results, so a
-		// resume under different flags is refused instead of silently merging
-		// incomparable records.
-		Note:      fmt.Sprintf("paper=%t faults=%g simbudget=%s retries=%d", *cf.paper, *cf.faults, o.SimBudget, *retries),
+		Path:      *manifest,
+		Seed:      *cf.seed,
+		Note:      note,
 		ExpWall:   *expWall,
 		HaltAfter: *haltAfter,
 		Log:       os.Stderr,
@@ -554,12 +581,19 @@ func firstLine(s string) string {
 	return s
 }
 
-// suggest returns the registered ID closest to the given one, if any is
-// close enough to be a plausible typo.
+// suggest returns the runnable ID — registered experiment or matrix cell —
+// closest to the given one, if any is close enough to be a plausible typo.
 func suggest(id string) string {
+	corpus := append(repro.IDs(), repro.MatrixIDs()...)
+	return suggestFrom(id, corpus)
+}
+
+// suggestFrom returns the candidate closest to word, if any is close enough
+// to be a plausible typo.
+func suggestFrom(word string, candidates []string) string {
 	best, bestD := "", 4
-	for _, known := range repro.IDs() {
-		if d := editDistance(id, known); d < bestD {
+	for _, known := range candidates {
+		if d := editDistance(word, known); d < bestD {
 			best, bestD = known, d
 		}
 	}
@@ -602,6 +636,7 @@ usage:
   cplab all [flags]
   cplab campaign [flags] [-manifest P] [-ids CSV] [-retries N] [-expwall D] [-wall D] [-haltafter N] [-parallel N] [-force]
   cplab resume [same flags — continues the manifest]
+  cplab matrix [-attacks CSV] [-defenses CSV] [-manifest P] [-retries N] [-wall D] [-haltafter N] [-parallel N] [-force] [flags]
   cplab cluster -workers URLS [flags] [-shard N] [-parallel N] [-hang D] [-steal D] [-chaosnet R] [-metricsaddr A] [-force]
   cplab fsck [-repair] <manifest|dir>...
   cplab trace record <id> [-o path] [-maxevents N] [flags]

@@ -1,0 +1,183 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// testGrid is a small grid that exercises every report column shape: a
+// defeated cell (cordon), a throttled cell (preemptcap) and the baseline.
+var testGrid = []string{
+	"-attacks", "nanosleep", "-defenses", "off,cordon",
+}
+
+// TestMatrixWidthByteIdentical checks the matrix acceptance criterion: the
+// grid report and manifest are byte-identical whether the cells ran serially
+// or across parallel workers.
+func TestMatrixWidthByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+	serMan := filepath.Join(dir, "ser.json")
+	parMan := filepath.Join(dir, "par.json")
+
+	serial := capture(t, func() {
+		args := append([]string{"matrix", "-manifest", serMan, "-seed", "3"}, testGrid...)
+		if code := run(args); code != exitOK {
+			t.Errorf("serial matrix exit %d", code)
+		}
+	})
+	wide := capture(t, func() {
+		args := append([]string{"matrix", "-manifest", parMan, "-seed", "3", "-parallel", "2"}, testGrid...)
+		if code := run(args); code != exitOK {
+			t.Errorf("parallel matrix exit %d", code)
+		}
+	})
+	if serial == "" || !strings.Contains(serial, "attack success rate") {
+		t.Fatalf("matrix report suspicious:\n%s", serial)
+	}
+	if wide != serial {
+		t.Fatalf("parallel report differs from serial:\n--- serial ---\n%s\n--- parallel ---\n%s", serial, wide)
+	}
+	ser, err := os.ReadFile(serMan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := os.ReadFile(parMan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(ser) != string(par) {
+		t.Fatal("parallel manifest differs from serial manifest")
+	}
+}
+
+// TestMatrixInterruptResumeByteIdentical checks a grid halted mid-sweep
+// resumes through the durable checkpoint path and ends with exactly the
+// uninterrupted run's report and manifest.
+func TestMatrixInterruptResumeByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+	refMan := filepath.Join(dir, "ref.json")
+	cutMan := filepath.Join(dir, "cut.json")
+
+	refOut := capture(t, func() {
+		args := append([]string{"matrix", "-manifest", refMan, "-seed", "3"}, testGrid...)
+		if code := run(args); code != exitOK {
+			t.Errorf("uninterrupted matrix exit %d", code)
+		}
+	})
+	cutOut := capture(t, func() {
+		args := append([]string{"matrix", "-manifest", cutMan, "-seed", "3", "-haltafter", "1"}, testGrid...)
+		if code := run(args); code != exitHalted {
+			t.Errorf("interrupted matrix exit %d, want %d", code, exitHalted)
+		}
+	})
+	if cutOut != "" {
+		t.Errorf("halted matrix wrote to stdout: %q", cutOut)
+	}
+	resumedOut := capture(t, func() {
+		args := append([]string{"matrix", "-manifest", cutMan, "-seed", "3"}, testGrid...)
+		if code := run(args); code != exitOK {
+			t.Errorf("resume exit %d", code)
+		}
+	})
+	if resumedOut != refOut {
+		t.Fatalf("resumed report differs from uninterrupted:\n--- ref ---\n%s\n--- resumed ---\n%s", refOut, resumedOut)
+	}
+	ref, err := os.ReadFile(refMan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut, err := os.ReadFile(cutMan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(ref) != string(cut) {
+		t.Fatal("resumed manifest differs from uninterrupted manifest")
+	}
+}
+
+// TestMatrixResumeRefusesGridMismatch checks the note pins the grid shape:
+// a halted sweep cannot be resumed under a different axis subset.
+func TestMatrixResumeRefusesGridMismatch(t *testing.T) {
+	man := filepath.Join(t.TempDir(), "m.json")
+	capture(t, func() {
+		args := append([]string{"matrix", "-manifest", man, "-haltafter", "1"}, testGrid...)
+		if code := run(args); code != exitHalted {
+			t.Fatalf("halted matrix exit %d", code)
+		}
+	})
+	capture(t, func() {
+		args := []string{"matrix", "-manifest", man, "-attacks", "ptimer", "-defenses", "off,cordon"}
+		if code := run(args); code != exitDegraded {
+			t.Errorf("resume with different grid exit %d, want refusal (%d)", code, exitDegraded)
+		}
+	})
+}
+
+// TestMatrixAxisValidation checks unknown axis values are rejected at usage
+// time with a did-you-mean, before any cell runs.
+func TestMatrixAxisValidation(t *testing.T) {
+	man := filepath.Join(t.TempDir(), "m.json")
+	for _, args := range [][]string{
+		{"matrix", "-manifest", man, "-attacks", "nanosleap"},
+		{"matrix", "-manifest", man, "-defenses", "cordonn"},
+		{"matrix", "-manifest", man, "-retries", "-1"},
+		{"matrix", "-manifest", man, "-parallel", "0"},
+	} {
+		capture(t, func() {
+			if code := run(args); code != exitUsage {
+				t.Errorf("run(%v) exit %d, want %d", args, code, exitUsage)
+			}
+		})
+	}
+	if _, err := os.Stat(man); !os.IsNotExist(err) {
+		t.Fatal("rejected matrix invocation still created a manifest")
+	}
+}
+
+// TestMatrixCellRunnableByID checks matrix cells resolve through the
+// ordinary run path, and typos get cell-aware suggestions.
+func TestMatrixCellRunnableByID(t *testing.T) {
+	out := capture(t, func() {
+		if code := run([]string{"run", "matrix/nanosleep+cordon", "-seed", "2"}); code != exitOK {
+			t.Fatalf("run of matrix cell exit %d", code)
+		}
+	})
+	if !strings.Contains(out, "matrix cell — nanosleep attack vs cordon defense") {
+		t.Fatalf("cell render missing:\n%s", out)
+	}
+	if s := suggest("matrix/nanosleep+cordn"); s != "matrix/nanosleep+cordon" {
+		t.Fatalf("suggest = %q", s)
+	}
+}
+
+// TestSubcommandDidYouMean checks an unknown subcommand gets a suggestion.
+func TestSubcommandDidYouMean(t *testing.T) {
+	if s := suggestFrom("matirx", subcommands); s != "matrix" {
+		t.Fatalf("suggestFrom(matirx) = %q", s)
+	}
+	if s := suggestFrom("campain", subcommands); s != "campaign" {
+		t.Fatalf("suggestFrom(campain) = %q", s)
+	}
+	capture(t, func() {
+		if code := run([]string{"matirx"}); code != exitUsage {
+			t.Fatalf("unknown subcommand exit %d, want %d", code, exitUsage)
+		}
+	})
+}
+
+// TestRunDefenseFlag checks -defense installs the preset on ordinary runs
+// and rejects unknown presets.
+func TestRunDefenseFlag(t *testing.T) {
+	capture(t, func() {
+		if code := run([]string{"run", "fig4.1", "-defense", "slackrand"}); code != exitOK {
+			t.Errorf("run with -defense exit %d", code)
+		}
+	})
+	capture(t, func() {
+		if code := run([]string{"run", "fig4.1", "-defense", "slackrnd"}); code != exitUsage {
+			t.Errorf("unknown -defense preset exit %d, want %d", code, exitUsage)
+		}
+	})
+}

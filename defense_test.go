@@ -1,0 +1,109 @@
+package repro
+
+// Defense-layer inertness gate plus matrix-ID plumbing: with no defense (or
+// the explicit "off" preset) installed, the hook layer must not shift a
+// single scheduling decision — the full kernel event stream is compared
+// event-by-event against an undefended run of the same experiment.
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// TestDefenseSideEffectFree runs each golden experiment twice — once plain,
+// once with Defense "off" threaded through the ambient options path — and
+// requires byte-identical traces and rendered results. This proves the
+// disabled defense layer is inert end to end: no RNG draws, no extra
+// events, no perturbed wake placement.
+func TestDefenseSideEffectFree(t *testing.T) {
+	for _, id := range goldenIDs {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			_, plain, err := RunTraced(id, Options{Scale: Quick, Seed: goldenSeed}, goldenEventCap)
+			if err != nil {
+				t.Fatalf("RunTraced(%s): %v", id, err)
+			}
+			_, off, err := RunTraced(id, Options{Scale: Quick, Seed: goldenSeed, Defense: "off"}, goldenEventCap)
+			if err != nil {
+				t.Fatalf("RunTraced(%s, defense=off): %v", id, err)
+			}
+			if d := trace.Diff(off, plain); d != nil {
+				t.Fatalf("disabled defense layer perturbed the schedule of %s:\n%s", id, d)
+			}
+		})
+	}
+}
+
+// TestDefenseChangesSchedule is the contrapositive: an actually-enabled
+// preset must perturb a machine-backed experiment's schedule, otherwise the
+// inertness gate above would pass vacuously.
+func TestDefenseChangesSchedule(t *testing.T) {
+	_, plain, err := RunTraced("fig4.1", Options{Scale: Quick, Seed: goldenSeed}, goldenEventCap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, defended, err := RunTraced("fig4.1", Options{Scale: Quick, Seed: goldenSeed, Defense: "slackrand"}, goldenEventCap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := trace.Diff(defended, plain); d == nil {
+		t.Fatal("slackrand defense left fig4.1's schedule untouched")
+	}
+}
+
+// TestOptionsRejectUnknownDefense checks the run paths validate the preset
+// name up front instead of panicking inside an experiment.
+func TestOptionsRejectUnknownDefense(t *testing.T) {
+	o := Options{Scale: Quick, Defense: "slackrnd"}
+	if _, err := Run("tab2.1", o); err == nil || !strings.Contains(err.Error(), "slackrnd") {
+		t.Fatalf("Run with unknown defense: err = %v, want unknown-preset error", err)
+	}
+	if _, _, err := RunTraced("tab2.1", o, 10); err == nil {
+		t.Fatal("RunTraced accepted an unknown defense preset")
+	}
+	if rep := RunGuarded("tab2.1", o, 1); rep.Err == nil {
+		t.Fatal("RunGuarded accepted an unknown defense preset")
+	}
+}
+
+// TestMatrixLookup checks matrix-cell IDs resolve through Lookup without
+// polluting the registry listing, and malformed cell IDs stay unknown.
+func TestMatrixLookup(t *testing.T) {
+	ids := MatrixIDs()
+	if want := len(MatrixAttacks()) * len(MatrixDefenses()); len(ids) != want {
+		t.Fatalf("MatrixIDs() = %d ids, want %d", len(ids), want)
+	}
+	for _, id := range ids {
+		e, ok := Lookup(id)
+		if !ok {
+			t.Fatalf("Lookup(%q) failed", id)
+		}
+		if e.ID != id {
+			t.Fatalf("Lookup(%q).ID = %q", id, e.ID)
+		}
+		if e.Title == "" || e.Run == nil {
+			t.Fatalf("Lookup(%q) returned incomplete experiment", id)
+		}
+	}
+	for _, id := range []string{
+		"matrix/",
+		"matrix/nanosleep",
+		"matrix/nanosleep+",
+		"matrix/+cordon",
+		"matrix/bogus+cordon",
+		"matrix/nanosleep+bogus",
+		"matrix/nanosleep+cordon+extra",
+	} {
+		if _, ok := Lookup(id); ok {
+			t.Errorf("Lookup(%q) resolved, want unknown", id)
+		}
+	}
+	// Matrix cells stay out of the registry listing.
+	for _, id := range IDs() {
+		if strings.HasPrefix(id, "matrix/") {
+			t.Fatalf("registry listing contains matrix cell %q", id)
+		}
+	}
+}

@@ -10,6 +10,7 @@ package colocate
 import (
 	"fmt"
 
+	"repro/internal/defense"
 	"repro/internal/kern"
 	"repro/internal/timebase"
 )
@@ -47,6 +48,16 @@ const time100us = 100 * timebase.Microsecond
 // core the plan reserved.
 func (p *Plan) VictimLandedOnTarget(victim *kern.Thread) bool {
 	return victim.CoreID() == p.TargetCore
+}
+
+// Cordon is the SchedGuard-style counter to this technique: a defense
+// configuration reserving core for threads whose names begin with one of the
+// allow prefixes. Installed via kern.Params.Defense, it makes every step of
+// the §4.4 recipe fail against the reserved core — a dummy's pin is refused,
+// the attacker's preemption thread cannot follow the victim there, and
+// neither the balancer nor injected migrations move foreign work onto it.
+func Cordon(core int, allow ...string) defense.Config {
+	return defense.Config{CordonCores: []int{core}, CordonAllow: allow}
 }
 
 // Stayed reports whether the victim remained on the target core for the

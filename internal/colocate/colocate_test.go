@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/cfs"
+	"repro/internal/defense"
 	"repro/internal/isa"
 	"repro/internal/kern"
 	"repro/internal/ktrace"
@@ -15,6 +16,16 @@ func newMachine(t *testing.T, cores int) *kern.Machine {
 	t.Helper()
 	sp := sched.DefaultParams(cores)
 	m := kern.NewMachine(kern.DefaultParams(cores, func() sched.Scheduler { return cfs.New(sp) }))
+	t.Cleanup(m.Shutdown)
+	return m
+}
+
+func newCordonedMachine(t *testing.T, cores int, d defense.Config) *kern.Machine {
+	t.Helper()
+	sp := sched.DefaultParams(cores)
+	p := kern.DefaultParams(cores, func() sched.Scheduler { return cfs.New(sp) })
+	p.Defense = d
+	m := kern.NewMachine(p)
 	t.Cleanup(m.Shutdown)
 	return m
 }
@@ -84,6 +95,93 @@ func TestVictimStaysDuringAttack(t *testing.T) {
 	m.RunFor(100 * timebase.Millisecond)
 	if !p.Stayed(rec.CoreLog[v.ID()]) {
 		t.Fatalf("victim migrated: core log %v", rec.CoreLog[v.ID()])
+	}
+}
+
+// TestCordonRejectsDummyPins checks the §4.4 setup fails against a
+// cordoned core: Prepare's dummy aimed at the reserved core loses its pin
+// and is placed elsewhere, so the reservation survives the occupation step.
+func TestCordonRejectsDummyPins(t *testing.T) {
+	m := newCordonedMachine(t, 4, Cordon(1, "victim"))
+	p := Prepare(m, 3) // dummies target cores 0, 1, 2
+	m.RunFor(2 * timebase.Millisecond)
+	for _, d := range p.Dummies {
+		if d.CoreID() == 1 {
+			t.Fatalf("%s occupies the cordoned core", d.Name())
+		}
+		if d.Name() == "dummy-1" && d.Pinned() != -1 {
+			t.Fatalf("pin onto the cordoned core survived: pinned=%d", d.Pinned())
+		}
+	}
+	if c := m.Cores()[1]; c.Curr() != nil || c.NrRunnable() != 0 {
+		t.Fatal("cordoned core not empty after Prepare")
+	}
+}
+
+// TestCordonBlocksAttackerFollow checks the pin-the-preemption-thread step:
+// once the victim runs on the reserved core, the attacker cannot pin there,
+// while the admitted victim stays put under an active balancer.
+func TestCordonBlocksAttackerFollow(t *testing.T) {
+	m := newCordonedMachine(t, 4, Cordon(2, "victim"))
+	m.StartBalancer()
+	rec := ktrace.NewRecorder()
+	m.SetTracer(rec)
+	// Busy background on every non-reserved core: the victim's idlest
+	// admissible core is the cordoned one.
+	for i := 0; i < 3; i++ {
+		m.Spawn("worker", func(e *kern.Env) { e.RunLoopForever(loop()) })
+	}
+	m.RunFor(timebase.Millisecond)
+	v := m.Spawn("victim", func(e *kern.Env) { e.RunLoopForever(loop()) })
+	if v.CoreID() != 2 {
+		t.Fatalf("victim placed on %d, want reserved core 2", v.CoreID())
+	}
+	att := m.Spawn("attacker", func(e *kern.Env) {
+		e.SetTimerSlack(1)
+		for i := 0; i < 50; i++ {
+			e.Nanosleep(2 * timebase.Microsecond)
+			e.Burn(10 * timebase.Microsecond)
+		}
+	}, kern.WithPin(2))
+	if att.Pinned() != -1 || att.CoreID() == 2 {
+		t.Fatalf("attacker reached the cordoned core: pinned=%d core=%d",
+			att.Pinned(), att.CoreID())
+	}
+	m.RunFor(20 * timebase.Millisecond)
+	for _, c := range rec.CoreLog[att.ID()] {
+		if c == 2 {
+			t.Fatal("attacker scheduled on the cordoned core")
+		}
+	}
+	p := &Plan{TargetCore: 2}
+	if !p.Stayed(rec.CoreLog[v.ID()]) {
+		t.Fatalf("victim migrated off the reserved core: %v", rec.CoreLog[v.ID()])
+	}
+}
+
+// TestCordonRefusesBalancerMigration checks migration refusal: with the
+// machine oversubscribed everywhere else, the balancer never pulls foreign
+// work onto the reserved core, even across periodic balance passes.
+func TestCordonRefusesBalancerMigration(t *testing.T) {
+	m := newCordonedMachine(t, 2, Cordon(0, "victim"))
+	m.StartBalancer()
+	rec := ktrace.NewRecorder()
+	m.SetTracer(rec)
+	workers := make([]*kern.Thread, 0, 4)
+	for i := 0; i < 4; i++ {
+		w := m.Spawn("worker", func(e *kern.Env) { e.RunLoopForever(loop()) })
+		workers = append(workers, w)
+	}
+	m.RunFor(20 * timebase.Millisecond)
+	for _, w := range workers {
+		for _, c := range rec.CoreLog[w.ID()] {
+			if c == 0 {
+				t.Fatal("foreign worker migrated onto the cordoned core")
+			}
+		}
+	}
+	if c := m.Cores()[0]; c.Curr() != nil || c.NrRunnable() != 0 {
+		t.Fatal("cordoned core hosts foreign work")
 	}
 }
 

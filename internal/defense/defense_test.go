@@ -1,0 +1,228 @@
+package defense
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/rng"
+	"repro/internal/timebase"
+)
+
+// TestValidatePerField exercises the validator one field at a time,
+// matching the fault/fabric/labd convention: every rejection names the
+// offending field.
+func TestValidatePerField(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		want string // "" means valid
+	}{
+		{"zero", Config{}, ""},
+		{"full", Config{
+			SlackRandMax:      timebase.Microsecond,
+			PeriodicJitterMax: timebase.Microsecond,
+			WakeNoiseProb:     0.5,
+			PreemptCap:        4,
+			PreemptWindow:     timebase.Millisecond,
+			CordonCores:       []int{0, 3},
+			CordonAllow:       []string{"victim"},
+		}, ""},
+		{"negative slack", Config{SlackRandMax: -1}, "SlackRandMax"},
+		{"negative periodic", Config{PeriodicJitterMax: -1}, "PeriodicJitterMax"},
+		{"NaN noise", Config{WakeNoiseProb: math.NaN()}, "WakeNoiseProb"},
+		{"noise above one", Config{WakeNoiseProb: 1.5}, "WakeNoiseProb"},
+		{"noise below zero", Config{WakeNoiseProb: -0.1}, "WakeNoiseProb"},
+		{"negative cap", Config{PreemptCap: -1}, "PreemptCap"},
+		{"negative window", Config{PreemptWindow: -1}, "PreemptWindow"},
+		{"negative cordon core", Config{CordonCores: []int{-1}}, "core"},
+		{"duplicate cordon core", Config{CordonCores: []int{2, 2}}, "twice"},
+		{"empty allow prefix", Config{CordonCores: []int{0}, CordonAllow: []string{""}}, "prefix"},
+	}
+	for _, tc := range cases {
+		err := tc.cfg.Validate()
+		if tc.want == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", tc.name, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %v does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestNewRejectsOutOfRangeCordons(t *testing.T) {
+	r := rng.New(1)
+	if _, err := New(Config{CordonCores: []int{4}}, 4, r, nil); err == nil {
+		t.Error("cordoned core beyond the machine accepted")
+	}
+	if _, err := New(Config{CordonCores: []int{0, 1}}, 2, r, nil); err == nil {
+		t.Error("cordoning every core accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNew did not panic on an invalid config")
+		}
+	}()
+	MustNew(Config{WakeNoiseProb: 2}, 4, r, nil)
+}
+
+func TestNewDisabledConfigIsNil(t *testing.T) {
+	s, err := New(Config{}, 4, rng.New(1), metrics.New())
+	if err != nil || s != nil {
+		t.Fatalf("New(zero config) = %v, %v; want nil, nil", s, err)
+	}
+}
+
+func TestPresets(t *testing.T) {
+	names := Presets()
+	if len(names) != 5 || names[0] != "off" {
+		t.Fatalf("Presets() = %v", names)
+	}
+	for _, name := range names {
+		cfg, err := Preset(name)
+		if err != nil {
+			t.Fatalf("Preset(%q): %v", name, err)
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("preset %q invalid: %v", name, err)
+		}
+		if name == "off" && cfg.Enabled() {
+			t.Error("preset off must be disabled")
+		}
+		if name != "off" && !cfg.Enabled() {
+			t.Errorf("preset %q is inert", name)
+		}
+	}
+	if _, err := Preset("bogus"); err == nil || !strings.Contains(err.Error(), "bogus") {
+		t.Errorf("unknown preset error: %v", err)
+	}
+}
+
+func TestSummaryDeterministic(t *testing.T) {
+	if got := (Config{}).Summary(); got != "off" {
+		t.Errorf("zero Summary() = %q", got)
+	}
+	cfg := Config{
+		SlackRandMax: 50 * timebase.Microsecond,
+		PreemptCap:   8,
+		CordonCores:  []int{3, 0},
+		CordonAllow:  []string{"victim", "dummy"},
+	}
+	a, b := cfg.Summary(), cfg.Summary()
+	if a != b || !strings.Contains(a, "cordon=0,3:dummy,victim") {
+		t.Errorf("Summary() = %q / %q", a, b)
+	}
+}
+
+func TestCompose(t *testing.T) {
+	got := Compose(
+		Config{SlackRandMax: 10, PreemptCap: 8, PreemptWindow: 2 * timebase.Millisecond, CordonCores: []int{1}},
+		Config{SlackRandMax: 20, WakeNoiseProb: 0.5, PreemptCap: 3, CordonCores: []int{0}, CordonAllow: []string{"victim"}},
+	)
+	if got.SlackRandMax != 20 || got.WakeNoiseProb != 0.5 || got.PreemptCap != 3 {
+		t.Errorf("strictest-wins merge broken: %+v", got)
+	}
+	if len(got.CordonCores) != 2 || got.CordonCores[0] != 0 || got.CordonCores[1] != 1 {
+		t.Errorf("cordon union broken: %v", got.CordonCores)
+	}
+	if err := got.Validate(); err != nil {
+		t.Errorf("composed config invalid: %v", err)
+	}
+}
+
+// TestDefenseZeroAllocsDisabled pins the disabled path's cost: every hook on
+// the nil Set must be a zero-allocation no-op — this is what lets the
+// kernel call them unconditionally on its hot paths.
+func TestDefenseZeroAllocsDisabled(t *testing.T) {
+	var s *Set
+	allocs := testing.AllocsPerRun(1000, func() {
+		if s.NanosleepExtra(0) != 0 || s.PeriodicExtra(0) != 0 {
+			t.Fatal("nil set produced a delay")
+		}
+		if _, ok := s.RedirectWake("attacker", 0); ok {
+			t.Fatal("nil set redirected a wake")
+		}
+		if s.CapPreempt(1, 0) {
+			t.Fatal("nil set vetoed a preemption")
+		}
+		if s.PinBlocked("attacker", 0) || !s.CoreAllowed("attacker", 0) {
+			t.Fatal("nil set blocked a core")
+		}
+		s.DenyMigration()
+		if s.Config().Enabled() {
+			t.Fatal("nil set reads as enabled")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled defense path allocates %v allocs/op, want 0", allocs)
+	}
+}
+
+// TestHooksDeterministicPerSeed checks two sets with the same config and
+// seed draw identical decisions, and that telemetry counts the events.
+func TestHooksDeterministicPerSeed(t *testing.T) {
+	cfg := Config{SlackRandMax: 40 * timebase.Microsecond, WakeNoiseProb: 0.5}
+	reg := metrics.New()
+	a := MustNew(cfg, 4, rng.New(7), reg)
+	b := MustNew(cfg, 4, rng.New(7), nil)
+	for i := 0; i < 200; i++ {
+		if a.NanosleepExtra(0) != b.NanosleepExtra(0) {
+			t.Fatal("slack draws diverged under the same seed")
+		}
+		ca, oka := a.RedirectWake("x", i%4)
+		cb, okb := b.RedirectWake("x", i%4)
+		if ca != cb || oka != okb {
+			t.Fatal("redirect draws diverged under the same seed")
+		}
+	}
+	if reg.Total("defense_timer_delay_total") != 200 {
+		t.Errorf("slack delay counter = %d, want 200", reg.Total("defense_timer_delay_total"))
+	}
+	if reg.Counter("defense_wake_redirect_total").Value() == 0 {
+		t.Error("no redirects counted at probability 0.5 over 200 draws")
+	}
+}
+
+func TestCapPreemptTumblingWindow(t *testing.T) {
+	s := MustNew(Config{PreemptCap: 2, PreemptWindow: timebase.Millisecond}, 2, rng.New(1), metrics.New())
+	base := timebase.Time(0)
+	for i := 0; i < 2; i++ {
+		if s.CapPreempt(5, base) {
+			t.Fatalf("win %d vetoed inside budget", i)
+		}
+	}
+	if !s.CapPreempt(5, base.Add(timebase.Microsecond)) {
+		t.Fatal("third win in the window not vetoed")
+	}
+	if s.CapPreempt(6, base) {
+		t.Fatal("other task charged against task 5's budget")
+	}
+	if s.CapPreempt(5, base.Add(timebase.Millisecond)) {
+		t.Fatal("budget not replenished after the window")
+	}
+}
+
+func TestCordonAdmission(t *testing.T) {
+	s := MustNew(Config{CordonCores: []int{0}, CordonAllow: []string{"victim"}}, 4, rng.New(1), metrics.New())
+	if !s.CoreAllowed("victim-7", 0) || !s.CoreAllowed("attacker", 1) {
+		t.Error("admissible placements refused")
+	}
+	if s.CoreAllowed("attacker", 0) {
+		t.Error("foreign thread admitted to the cordoned core")
+	}
+	if s.PinBlocked("victim", 0) || !s.PinBlocked("attacker", 0) {
+		t.Error("pin rejection does not follow the allow list")
+	}
+	// Wake noise composed with a cordon must never land a foreign thread
+	// on the cordoned core.
+	s2 := MustNew(Compose(s.Config(), Config{WakeNoiseProb: 1}), 4, rng.New(1), nil)
+	for i := 0; i < 100; i++ {
+		if dst, ok := s2.RedirectWake("attacker", 2); ok && dst == 0 {
+			t.Fatal("redirect landed a foreign thread on the cordoned core")
+		}
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"repro/internal/cfs"
+	"repro/internal/defense"
 	"repro/internal/eevdf"
 	"repro/internal/fault"
 	"repro/internal/gls"
@@ -91,6 +92,41 @@ func Chaos() fault.Config {
 		return cfg
 	}
 	return chaos
+}
+
+// defenseCfg is the package-wide countermeasure configuration applied to
+// every machine NewMachine builds, mirroring the chaos plumbing: the cplab
+// CLI's -defense flag and the matrix harness set it; experiments stay
+// oblivious. The zero Config installs nothing — the machine is byte-for-byte
+// the undefended machine. scopedDefense carries the goroutine-scoped
+// override a parallel campaign worker installs around its entry.
+var (
+	defenseCfg    defense.Config
+	scopedDefense gls.Store[defense.Config]
+)
+
+// SetDefense installs cfg as the process-wide ambient defense configuration
+// for subsequently built experiment machines and returns the previous
+// configuration (restore it when done). The zero Config turns the defense
+// layer off. Only call it from a driving goroutine with no experiments in
+// flight; concurrent runners use ScopeDefense instead.
+func SetDefense(cfg defense.Config) defense.Config {
+	prev := defenseCfg
+	defenseCfg = cfg
+	return prev
+}
+
+// ScopeDefense installs cfg as the calling goroutine's defense configuration
+// and returns the restore function (defer it on the same goroutine). The
+// override shadows SetDefense for machines this goroutine builds.
+func ScopeDefense(cfg defense.Config) (restore func()) { return scopedDefense.Set(cfg) }
+
+// Defense returns the ambient defense configuration, scope-first.
+func Defense() defense.Config {
+	if cfg, ok := scopedDefense.Get(); ok {
+		return cfg
+	}
+	return defenseCfg
 }
 
 // traceCap, when non-nil, attaches a passive trace.Collector to every
@@ -233,6 +269,7 @@ func NewMachine(kind Sched, seed uint64, opts ...MachineOption) *kern.Machine {
 	}
 	p.Seed = seed
 	p.Faults = Chaos()
+	p.Defense = Defense()
 	p.InvariantStride = InvariantStride()
 	for _, o := range opts {
 		o(&p, &sp)
@@ -251,6 +288,9 @@ func NewMachine(kind Sched, seed uint64, opts ...MachineOption) *kern.Machine {
 	// per machine. A nil context makes this one predicted branch.
 	if c := obs.Ambient(); c.Enabled() {
 		c.BeginMachinePhase(fmt.Sprintf("%s seed=%d", kind, seed), m)
+		if p.Defense.Enabled() {
+			c.Mark("defense "+p.Defense.Summary(), nil)
+		}
 	}
 	return m
 }

@@ -1,0 +1,110 @@
+package exps
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/defense"
+	"repro/internal/timebase"
+)
+
+func TestMatrixCellDeterministicPerSeed(t *testing.T) {
+	cfg := MatrixCellConfig{Attack: "nanosleep", Defense: "slackrand", Target: 200, Seed: 7}
+	a, err := RunMatrixCell(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunMatrixCell(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same-seed cells diverged:\n%+v\n%+v", a, b)
+	}
+	if a.String() != b.String() {
+		t.Fatal("renderings diverged")
+	}
+}
+
+func TestMatrixCellOffBaseline(t *testing.T) {
+	r, err := RunMatrixCell(MatrixCellConfig{Attack: "nanosleep", Defense: "off", Target: 200, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.SuccessRate != 1 {
+		t.Fatalf("undefended nanosleep attack success %.3f, want 1", r.SuccessRate)
+	}
+	if r.Overhead != 0 {
+		t.Fatalf("off column overhead %.4f, want exactly 0 (same machine both sides)", r.Overhead)
+	}
+}
+
+func TestMatrixCellCordonCollapsesTimerAttack(t *testing.T) {
+	off, err := RunMatrixCell(MatrixCellConfig{Attack: "nanosleep", Defense: "off", Target: 200, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cor, err := RunMatrixCell(MatrixCellConfig{Attack: "nanosleep", Defense: "cordon", Target: 200, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cor.SuccessRate != 0 {
+		t.Fatalf("cordoned attacker still succeeded: %.3f", cor.SuccessRate)
+	}
+	if cor.Amplification >= off.Amplification {
+		t.Fatalf("cordon kept amplification: %.2f vs %.2f undefended",
+			cor.Amplification, off.Amplification)
+	}
+	if cor.Overhead <= 0 {
+		t.Fatalf("reserving a core reported no benign cost: %.4f", cor.Overhead)
+	}
+}
+
+func TestMatrixCellRejectsUnknownAxes(t *testing.T) {
+	if _, err := RunMatrixCell(MatrixCellConfig{Attack: "rowhammer", Defense: "off"}); err == nil {
+		t.Fatal("unknown attack accepted")
+	}
+	if _, err := RunMatrixCell(MatrixCellConfig{Attack: "nanosleep", Defense: "prayer"}); err == nil {
+		t.Fatal("unknown defense preset accepted")
+	}
+}
+
+func TestDefenseAmbientScoping(t *testing.T) {
+	cordon := defense.Config{CordonCores: []int{0}, CordonAllow: []string{"victim"}}
+	slack := defense.Config{SlackRandMax: 10 * timebase.Microsecond}
+	prev := SetDefense(cordon)
+	defer SetDefense(prev)
+	if got := Defense(); !reflect.DeepEqual(got, cordon) {
+		t.Fatalf("process-wide defense not visible: %+v", got)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		restore := ScopeDefense(slack)
+		if got := Defense(); !reflect.DeepEqual(got, slack) {
+			t.Errorf("scoped defense not visible: %+v", got)
+		}
+		restore()
+		if got := Defense(); !reflect.DeepEqual(got, cordon) {
+			t.Errorf("restore did not fall back to process-wide: %+v", got)
+		}
+	}()
+	<-done
+	// The other goroutine's scope never leaked here.
+	if got := Defense(); !reflect.DeepEqual(got, cordon) {
+		t.Fatalf("scope leaked across goroutines: %+v", got)
+	}
+}
+
+func TestDefenseAmbientReachesMachine(t *testing.T) {
+	restore := ScopeDefense(defense.Config{CordonCores: []int{0}, CordonAllow: []string{"victim"}})
+	defer restore()
+	m := NewMachine(CFS, 1)
+	defer m.Shutdown()
+	if m.Defense() == nil {
+		t.Fatal("ambient defense not installed into the machine")
+	}
+	if got := m.Defense().Config().Summary(); got != "cordon=0:victim" {
+		t.Fatalf("installed config %q", got)
+	}
+}

@@ -72,6 +72,11 @@ func (m *Machine) firstMigratable(src, dst *Core) *Thread {
 		if t.pinned >= 0 && t.pinned != dst.id {
 			continue
 		}
+		// An installed cordon (package defense) keeps foreign threads off
+		// the reserved cores: the balancer never pulls them there.
+		if !m.defense.CoreAllowed(t.name, dst.id) {
+			continue
+		}
 		return t
 	}
 	return nil

@@ -105,6 +105,14 @@ func (m *Machine) injectMigration() {
 		di++
 	}
 	dst := m.cores[di]
+	// An installed cordon (package defense) binds injected migrations too:
+	// a forced move onto a reserved core is refused. The opportunity passes
+	// without Record, like a fault that found no target; the injector's
+	// stream advanced identically, so the run stays deterministic.
+	if !m.defense.CoreAllowed(pick.t.name, dst.id) {
+		m.defense.DenyMigration()
+		return
+	}
 	m.faults.Record(fault.Migrate)
 	m.migrate(pick.src, dst, pick.t, m.now)
 	if dst.curr == nil {

@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/cpu"
+	"repro/internal/defense"
 	"repro/internal/fault"
 	"repro/internal/isa"
 	"repro/internal/metrics"
@@ -99,6 +100,16 @@ type Params struct {
 	// its own stream forked off Seed, so faulty runs stay reproducible and
 	// fault-free runs consume no extra randomness.
 	Faults fault.Config
+
+	// Defense configures installed countermeasures (package defense):
+	// timer-slack randomization, wake-placement noise, per-task
+	// preemption-budget caps, and SchedGuard-style core cordoning, hooked
+	// into the timer and scheduler paths. The zero value installs nothing —
+	// provably inert: the hooks are nil-receiver no-ops that consume no
+	// randomness, so an undefended run is byte-identical to one built
+	// before the layer existed. An enabled defense draws from its own
+	// stream forked off Seed, so defended runs stay reproducible per seed.
+	Defense defense.Config
 
 	// InvariantStride is the cadence, in processed events, of the full
 	// kernel invariant scan (runqueue membership, thread accounting,
@@ -295,6 +306,9 @@ type Machine struct {
 
 	// faults is the fault injector, nil when disabled.
 	faults *fault.Injector
+	// defense is the installed countermeasure set, nil when no defense is
+	// configured (the nil set's hooks are zero-cost no-ops).
+	defense *defense.Set
 	// invarEvery is the full invariant-scan cadence in events (<=0 means
 	// checking is disabled); sinceCheck counts events since the last scan.
 	invarEvery int64
@@ -371,6 +385,18 @@ func NewMachine(p Params) *Machine {
 	}
 	m.reg = reg
 	m.tel = newMachineTelemetry(reg)
+	// Defense wiring, after telemetry so the set's event counters land in
+	// the same registry. The RNG fork only happens for an enabled defense,
+	// so an undefended machine consumes no extra randomness; sim/prog
+	// streams were forked before any conditional fork and are unaffected
+	// either way.
+	if p.Defense.Enabled() {
+		ds, derr := defense.New(p.Defense, p.Cores, root.Fork(4), reg)
+		if derr != nil {
+			panic(fmt.Sprintf("kern: invalid defense config: %v", derr))
+		}
+		m.defense = ds
+	}
 	if reg != nil {
 		m.AttachTracer(&metricsTracer{m: m, tel: m.tel})
 		m.caches.InstrumentMetrics(reg)
@@ -420,6 +446,10 @@ func (m *Machine) Threads() []*Thread { return m.threads }
 // FaultInjector returns the machine's fault injector, or nil when fault
 // injection is disabled.
 func (m *Machine) FaultInjector() *fault.Injector { return m.faults }
+
+// Defense returns the machine's installed countermeasure set, or nil when
+// no defense is configured (the nil set is a valid no-op).
+func (m *Machine) Defense() *defense.Set { return m.defense }
 
 // FaultCounts returns the applied-fault counters by kind name, or nil when
 // fault injection is disabled.
@@ -545,6 +575,12 @@ func (m *Machine) Spawn(name string, prog Func, opts ...SpawnOption) *Thread {
 	for _, o := range opts {
 		o(t)
 	}
+	// SchedGuard-style cordoning: pinning onto a reserved core is rejected
+	// (the affinity call fails) and the thread falls back to scheduler
+	// placement among the cores it is admitted to.
+	if t.pinned >= 0 && m.defense.PinBlocked(t.name, t.pinned) {
+		t.pinned = -1
+	}
 	m.threads = append(m.threads, t)
 	m.tel.spawns.Inc()
 	t.start()
@@ -553,7 +589,7 @@ func (m *Machine) Spawn(name string, prog Func, opts ...SpawnOption) *Thread {
 	if t.pinned >= 0 {
 		c = m.cores[t.pinned]
 	} else {
-		c = m.idlestCore()
+		c = m.idlestCoreFor(t.name)
 	}
 	t.core = c
 	// Bring the destination queue's accounting up to date so placement
@@ -580,6 +616,28 @@ func (m *Machine) idlestCore() *Core {
 	bestLoad := best.NrRunnable()
 	for _, c := range m.cores[1:] {
 		if l := c.NrRunnable(); l < bestLoad {
+			best, bestLoad = c, l
+		}
+	}
+	return best
+}
+
+// idlestCoreFor is idlestCore restricted to the cores the named thread is
+// admitted to under an installed cordon; with no defense it reduces to
+// exactly idlestCore (same scan order and tie-breaking). A fully cordoned
+// machine cannot be constructed (defense.New refuses it), so at least one
+// candidate always exists.
+func (m *Machine) idlestCoreFor(name string) *Core {
+	if m.defense == nil {
+		return m.idlestCore()
+	}
+	var best *Core
+	bestLoad := 0
+	for _, c := range m.cores {
+		if !m.defense.CoreAllowed(name, c.id) {
+			continue
+		}
+		if l := c.NrRunnable(); best == nil || l < bestLoad {
 			best, bestLoad = c, l
 		}
 	}

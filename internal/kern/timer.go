@@ -26,6 +26,10 @@ func (m *Machine) armNanosleep(t *Thread, at timebase.Time, d timebase.Duration)
 			deliver = deliver.Add(extra)
 		}
 	}
+	// Installed slack randomization (package defense): the kernel refuses
+	// to honour a 1ns PR_SET_TIMERSLACK precisely, stretching delivery by a
+	// random bounded amount.
+	deliver = deliver.Add(m.defense.NanosleepExtra(at))
 	ev := m.newEvent(deliver, evTimerFire)
 	ev.thread = t
 	t.wakeEvent = ev
@@ -75,6 +79,9 @@ func (pt *PTimer) armNext() {
 			}
 		}
 	}
+	// Installed timer randomization (package defense) jitters the expiry
+	// delivery of Method 2's channel too.
+	ev.at = ev.at.Add(pt.m.defense.PeriodicExtra(pt.base))
 	// A delivery delayed past the next ideal expiry (possible under DelayIRQ
 	// with a short interval) fires the missed expiry immediately, as a
 	// re-programmed hrtimer would — simulated time must not run backwards.
@@ -153,6 +160,25 @@ func (m *Machine) handleSignal(t *Thread) {
 // current thread — the heart of the Controlled Preemption primitive.
 func (m *Machine) wake(t *Thread) {
 	c := t.core
+	// Installed wake-placement noise (package defense): an unpinned waking
+	// thread may be re-homed on another admissible core before placement,
+	// so the attacker's wakeup lands away from the victim and the same-core
+	// Equation 2.2 comparison never happens. Pinned threads keep their
+	// affinity contract.
+	if t.pinned < 0 {
+		if di, ok := m.defense.RedirectWake(t.name, c.id); ok {
+			dst := m.cores[di]
+			c.chargeCurr(m.now)
+			dst.chargeCurr(m.now)
+			// The blocked task is not queued: re-baseing its virtual time
+			// against the destination queue is a Detach/Attach pair, the
+			// same renormalization migrate applies to queued tasks.
+			c.rq.Detach(t.task)
+			t.core = dst
+			dst.rq.Attach(t.task)
+			c = dst
+		}
+	}
 	// Ambient channel noise accumulated since the last observation
 	// window (§4.3): external LLC pressure evicting recently filled
 	// lines — the victim's and attacker's fresh fills are exactly the
@@ -176,6 +202,13 @@ func (m *Machine) wake(t *Thread) {
 
 	curr := c.curr
 	preempt := curr != nil && c.rq.WakeupPreempt(curr.task, t.task)
+	// Installed preemption-budget cap (package defense): a task over its
+	// per-window budget still enqueues but no longer wins the Equation 2.2
+	// decision — the scheduler grants, the defense vetoes. Charged only on
+	// would-be wins so a capped task's budget replenishes naturally.
+	if preempt && m.defense.CapPreempt(t.task.ID, m.now) {
+		preempt = false
+	}
 	t.wakeTime = m.now
 	t.wakePreempted = preempt
 	m.tracer.Wake(t, c.id, m.now, preempt, curr)

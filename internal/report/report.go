@@ -122,6 +122,53 @@ func SeriesTable(xName string, series ...*stats.Series) string {
 	return b.String()
 }
 
+// Matrix renders a labelled grid — the attack-vs-defense efficacy matrices —
+// with the corner label over the row-label column. cell returns the rendered
+// value for (row, col); "" renders as "-". Columns are sized to their widest
+// entry, so the output is deterministic for deterministic inputs.
+func Matrix(corner string, rows, cols []string, cell func(r, c int) string) string {
+	grid := make([][]string, len(rows))
+	for r := range rows {
+		grid[r] = make([]string, len(cols))
+		for c := range cols {
+			if v := cell(r, c); v != "" {
+				grid[r][c] = v
+			} else {
+				grid[r][c] = "-"
+			}
+		}
+	}
+	wRow := len(corner)
+	for _, r := range rows {
+		if len(r) > wRow {
+			wRow = len(r)
+		}
+	}
+	wCol := make([]int, len(cols))
+	for c, name := range cols {
+		wCol[c] = len(name)
+		for r := range rows {
+			if len(grid[r][c]) > wCol[c] {
+				wCol[c] = len(grid[r][c])
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-*s", wRow, corner)
+	for c, name := range cols {
+		fmt.Fprintf(&b, "  %*s", wCol[c], name)
+	}
+	b.WriteByte('\n')
+	for r, name := range rows {
+		fmt.Fprintf(&b, "%-*s", wRow, name)
+		for c := range cols {
+			fmt.Fprintf(&b, "  %*s", wCol[c], grid[r][c])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
 // LatencyTrace renders named per-sample integer traces (Figure 5.2's probe
 // latencies) as rows of banded characters: ' ' low, '▒' mid, '█' high —
 // with the numeric scale printed alongside.

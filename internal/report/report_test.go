@@ -121,3 +121,19 @@ func TestCampaignSummary(t *testing.T) {
 		}
 	}
 }
+
+func TestMatrix(t *testing.T) {
+	vals := map[[2]int]string{
+		{0, 0}: "100.0%", {0, 1}: "0.0%",
+		{1, 0}: "97.5%",
+	}
+	got := Matrix("attack\\defense", []string{"nanosleep", "colocate"}, []string{"off", "cordon"},
+		func(r, c int) string { return vals[[2]int{r, c}] })
+	want := "" +
+		"attack\\defense     off  cordon\n" +
+		"nanosleep       100.0%    0.0%\n" +
+		"colocate         97.5%       -\n"
+	if got != want {
+		t.Fatalf("grid mismatch:\n%q\nwant\n%q", got, want)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"repro/internal/campaign"
+	"repro/internal/defense"
 	"repro/internal/exps"
 	"repro/internal/fault"
 	"repro/internal/metrics"
@@ -49,6 +50,22 @@ type Options struct {
 	// identical at any stride. The bench harness relaxes it; tests and
 	// ordinary runs keep the kernel default (2048).
 	InvariantStride int
+	// Defense, when non-empty, installs the named countermeasure preset
+	// (package defense; see MatrixDefenses) into every machine the
+	// experiment builds. "" leaves whatever ambient defense the harness
+	// installed; "off" explicitly scopes the zero config, shadowing any
+	// ambient defense. Defended runs stay deterministic per seed.
+	Defense string
+}
+
+// validate rejects options no experiment can honour.
+func (o Options) validate() error {
+	if o.Defense != "" {
+		if _, err := defense.Preset(o.Defense); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func (o Options) seed() uint64 {
@@ -392,12 +409,97 @@ func IDs() []string {
 	return ids
 }
 
-// Lookup finds an experiment by ID.
+// MatrixAttacks lists the attack axis of the defense matrix in canonical
+// order.
+func MatrixAttacks() []string { return exps.MatrixAttacks() }
+
+// MatrixDefenses lists the defense axis (the named presets of package
+// defense) in canonical order, "off" first.
+func MatrixDefenses() []string { return defense.Presets() }
+
+// MatrixID names one attack-vs-defense cell, e.g. "matrix/nanosleep+cordon".
+func MatrixID(attack, def string) string { return "matrix/" + attack + "+" + def }
+
+// MatrixIDs enumerates every cell of the full grid, attack-major.
+func MatrixIDs() []string {
+	var ids []string
+	for _, a := range MatrixAttacks() {
+		for _, d := range MatrixDefenses() {
+			ids = append(ids, MatrixID(a, d))
+		}
+	}
+	return ids
+}
+
+// parseMatrixID splits a "matrix/<attack>+<defense>" cell ID; ok is false
+// for anything else, including unknown axis values.
+func parseMatrixID(id string) (attack, def string, ok bool) {
+	rest, found := strings.CutPrefix(id, "matrix/")
+	if !found {
+		return "", "", false
+	}
+	attack, def, found = strings.Cut(rest, "+")
+	if !found {
+		return "", "", false
+	}
+	if !slicesContains(MatrixAttacks(), attack) || !slicesContains(MatrixDefenses(), def) {
+		return "", "", false
+	}
+	return attack, def, true
+}
+
+func slicesContains(xs []string, want string) bool {
+	for _, x := range xs {
+		if x == want {
+			return true
+		}
+	}
+	return false
+}
+
+// matrixExperiment synthesizes the Experiment for one grid cell. Cells are
+// not in the registry — IDs()/Experiments() list only paper artifacts — but
+// Lookup resolves them, so runs, traces, campaigns and the cluster fabric
+// compose with matrix cells for free.
+func matrixExperiment(attack, def string) Experiment {
+	return Experiment{
+		ID:    MatrixID(attack, def),
+		Title: fmt.Sprintf("Defense matrix cell: %s attack vs %s defense", attack, def),
+		Run: func(o Options) Result {
+			res, err := exps.RunMatrixCell(exps.MatrixCellConfig{
+				Attack:  attack,
+				Defense: def,
+				Target:  pick(o, 1000, 4000),
+				Trials:  pick(o, 8, 16),
+				Seed:    o.seed(),
+			})
+			if err != nil {
+				// Unreachable for parsed IDs: both axes were validated.
+				panic(err)
+			}
+			return res
+		},
+		Metrics: func(r Result) map[string]float64 {
+			c := r.(*exps.MatrixCellResult)
+			return map[string]float64{
+				"success_rate":  c.SuccessRate,
+				"amplification": c.Amplification,
+				"overhead":      c.Overhead,
+			}
+		},
+	}
+}
+
+// Lookup finds an experiment by ID. Besides the registered paper artifacts
+// it resolves defense-matrix cell IDs (see MatrixIDs).
 func Lookup(id string) (Experiment, bool) {
 	for _, e := range registry {
 		if e.ID == id {
 			return e, true
 		}
+	}
+	if attack, def, ok := parseMatrixID(id); ok {
+		return matrixExperiment(attack, def), true
 	}
 	return Experiment{}, false
 }
@@ -407,6 +509,9 @@ func Run(id string, o Options) (Result, error) {
 	e, ok := Lookup(id)
 	if !ok {
 		return nil, fmt.Errorf("repro: unknown experiment %q (known: %v)", id, IDs())
+	}
+	if err := o.validate(); err != nil {
+		return nil, err
 	}
 	defer o.applyAmbient()()
 	return e.Run(o), nil
@@ -431,7 +536,15 @@ func (o Options) applyAmbient() func() {
 	if o.InvariantStride != 0 {
 		restoreStride = exps.ScopeInvariantStride(o.InvariantStride)
 	}
+	restoreDefense := func() {}
+	if o.Defense != "" {
+		// validate() vetted the name; an unknown preset here resolves to the
+		// zero config, i.e. no defense.
+		cfg, _ := defense.Preset(o.Defense)
+		restoreDefense = exps.ScopeDefense(cfg)
+	}
 	return func() {
+		restoreDefense()
 		restoreStride()
 		restoreBudget()
 		restoreChaos()
@@ -490,6 +603,9 @@ func RunGuarded(id string, o Options, retries int) RunReport {
 	e, ok := Lookup(id)
 	if !ok {
 		return RunReport{ID: id, Err: fmt.Errorf("repro: unknown experiment %q (known: %v)", id, IDs())}
+	}
+	if err := o.validate(); err != nil {
+		return RunReport{ID: id, Err: err}
 	}
 	defer o.applyAmbient()()
 	rep := RunReport{ID: id}
@@ -560,6 +676,9 @@ func RunTraced(id string, o Options, maxEventsPerMachine int) (Result, *trace.Tr
 	e, ok := Lookup(id)
 	if !ok {
 		return nil, nil, fmt.Errorf("repro: unknown experiment %q (known: %v)", id, IDs())
+	}
+	if err := o.validate(); err != nil {
+		return nil, nil, err
 	}
 	defer o.applyAmbient()()
 	exps.StartTraceCapture(maxEventsPerMachine)
