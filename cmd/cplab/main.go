@@ -17,7 +17,7 @@
 //	cplab tail -addr A             # live cluster progress from a /status endpoint
 //	cplab metrics -exp <id>        # run instrumented, export telemetry (Prometheus/JSON)
 //	cplab profile -exp <id>        # run profiled, report wall cost by event kind/phase
-//	cplab bench [-o P]             # time the simulator, write BENCH_PR4.json
+//	cplab bench [-o P]             # time the simulator, write BENCH_PR10.json
 //
 // Common flags:
 //
@@ -39,6 +39,7 @@
 //	-wall D       wall-clock budget for the whole session (halts resumable)
 //	-haltafter N  halt (resumable) after N experiments — interruption injection
 //	-parallel N   campaign workers; manifest bytes are identical at any width
+//	-nopool       boot machines fresh instead of forking pooled templates
 //	-force        discard an existing manifest and start over
 //	-diskchaos R  inject ENOSPC/EIO into manifest writes at rate R (testing)
 //
@@ -324,6 +325,7 @@ func campaignCmd(args []string, resumeOnly bool) int {
 	wall := fs.Duration("wall", 0, "wall-clock budget for this session; halts resumable (0 = unbounded)")
 	haltAfter := fs.Int("haltafter", 0, "halt (resumable) after N experiments this session (0 = off)")
 	parallel := fs.Int("parallel", 1, "campaign workers (manifest is byte-identical at any width)")
+	nopool := fs.Bool("nopool", false, "boot every machine fresh instead of forking pooled templates (manifest is byte-identical either way)")
 	force := fs.Bool("force", false, "discard an existing manifest and start over")
 	diskchaos := fs.Float64("diskchaos", 0, "inject ENOSPC/EIO into manifest writes with this probability (testing)")
 	diskchaosseed := fs.Uint64("diskchaosseed", 1, "seed for the -diskchaos fault schedule")
@@ -356,6 +358,7 @@ func campaignCmd(args []string, resumeOnly bool) int {
 			}
 		}
 	}
+	o.NoMachinePool = *nopool
 	entries := repro.CampaignEntries(ids, o, *retries)
 	// The note pins everything but the seed that shapes results, so a
 	// resume under different flags is refused instead of silently merging
@@ -634,7 +637,7 @@ usage:
   cplab list
   cplab run <id> [-paper] [-seed N] [-json] [-faults R] [-simbudget D]
   cplab all [flags]
-  cplab campaign [flags] [-manifest P] [-ids CSV] [-retries N] [-expwall D] [-wall D] [-haltafter N] [-parallel N] [-force]
+  cplab campaign [flags] [-manifest P] [-ids CSV] [-retries N] [-expwall D] [-wall D] [-haltafter N] [-parallel N] [-nopool] [-force]
   cplab resume [same flags — continues the manifest]
   cplab matrix [-attacks CSV] [-defenses CSV] [-manifest P] [-retries N] [-wall D] [-haltafter N] [-parallel N] [-force] [flags]
   cplab cluster -workers URLS [flags] [-shard N] [-parallel N] [-hang D] [-steal D] [-chaosnet R] [-metricsaddr A] [-force]

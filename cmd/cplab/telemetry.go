@@ -15,6 +15,7 @@ import (
 	"repro"
 	"repro/internal/campaign"
 	"repro/internal/durable"
+	"repro/internal/exps"
 	"repro/internal/metrics"
 )
 
@@ -107,7 +108,19 @@ var (
 // milliseconds of wall time.
 const benchCampaignReps = 8
 
-// benchResult is one benchmark row of the bench artifact (BENCH_PR5.json
+// benchBootReps is the number of machine boots the boot-fresh and boot-fork
+// rows each time. On boot rows SimEvents counts boots, so NSPerEvent reads
+// as ns/boot and EventsPerSec as boots/sec.
+const benchBootReps = 64
+
+// benchMicroEntries is the size of the in-memory micro campaign plan the
+// pool-micro rows time. Each entry is a few hundred microseconds of
+// simulation, so entries/sec on these rows measures per-entry machinery —
+// machine acquisition (pool fork vs cold boot), containment, telemetry —
+// rather than simulation volume.
+const benchMicroEntries = 2000
+
+// benchResult is one benchmark row of the bench artifact (BENCH_PR10.json
 // by default).
 type benchResult struct {
 	Name         string  `json:"name"`
@@ -155,10 +168,12 @@ func benchWidths() []int {
 // stride — so the bench measures the simulator, not the checker.
 const benchInvariantStride = 65536
 
-// benchCmd times the simulator end to end — each benchIDs experiment plus a
-// small checkpointed campaign at several pool widths — counting simulated
-// kernel events through per-run telemetry, and writes ns/sim-event,
-// events/sec and entries/sec rows to BENCH_PR5.json. Each row is the best
+// benchCmd times the simulator end to end — each benchIDs experiment,
+// machine boot (cold versus pool fork), a small checkpointed campaign at
+// several pool widths, and an in-memory micro campaign that isolates
+// per-entry overhead — counting simulated kernel events through per-run
+// telemetry, and writes ns/sim-event, events/sec and entries/sec rows to
+// BENCH_PR10.json. Each row is the best
 // of -reps attempts with a forced GC between them, so one badly-timed
 // collection cannot masquerade as a regression. With -compare, the new rows
 // are diffed against a previous artifact and a >10% regression on any row
@@ -166,7 +181,7 @@ const benchInvariantStride = 65536
 func benchCmd(args []string) int {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
 	cf := addCommon(fs)
-	out := fs.String("o", "BENCH_PR5.json", "output path (- for stdout)")
+	out := fs.String("o", "BENCH_PR10.json", "output path (- for stdout)")
 	compare := fs.String("compare", "", "previous bench artifact to diff against (exit 1 on >10% regression)")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU pprof profile of the benchmark runs to this file")
 	reps := fs.Int("reps", 3, "attempts per row; the best (lowest wall time) is kept")
@@ -203,13 +218,28 @@ func benchCmd(args []string) int {
 		file.Benchmarks = append(file.Benchmarks, row)
 		logBenchRow(row)
 	}
+	// Boot rows: the same machine acquisition path, cold (full construction
+	// and teardown) versus forked from a pooled pristine snapshot. The
+	// fork/cold ratio is the machine pool's headline speedup.
+	for _, boot := range []func(uint64) (benchResult, error){benchBootFresh, benchBootFork} {
+		boot := boot
+		row, err := bestOf(*reps, func() (benchResult, error) { return boot(*cf.seed) })
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cplab:", err)
+			return exitDegraded
+		}
+		file.Benchmarks = append(file.Benchmarks, row)
+		logBenchRow(row)
+	}
 	// Campaign widths are swept together inside each attempt — width 1, then
 	// 2, then full — rather than exhausting one width's attempts before the
 	// next starts. Machine noise drifts over seconds; interleaving makes
 	// every width sample the same noise windows, so the per-width best
 	// measures pool scaling instead of which width drew the quiet interval.
+	// The micro campaign rides the same sweep for the same reason.
 	widths := benchWidths()
 	best := make([]benchResult, len(widths))
+	bestMicro := make([]benchResult, len(widths))
 	for rep := 0; rep < *reps; rep++ {
 		for i, workers := range widths {
 			runtime.GC()
@@ -221,11 +251,22 @@ func benchCmd(args []string) int {
 			if rep == 0 || row.WallNS < best[i].WallNS {
 				best[i] = row
 			}
+			runtime.GC()
+			row, err = benchMicro(*cf.seed, workers)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "cplab:", err)
+				return exitDegraded
+			}
+			if rep == 0 || row.WallNS < bestMicro[i].WallNS {
+				bestMicro[i] = row
+			}
 		}
 	}
-	for _, row := range best {
-		file.Benchmarks = append(file.Benchmarks, row)
-		logBenchRow(row)
+	for _, rows := range [][]benchResult{best, bestMicro} {
+		for _, row := range rows {
+			file.Benchmarks = append(file.Benchmarks, row)
+			logBenchRow(row)
+		}
 	}
 
 	data, err := json.MarshalIndent(file, "", "  ")
@@ -392,6 +433,68 @@ func benchCampaign(o repro.Options, seed uint64, workers int) (benchResult, erro
 		}
 	}
 	row := benchRow(fmt.Sprintf("campaign-p%d", workers), wall, events)
+	row.Workers = workers
+	if wall > 0 {
+		row.EntriesPerSec = float64(len(man.IDs)) / wall.Seconds()
+	}
+	return row, nil
+}
+
+// benchBootFresh times cold machine boots: full construction of a 16-core
+// machine — scheduler, cores, RNG streams, event queue — followed by
+// teardown. SimEvents counts boots, so the row reads as ns/boot.
+func benchBootFresh(seed uint64) (benchResult, error) {
+	start := time.Now()
+	for i := 0; i < benchBootReps; i++ {
+		exps.NewMachine(exps.CFS, seed+uint64(i)).Shutdown()
+	}
+	return benchRow("boot-fresh", time.Since(start), benchBootReps), nil
+}
+
+// benchBootFork times the same acquisition path with a machine pool in
+// scope: after one warm-up boot builds the pristine template, every
+// exps.NewMachine forks the pooled snapshot and every Shutdown resets the
+// shell back into the pool. Directly comparable to boot-fresh — the
+// fork/cold ratio is the pool's per-machine speedup.
+func benchBootFork(seed uint64) (benchResult, error) {
+	restore := exps.ScopeMachinePool(exps.NewMachinePool(nil))
+	defer restore()
+	exps.NewMachine(exps.CFS, seed).Shutdown()
+	start := time.Now()
+	for i := 0; i < benchBootReps; i++ {
+		exps.NewMachine(exps.CFS, seed+uint64(i)).Shutdown()
+	}
+	return benchRow("boot-fork", time.Since(start), benchBootReps), nil
+}
+
+// benchMicro times an in-memory (unchecked: Config.Path "") campaign over
+// the micro plan at the given pool width. With per-entry simulation this
+// short, entries/sec is dominated by machine acquisition and campaign
+// machinery — the throughput the machine pool exists to raise.
+func benchMicro(seed uint64, workers int) (benchResult, error) {
+	c, err := campaign.New(campaign.Config{Seed: seed, Note: "bench-micro"},
+		repro.MicroBenchEntries(benchMicroEntries))
+	if err != nil {
+		return benchResult{}, err
+	}
+	start := time.Now()
+	man, err := c.RunParallel(context.Background(), workers)
+	wall := time.Since(start)
+	if err != nil {
+		return benchResult{}, err
+	}
+	if !man.Complete() {
+		return benchResult{}, fmt.Errorf("bench micro campaign did not complete")
+	}
+	var events int64
+	for _, rec := range man.Entries {
+		for name, v := range rec.Telemetry {
+			if base, _ := metrics.SplitName(name); base == "kern_events_total" {
+				events += v
+			}
+		}
+	}
+	row := benchRow(fmt.Sprintf("pool-micro-p%d", workers), wall, events)
 	row.Workers = workers
 	if wall > 0 {
 		row.EntriesPerSec = float64(len(man.IDs)) / wall.Seconds()

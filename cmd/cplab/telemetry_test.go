@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -100,11 +101,13 @@ func TestProfileCmd(t *testing.T) {
 	}
 }
 
-// TestBenchCmd writes a BENCH_PR4.json with a row per benchmark — each
-// experiment plus a campaign row per pool width — each with a positive
-// event count and rate, and campaign rows carrying width and entries/sec.
+// TestBenchCmd writes a bench artifact with a row per benchmark — each
+// experiment, the two boot rows (cold vs pool fork), and a checkpointed
+// campaign row plus an in-memory micro campaign row per pool width — each
+// with a positive event count and rate, and campaign rows carrying width
+// and entries/sec.
 func TestBenchCmd(t *testing.T) {
-	path := filepath.Join(t.TempDir(), "BENCH_PR4.json")
+	path := filepath.Join(t.TempDir(), "BENCH_PR10.json")
 	if code := run([]string{"bench", "-o", path}); code != exitOK {
 		t.Fatalf("exit %d", code)
 	}
@@ -117,11 +120,12 @@ func TestBenchCmd(t *testing.T) {
 		t.Fatalf("invalid JSON: %v\n%s", err, data)
 	}
 	widths := benchWidths()
-	if len(file.Benchmarks) != len(benchIDs)+len(widths) {
-		t.Fatalf("want %d benchmark rows, got %d", len(benchIDs)+len(widths), len(file.Benchmarks))
+	want := len(benchIDs) + 2 + 2*len(widths) // experiments, boot rows, campaign + micro per width
+	if len(file.Benchmarks) != want {
+		t.Fatalf("want %d benchmark rows, got %d", want, len(file.Benchmarks))
 	}
 	names := map[string]bool{}
-	var campaignEvents []int64
+	events := map[string][]int64{}
 	for _, row := range file.Benchmarks {
 		names[row.Name] = true
 		if row.SimEvents <= 0 || row.NSPerEvent <= 0 || row.EventsPerSec <= 0 {
@@ -131,16 +135,21 @@ func TestBenchCmd(t *testing.T) {
 			if row.EntriesPerSec <= 0 {
 				t.Fatalf("campaign row without entries/sec: %+v", row)
 			}
-			campaignEvents = append(campaignEvents, row.SimEvents)
+			plan := strings.TrimSuffix(row.Name, fmt.Sprintf("-p%d", row.Workers))
+			events[plan] = append(events[plan], row.SimEvents)
 		}
 	}
-	if !names["fig4.1"] || !names["campaign-p1"] {
-		t.Fatalf("missing benchmark rows: %v", names)
+	for _, name := range []string{"fig4.1", "boot-fresh", "boot-fork", "campaign-p1", "pool-micro-p1"} {
+		if !names[name] {
+			t.Fatalf("missing benchmark row %s: %v", name, names)
+		}
 	}
 	// Sim-event counts are a property of the plan, not the pool width.
-	for _, ev := range campaignEvents {
-		if ev != campaignEvents[0] {
-			t.Fatalf("campaign event counts differ across widths: %v", campaignEvents)
+	for plan, ev := range events {
+		for _, e := range ev {
+			if e != ev[0] {
+				t.Fatalf("%s event counts differ across widths: %v", plan, ev)
+			}
 		}
 	}
 }

@@ -1,0 +1,98 @@
+package repro
+
+// Fork-identity gate for machine pooling: a machine forked from a pooled
+// pristine template (exps.ScopeMachinePool) must produce a kernel event
+// stream byte-identical to a freshly booted machine's — under the default
+// configuration, under fault injection, under every defense preset, and
+// after arbitrarily many fork/reset reuse cycles of the same pooled
+// shells. The campaign gate below requires the same at the manifest level
+// with pooling on versus off at width 2.
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/campaign"
+	"repro/internal/exps"
+	"repro/internal/trace"
+)
+
+// forkIdentityIDs matches the golden-trace gate: a CFS machine run
+// (fig4.1), a multi-machine noisy run (fig4.6) and a machine-less pure
+// computation (tab2.1).
+var forkIdentityIDs = []string{"fig4.1", "fig4.6", "tab2.1"}
+
+func TestForkedMachineGoldenIdentity(t *testing.T) {
+	variants := []struct {
+		name string
+		opts Options
+	}{
+		{"default", Options{Scale: Quick, Seed: goldenSeed}},
+		{"chaos", Options{Scale: Quick, Seed: goldenSeed, FaultRate: 0.05}},
+	}
+	for _, d := range MatrixDefenses() {
+		variants = append(variants, struct {
+			name string
+			opts Options
+		}{"defense-" + d, Options{Scale: Quick, Seed: goldenSeed, Defense: d}})
+	}
+
+	for _, id := range forkIdentityIDs {
+		for _, v := range variants {
+			t.Run(id+"/"+v.name, func(t *testing.T) {
+				_, fresh, err := RunTraced(id, v.opts, goldenEventCap)
+				if err != nil {
+					t.Fatalf("fresh RunTraced(%s): %v", id, err)
+				}
+				// One pool across three runs: run 1 boots the templates,
+				// runs 2 and 3 fork from machines already through a full
+				// run-and-reset cycle. Every run must match the fresh trace.
+				restore := exps.ScopeMachinePool(exps.NewMachinePool(nil))
+				defer restore()
+				for cycle := 1; cycle <= 3; cycle++ {
+					_, forked, err := RunTraced(id, v.opts, goldenEventCap)
+					if err != nil {
+						t.Fatalf("pooled RunTraced(%s) cycle %d: %v", id, cycle, err)
+					}
+					if d := trace.Diff(forked, fresh); d != nil {
+						t.Fatalf("cycle %d: forked machine trace diverges from fresh boot:\n%s", cycle, d)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestPooledCampaignMatchesUnpooled runs the campaign gate at width 2 with
+// machine pooling on (the default) and off, and requires byte-identical
+// manifests. Under -race this additionally exercises the goroutine-scoped
+// pool hand-off: entries run on fresh contained goroutines that check
+// machine pools in and out of the shared PoolSet, and no machine may ever
+// be reachable from two goroutines at once.
+func TestPooledCampaignMatchesUnpooled(t *testing.T) {
+	run := func(noPool bool) []byte {
+		t.Helper()
+		path := filepath.Join(t.TempDir(), fmt.Sprintf("campaign-pool-%v.json", !noPool))
+		c, err := campaign.New(campaign.Config{Path: path, Seed: 1, Note: "pool-gate"},
+			CampaignEntries(forkIdentityIDs, Options{Scale: Quick, Seed: 1, NoMachinePool: noPool}, 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.RunParallel(context.Background(), 2); err != nil {
+			t.Fatalf("campaign (noPool=%v): %v", noPool, err)
+		}
+		b, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	pooled := run(false)
+	unpooled := run(true)
+	if string(pooled) != string(unpooled) {
+		t.Fatalf("pooled manifest differs from unpooled:\npooled:\n%s\nunpooled:\n%s", pooled, unpooled)
+	}
+}

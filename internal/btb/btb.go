@@ -152,6 +152,20 @@ func (b *BTB) Flush() {
 	}
 }
 
+// Reset returns the BTB to its freshly constructed state and detaches the
+// metric handles. The entry table, if it was ever allocated, is retained
+// but fully zeroed — an entry-for-entry match of a fresh BTB's lazily
+// allocated table, minus the allocation.
+func (b *BTB) Reset() {
+	for i := range b.entries {
+		b.entries[i] = entry{}
+	}
+	b.tel.hits = nil
+	b.tel.misses = nil
+	b.tel.branchUpdates = nil
+	b.tel.nvInvalidates = nil
+}
+
 // Contains reports whether pc currently has a valid entry.
 func (b *BTB) Contains(pc uint64) bool {
 	_, hit := b.Lookup(pc)

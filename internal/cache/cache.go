@@ -78,6 +78,16 @@ type Cache struct {
 	// arena is spare backing storage sets are carved from, in chunks, so a
 	// warming cache does not allocate per set either.
 	arena []way
+	// chunks retains every arena slab ever allocated and chunkPos counts how
+	// many of them are in use, so Reset can rewind carving to the start of
+	// the retained storage instead of leaking it: a reset cache re-warms to
+	// its previous footprint without touching the heap allocator.
+	chunks   [][]way
+	chunkPos int
+	// carved lists the set indices whose ways have been carved, so Reset
+	// only visits touched sets (the LLC has 16K sets; a typical run carves a
+	// few hundred).
+	carved []int
 	// onEvict, when non-nil, is called with the line address of every line
 	// evicted by capacity (not by explicit invalidation). The inclusive LLC
 	// uses it to back-invalidate private caches.
@@ -101,12 +111,41 @@ func New(cfg Config) (*Cache, error) {
 // carve provisions the ways of set si on its first fill.
 func (c *Cache) carve(si int) []way {
 	if len(c.arena) < c.cfg.Ways {
-		c.arena = make([]way, setChunk*c.cfg.Ways)
+		if c.chunkPos < len(c.chunks) {
+			// Re-use a slab retained across Reset.
+			c.arena = c.chunks[c.chunkPos]
+		} else {
+			slab := make([]way, setChunk*c.cfg.Ways)
+			c.chunks = append(c.chunks, slab)
+			c.arena = slab
+		}
+		c.chunkPos++
 	}
 	s := c.arena[:c.cfg.Ways:c.cfg.Ways]
 	c.arena = c.arena[c.cfg.Ways:]
 	c.sets[si] = s
+	c.carved = append(c.carved, si)
 	return s
+}
+
+// Reset returns the cache to its freshly constructed emptiness — every set
+// back to the lazily-carved nil representation, LRU tick rewound — while
+// retaining the arena slabs, so a reset cache is byte-equivalent to a new
+// one but re-warms allocation-free. Machine pooling (package kern) calls
+// this between forks.
+func (c *Cache) Reset() {
+	for _, si := range c.carved {
+		c.sets[si] = nil
+	}
+	c.carved = c.carved[:0]
+	for _, slab := range c.chunks[:c.chunkPos] {
+		for i := range slab {
+			slab[i] = way{}
+		}
+	}
+	c.arena = nil
+	c.chunkPos = 0
+	c.tick = 0
 }
 
 // MustNew is New for statically known-good configurations; it panics on
@@ -392,6 +431,26 @@ func MustNewSystem(cfg SystemConfig) *System {
 		panic(err)
 	}
 	return s
+}
+
+// Reset empties every structure in the hierarchy back to its freshly
+// constructed state (nil sets, rewound LRU ticks, cleared fill ring) while
+// retaining all backing storage, and detaches the metric handles — a fresh
+// system starts uninstrumented; the next owner re-instruments against its
+// own registry. The eviction hook wiring is preserved.
+func (s *System) Reset() {
+	s.llc.Reset()
+	for i := range s.cores {
+		s.cores[i].l1i.Reset()
+		s.cores[i].l1d.Reset()
+		s.cores[i].l2.Reset()
+	}
+	s.fillPos = 0
+	s.fillCount = 0
+	s.tel.access = [4]*metrics.Counter{}
+	s.tel.llcEvictions = nil
+	s.tel.flushes = nil
+	s.tel.disturbs = nil
 }
 
 // Config returns the system configuration.

@@ -110,6 +110,17 @@ func (c *Core) InstrumentMetrics(r *metrics.Registry) {
 	c.BTB.InstrumentMetrics(r)
 }
 
+// Reset returns the core's private microarchitecture (TLBs, BTB) to its
+// freshly constructed state and detaches the metric handles; the shared
+// cache system is reset once, by its owner. Machine pooling calls this
+// between forks.
+func (c *Core) Reset() {
+	c.TLBs.Reset()
+	c.BTB.Reset()
+	c.P = DefaultParams
+	c.retired = nil
+}
+
 // NewCore wires a core against the shared cache system.
 func NewCore(id int, caches *cache.System) *Core {
 	return &Core{

@@ -93,6 +93,7 @@ func ablationProbe(seed uint64, slack timebase.Duration, opts ...MachineOption) 
 // recommended mitigation (Chapter 6): with NO_WAKEUP_PREEMPTION the waking
 // attacker cannot preempt the victim mid-slice and the attack collapses.
 func RunAblationNoWakeupPreemption(seed uint64) *AblationResult {
+	defer scopeTrialPool()()
 	bb, bs := ablationProbe(seed, 0)
 	vb, vs := ablationProbe(seed+1, 0, WithSchedParams(func(sp *sched.Params) {
 		sp.WakeupPreemption = false
@@ -109,6 +110,7 @@ func RunAblationNoWakeupPreemption(seed uint64) *AblationResult {
 // (S_slack = S_bnd = 24ms instead of 12ms): the preemption budget grows
 // from 8ms to 20ms, ~2.5× more preemptions per hibernation.
 func RunAblationGentleFairSleepers(seed uint64) *AblationResult {
+	defer scopeTrialPool()()
 	bb, bs := ablationProbe(seed, 0)
 	vb, vs := ablationProbe(seed+1, 0, WithSchedParams(func(sp *sched.Params) {
 		sp.GentleFairSleepers = false
@@ -125,6 +127,7 @@ func RunAblationGentleFairSleepers(seed uint64) *AblationResult {
 // step of §4.2: with the default 50µs slack, wake-up times smear across
 // tens of microseconds and temporal resolution is destroyed.
 func RunAblationDefaultTimerSlack(seed uint64) *AblationResult {
+	defer scopeTrialPool()()
 	bb, bs := ablationProbe(seed, 0)
 	vb, vs := ablationProbe(seed+1, 50*timebase.Microsecond)
 	return &AblationResult{
@@ -142,6 +145,7 @@ func RunAblationRoundRobin(seed uint64, target int) *AblationResult {
 	if target <= 0 {
 		target = 2500
 	}
+	defer scopeTrialPool()()
 	// Single thread: bursts with re-hibernation gaps.
 	m1 := NewMachine(CFS, seed)
 	m1.Spawn("victim", func(e *kern.Env) {

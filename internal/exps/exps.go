@@ -254,19 +254,20 @@ func InvariantStride() int {
 // NewMachine builds the experiment machine for the given scheduler and
 // seed. When an ambient sim-time profiler is installed, each machine opens
 // a new profiling phase, so a multi-machine experiment's wall-clock cost is
-// attributed per machine in construction order.
+// attributed per machine in construction order. When an ambient MachinePool
+// is scoped (ScopeMachinePool), the machine is a seeded fork of the pool's
+// template for this configuration — byte-identical to a fresh build, minus
+// the boot cost — unless an option installed its own scheduler constructor
+// or telemetry sink, which always builds fresh.
 func NewMachine(kind Sched, seed uint64, opts ...MachineOption) *kern.Machine {
 	if prof := metrics.AmbientProfiler(); prof != nil {
 		prof.BeginPhase(fmt.Sprintf("%s seed=%d", kind, seed))
 	}
 	sp := sched.DefaultParams(Cores)
-	var p kern.Params
-	switch kind {
-	case EEVDF:
-		p = kern.DefaultParams(Cores, func() sched.Scheduler { return eevdf.New(sp) })
-	default:
-		p = kern.DefaultParams(Cores, func() sched.Scheduler { return cfs.New(sp) })
-	}
+	// NewSched stays nil until every option ran: a non-nil constructor
+	// afterwards means an option supplied a custom scheduler, which the
+	// fingerprint cannot see — those machines bypass the pool.
+	p := kern.DefaultParams(Cores, nil)
 	p.Seed = seed
 	p.Faults = Chaos()
 	p.Defense = Defense()
@@ -275,7 +276,22 @@ func NewMachine(kind Sched, seed uint64, opts ...MachineOption) *kern.Machine {
 		o(&p, &sp)
 	}
 	p.Sched = sp
-	m := kern.NewMachine(p)
+	custom := p.NewSched != nil
+	if !custom {
+		switch kind {
+		case EEVDF:
+			p.NewSched = func() sched.Scheduler { return eevdf.New(sp) }
+		default:
+			p.NewSched = func() sched.Scheduler { return cfs.New(sp) }
+		}
+	}
+	var m *kern.Machine
+	if mp, ok := scopedPool.Get(); ok && !custom && p.Metrics == nil && p.Profiler == nil {
+		m = mp.get(kind, p)
+	}
+	if m == nil {
+		m = kern.NewMachine(p)
+	}
 	if traceCap != nil {
 		col := trace.NewCollector(traceCap.max)
 		m.AttachTracer(col)

@@ -42,6 +42,7 @@ func RunExtEEVDF(cfg ExtEEVDFConfig) *ExtEEVDFResult {
 		cfg.Trials = 15
 	}
 	res := &ExtEEVDFResult{Config: cfg}
+	defer scopeTrialPool()()
 	seed := cfg.Seed
 	for _, m := range cfg.Measures {
 		var lens []int64

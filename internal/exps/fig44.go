@@ -55,6 +55,7 @@ func RunFig44(cfg Fig44Config) *Fig44Result {
 		cfg.Trials = 50
 	}
 	res := &Fig44Result{Config: cfg}
+	defer scopeTrialPool()()
 	seed := cfg.Seed
 	for _, mdur := range cfg.Measures {
 		for trial := 0; trial < cfg.Trials; trial++ {
@@ -62,7 +63,9 @@ func RunFig44(cfg Fig44Config) *Fig44Result {
 			res.Points = append(res.Points, runBurstTrial(cfg.Sched, cfg.Nice, mdur, seed))
 		}
 	}
-	res.Budget = NewMachine(cfg.Sched, 0).Params().Sched.PreemptionBudget()
+	// Both schedulers run the same tunables; the budget is a pure function
+	// of them — no machine needed.
+	res.Budget = sched.DefaultParams(Cores).PreemptionBudget()
 	return res
 }
 

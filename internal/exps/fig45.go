@@ -50,6 +50,7 @@ func RunFig45(cfg Fig45Config) *Fig45Result {
 	// cost (the Goldilocks arithmetic of §4.2).
 	const iVic = epsilon + 300*timebase.Nanosecond - 1500*timebase.Nanosecond
 	res := &Fig45Result{Config: cfg, Nices: cfg.Nices}
+	defer scopeTrialPool()()
 	seed := cfg.Seed
 
 	// Calibrate effective I_attacker from a nice-0 trial.

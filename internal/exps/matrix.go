@@ -85,6 +85,12 @@ func RunMatrixCell(cfg MatrixCellConfig) (*MatrixCellResult, error) {
 	}
 	res := &MatrixCellResult{Attack: cfg.Attack, Defense: cfg.Defense}
 
+	// One pool spans the whole cell: the defended attack machines, the
+	// colocation trials and the two overhead machines each fork from their
+	// own per-configuration template (the defense config is part of the
+	// template fingerprint).
+	defer scopeTrialPool()()
+
 	// Attack phase, under the cell's defense. Scoped even for "off", so an
 	// ambient SetDefense cannot leak into a baseline cell.
 	restore := ScopeDefense(dcfg)

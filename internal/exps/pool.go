@@ -1,0 +1,160 @@
+package exps
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/gls"
+	"repro/internal/kern"
+	"repro/internal/metrics"
+)
+
+// Machine pooling: NewMachine costs ~a millisecond of arena carving and
+// scheduler construction, and the trial-heavy experiments (ablation probes,
+// colocation placements, matrix cells, fig4.4's Measures×Trials grid) build
+// hundreds of machines that differ only by seed. A MachinePool keeps one
+// pristine template snapshot per machine *configuration* and serves every
+// subsequent request for that configuration as a seeded fork from a pool of
+// reset machines (kern.Pool), so the steady-state cost of "a fresh machine"
+// drops to re-seeding RNG streams and re-resolving telemetry in place.
+//
+// Correctness rests on the kernel's fork contract (kern.Snapshot): a
+// pristine-template fork under seed S is byte-identical — same event
+// stream, same RNG draws, same telemetry — to kern.NewMachine with seed S.
+// Pooling is therefore invisible in results, traces and manifests; it only
+// changes wall-clock time.
+
+// fingerprint canonicalizes a machine configuration: everything in
+// kern.Params except the seed (the fork axis) and the unprintable
+// per-machine attachments (NewSched is rebuilt per template; Metrics and
+// Profiler force a pool bypass in NewMachine before fingerprinting). Two
+// calls agree on a fingerprint iff a template built for one serves the
+// other, so per-iteration parameter mutation in a trial loop is validated
+// structurally, up front: a mutated configuration can never silently reuse
+// the old template — it misses the cache and boots its own.
+func fingerprint(kind Sched, p kern.Params) string {
+	fp := p
+	fp.Seed = 0
+	fp.NewSched = nil
+	fp.Metrics = nil
+	fp.Profiler = nil
+	return fmt.Sprintf("%s|%+v", kind, fp)
+}
+
+// MachinePool caches pristine machine templates by configuration
+// fingerprint and hands out seeded forks. A MachinePool is single-goroutine,
+// like the kern.Pools it wraps: scope it to the goroutine building machines
+// (ScopeMachinePool), and use a PoolSet to share warm pools across the
+// sequential entries of a parallel campaign.
+type MachinePool struct {
+	// reg receives the pooling telemetry (kern_forks_total,
+	// kern_pool_hits/misses_total, kern_snapshot_bytes). It is captured at
+	// construction — deliberately not the ambient registry at fork time —
+	// so per-entry campaign registries stay free of pooling counters and
+	// manifests are byte-identical whether pooling is on or off.
+	reg *metrics.Registry
+	// pools maps fingerprint → template pool; a nil value records a
+	// configuration that failed to snapshot (so it is not re-attempted).
+	pools map[string]*kern.Pool
+}
+
+// NewMachinePool returns an empty pool reporting into reg (nil disables the
+// pooling telemetry).
+func NewMachinePool(reg *metrics.Registry) *MachinePool {
+	return &MachinePool{reg: reg, pools: map[string]*kern.Pool{}}
+}
+
+// get returns a machine for the fully resolved parameters, forked from the
+// fingerprint's template (booting the template on first miss), or nil when
+// the configuration cannot be pooled — the caller then builds fresh.
+func (mp *MachinePool) get(kind Sched, p kern.Params) *kern.Machine {
+	key := fingerprint(kind, p)
+	kp, known := mp.pools[key]
+	if !known {
+		tmpl := kern.NewMachine(p)
+		snap, err := tmpl.Snapshot()
+		tmpl.Shutdown()
+		if err != nil {
+			// A configuration that cannot snapshot (custom non-Cloner
+			// scheduler reached through the kind switch) is remembered as
+			// unpoolable.
+			mp.pools[key] = nil
+			return nil
+		}
+		kp = kern.NewPool(snap, mp.reg)
+		mp.pools[key] = kp
+	}
+	if kp == nil {
+		return nil
+	}
+	m, err := kp.GetSeeded(p.Seed)
+	if err != nil {
+		return nil
+	}
+	return m
+}
+
+// scopedPool carries the goroutine-scoped ambient MachinePool, mirroring
+// scopedChaos: a campaign entry (or a trial-loop driver) installs its pool
+// on its own goroutine and every NewMachine call from that goroutine forks
+// from it, with no locks on the machine-construction hot path.
+var scopedPool gls.Store[*MachinePool]
+
+// ScopeMachinePool installs mp as the calling goroutine's machine pool and
+// returns the restore function (defer it on the same goroutine). While
+// scoped, NewMachine serves poolable configurations as template forks.
+func ScopeMachinePool(mp *MachinePool) (restore func()) { return scopedPool.Set(mp) }
+
+// scopeTrialPool gives a multi-trial driver a throwaway machine pool when
+// the caller has not scoped one, so its per-iteration machines fork from
+// one template instead of booting from scratch. With a pool already ambient
+// (a campaign entry), it is a no-op and the entry's warm pool serves the
+// trials.
+func scopeTrialPool() (restore func()) {
+	if _, ok := scopedPool.Get(); ok {
+		return func() {}
+	}
+	return ScopeMachinePool(NewMachinePool(nil))
+}
+
+// PoolSet shares MachinePools across the goroutine-per-entry structure of a
+// parallel campaign. Each contained entry goroutine acquires one
+// MachinePool for its whole entry (creating it on first use, up to one per
+// concurrent worker), scopes it, and releases it when the entry finishes —
+// so pools migrate between entry goroutines but are only ever used by one
+// at a time, and a width-N campaign converges on N warm pools whose
+// templates and free machines are reused for the rest of the plan.
+type PoolSet struct {
+	mu   sync.Mutex
+	reg  *metrics.Registry
+	free []*MachinePool
+}
+
+// NewPoolSet returns an empty set whose pools report into reg (nil disables
+// pooling telemetry). reg is shared by every pool in the set — hand it the
+// harness registry, never a per-entry one.
+func NewPoolSet(reg *metrics.Registry) *PoolSet { return &PoolSet{reg: reg} }
+
+// Scope acquires a MachinePool, installs it as the calling goroutine's
+// ambient pool, and returns the release function (defer it on the same
+// goroutine): release restores the previous scope and returns the pool —
+// with its now-warm templates — to the set.
+func (ps *PoolSet) Scope() (release func()) {
+	ps.mu.Lock()
+	var mp *MachinePool
+	if n := len(ps.free); n > 0 {
+		mp = ps.free[n-1]
+		ps.free[n-1] = nil
+		ps.free = ps.free[:n-1]
+	} else {
+		mp = NewMachinePool(ps.reg)
+	}
+	ps.mu.Unlock()
+	restore := ScopeMachinePool(mp)
+	return func() {
+		restore()
+		ps.mu.Lock()
+		ps.free = append(ps.free, mp)
+		ps.mu.Unlock()
+	}
+}

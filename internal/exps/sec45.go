@@ -30,6 +30,7 @@ func RunSec45(cfg Sec45Config) *Sec45Result {
 		cfg.Trials = 165
 	}
 	res := &Sec45Result{Config: cfg}
+	defer scopeTrialPool()()
 	seed := cfg.Seed
 	for i := 0; i < cfg.Trials; i++ {
 		seed++

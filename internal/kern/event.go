@@ -213,6 +213,37 @@ func (q *eventQueue) down(i int) {
 	}
 }
 
+// reset empties the queue in place: every queued event (live or lazily
+// cancelled) returns to the freelist and the counters rewind, so a pooled
+// machine's next life starts from an empty queue without dropping the
+// event arena.
+func (q *eventQueue) reset() {
+	for i, e := range q.heap {
+		q.heap[i] = nil
+		*e = event{}
+		q.free = append(q.free, e)
+	}
+	q.heap = q.heap[:0]
+	q.seq = 0
+	q.live = 0
+	q.liveTimers = 0
+}
+
+// pushRaw re-enqueues a restored event keeping its recorded seq — unlike
+// push it neither advances q.seq nor renumbers e. Snapshot restore feeds it
+// the captured events in capture order and then overwrites q.seq with the
+// captured counter, reproducing the source queue's tie-breaking exactly.
+func (q *eventQueue) pushRaw(e *event) {
+	if !e.cancelled {
+		q.live++
+		if e.kind == evTimerFire {
+			q.liveTimers++
+		}
+	}
+	q.heap = append(q.heap, e)
+	q.up(len(q.heap) - 1)
+}
+
 // depth counts live (non-cancelled) queued events.
 func (q *eventQueue) depth() int { return q.live }
 

@@ -78,6 +78,17 @@ func (f *FlightRecorder) Wake(t *Thread, core int, at timebase.Time, preempted b
 	f.record(e)
 }
 
+// Depth returns the ring capacity.
+func (f *FlightRecorder) Depth() int { return len(f.buf) }
+
+// Reset empties the recorder in place, reusing the ring storage. Stale
+// entries beyond the write position are unreachable (Len and Dump derive
+// everything from the total count), so they are not scrubbed.
+func (f *FlightRecorder) Reset() {
+	f.next = 0
+	f.n = 0
+}
+
 // Len returns how many events are currently held (≤ depth).
 func (f *FlightRecorder) Len() int {
 	if f.n < int64(len(f.buf)) {

@@ -325,10 +325,28 @@ type Machine struct {
 	reg    *metrics.Registry
 	prof   *metrics.Profiler
 	flight *FlightRecorder
+
+	// pool, when non-nil, is the free-pool this machine returns to on
+	// Shutdown instead of being discarded (see Pool). running guards
+	// against pooling a machine whose Run loop unwound via panic; inPool
+	// marks a machine currently parked in its pool (double-Shutdown guard).
+	pool    *Pool
+	running bool
+	inPool  bool
 }
 
 // NewMachine builds a machine.
 func NewMachine(p Params) *Machine {
+	p = normalizeParams(p)
+	m := buildShell(p)
+	m.init(p)
+	return m
+}
+
+// normalizeParams applies the construction defaults NewMachine documents.
+// It is split out so the pool path can fingerprint and build from the same
+// normalized view a fresh construction would use.
+func normalizeParams(p Params) Params {
 	if p.Cores <= 0 {
 		p.Cores = 1
 	}
@@ -341,24 +359,19 @@ func NewMachine(p Params) *Machine {
 	if p.CacheConfig.Cores == 0 {
 		p.CacheConfig = cache.I9900K(p.Cores)
 	}
+	return p
+}
+
+// buildShell allocates the machine's long-lived memory — the cache system,
+// the cores with their runqueue and microarchitecture instances — without
+// touching seed-dependent or registry-dependent state. A shell is completed
+// by init (fresh construction, pool warm-up) or by a Snapshot restore.
+func buildShell(p Params) *Machine {
 	caches, err := cache.NewSystem(p.CacheConfig)
 	if err != nil {
 		panic(fmt.Sprintf("kern: invalid cache config: %v", err))
 	}
-	root := rng.New(p.Seed)
-	m := &Machine{
-		p:       p,
-		caches:  caches,
-		tracer:  nopTracer{},
-		primary: nopTracer{},
-		simRNG:  root.Fork(1),
-		progRNG: root.Fork(2),
-		nextTID: 1,
-	}
-	m.invarEvery = int64(p.InvariantStride)
-	if m.invarEvery == 0 {
-		m.invarEvery = defaultInvariantInterval
-	}
+	m := &Machine{caches: caches}
 	m.cores = make([]*Core, p.Cores)
 	for i := range m.cores {
 		m.cores[i] = &Core{
@@ -367,6 +380,29 @@ func NewMachine(p Params) *Machine {
 			rq:  p.NewSched(),
 			cpu: cpu.NewCore(i, m.caches),
 		}
+	}
+	return m
+}
+
+// init brings a shell (fresh from buildShell, or scrubbed by resetForReuse)
+// to the exact state NewMachine establishes: RNG streams derived from
+// p.Seed in construction order, fault injector and its first check event,
+// telemetry resolved against the explicit-or-ambient registry, defense set,
+// profiler and flight recorder. Reused memory (RNG structs, the telemetry
+// block, the flight ring, runqueue and arena storage) is re-seeded in place
+// rather than reallocated, which is what makes a pooled fork allocation-free
+// in steady state.
+func (m *Machine) init(p Params) {
+	m.p = p
+	m.tracer = nopTracer{}
+	m.primary = nopTracer{}
+	m.nextTID = 1
+	root := rng.New(p.Seed)
+	m.simRNG = reseed(m.simRNG, root.ForkState(1))
+	m.progRNG = reseed(m.progRNG, root.ForkState(2))
+	m.invarEvery = int64(p.InvariantStride)
+	if m.invarEvery == 0 {
+		m.invarEvery = defaultInvariantInterval
 	}
 	if p.Faults.Enabled() {
 		in, err := fault.NewInjector(p.Faults, root.Fork(3))
@@ -384,7 +420,10 @@ func NewMachine(p Params) *Machine {
 		reg = metrics.Ambient()
 	}
 	m.reg = reg
-	m.tel = newMachineTelemetry(reg)
+	if m.tel == nil {
+		m.tel = &machineTelemetry{}
+	}
+	m.tel.resolve(reg)
 	// Defense wiring, after telemetry so the set's event counters land in
 	// the same registry. The RNG fork only happens for an enabled defense,
 	// so an undefended machine consumes no extra randomness; sim/prog
@@ -412,10 +451,68 @@ func NewMachine(p Params) *Machine {
 		m.prof = metrics.AmbientProfiler()
 	}
 	if p.FlightRecorderDepth >= 0 {
-		m.flight = NewFlightRecorder(p.FlightRecorderDepth)
+		depth := p.FlightRecorderDepth
+		if depth <= 0 {
+			depth = DefaultFlightDepth
+		}
+		if m.flight != nil && m.flight.Depth() == depth {
+			m.flight.Reset()
+		} else {
+			m.flight = NewFlightRecorder(p.FlightRecorderDepth)
+		}
 		m.AttachTracer(m.flight)
+	} else {
+		m.flight = nil
 	}
-	return m
+}
+
+// reseed resets r to state in place, allocating only when r is nil.
+func reseed(r *rng.RNG, state uint64) *rng.RNG {
+	if r == nil {
+		return rng.New(state)
+	}
+	r.SetState(state)
+	return r
+}
+
+// resetForReuse scrubs a shut-down machine back to shell state so init can
+// rebuild it for a different seed or a snapshot restore can overwrite it.
+// Long-lived memory — event freelist, thread slice capacity, runqueue nodes,
+// cache/TLB arena slabs, the telemetry block, the flight ring — is retained.
+// The caller must have killed all thread goroutines first (Shutdown does).
+func (m *Machine) resetForReuse() {
+	m.events.reset()
+	for i := range m.threads {
+		m.threads[i] = nil
+	}
+	m.threads = m.threads[:0]
+	for _, c := range m.cores {
+		c.curr = nil
+		c.clock = 0
+		c.currStart = 0
+		c.lastUpdate = 0
+		c.tickArmed = false
+		if cl, ok := c.rq.(sched.Cloner); ok {
+			cl.ResetState()
+		}
+		c.cpu.Reset()
+	}
+	m.caches.Reset()
+	m.primary = nopTracer{}
+	m.tracer = nopTracer{}
+	for i := range m.extra {
+		m.extra[i] = nil
+	}
+	m.extra = m.extra[:0]
+	m.faults = nil
+	m.defense = nil
+	m.reg = nil
+	m.prof = nil
+	m.now = 0
+	m.nextTID = 1
+	m.yieldCount = 0
+	m.sinceCheck = 0
+	// m.tel and m.flight stay allocated; init re-resolves them in place.
 }
 
 // Params returns the machine's configuration.
@@ -665,10 +762,14 @@ func (m *Machine) newEvent(at timebase.Time, kind eventKind) *event {
 // next queued event is a millisecond away), so grants handed to threads are
 // dynamically bounded by the live earliest event: see advanceCore.
 func (m *Machine) Run(deadline timebase.Time, cond func() bool) timebase.Time {
+	// running stays set across a panic unwind, so a machine whose Run loop
+	// died mid-dispatch is never returned to a pool (Shutdown checks it).
+	m.running = true
 	for {
 		ev := m.events.peek()
 		if ev == nil && deadline == timebase.Never {
 			// Nothing will ever happen: do not advance into infinity.
+			m.running = false
 			return m.now
 		}
 		T := deadline
@@ -684,6 +785,7 @@ func (m *Machine) Run(deadline timebase.Time, cond func() bool) timebase.Time {
 		if ev == nil || ev.at > deadline {
 			m.now = deadline
 			m.syncAccounting()
+			m.running = false
 			return m.now
 		}
 		m.events.pop()
@@ -707,6 +809,7 @@ func (m *Machine) Run(deadline timebase.Time, cond func() bool) timebase.Time {
 		}
 		if cond != nil && cond() {
 			m.syncAccounting()
+			m.running = false
 			return m.now
 		}
 	}
@@ -726,11 +829,21 @@ func (m *Machine) RunFor(d timebase.Duration) timebase.Time {
 	return m.Run(m.now.Add(d), nil)
 }
 
-// Shutdown unwinds all live thread goroutines. The machine must not be used
-// afterwards.
+// Shutdown unwinds all live thread goroutines. A machine forked from a Pool
+// is scrubbed and returned to the pool for reuse; it must not be used after
+// Shutdown either way. A machine whose Run loop unwound via panic is killed
+// but never pooled, so a crashed simulation cannot poison later forks.
 func (m *Machine) Shutdown() {
+	if m.inPool {
+		return
+	}
 	for _, t := range m.threads {
 		t.kill()
+	}
+	if m.pool != nil && !m.running {
+		m.resetForReuse()
+		m.inPool = true
+		m.pool.put(m)
 	}
 }
 

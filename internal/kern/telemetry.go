@@ -29,36 +29,50 @@ type machineTelemetry struct {
 	migrations *metrics.Counter
 }
 
-// newMachineTelemetry resolves the kernel metric names against r (which may
-// be nil, yielding no-op handles). All label formatting happens here, once:
-// the dispatch and sched paths only ever index pre-resolved handle families.
-func newMachineTelemetry(r *metrics.Registry) *machineTelemetry {
-	tel := &machineTelemetry{}
-	if r == nil {
-		return tel
-	}
+// telemetryKinds and telemetryReasons are the label-value tables resolve
+// feeds to CounterFamily, computed once: resolve runs per machine
+// construction and per pool fork, so per-call rebuilding of static string
+// slices is wasted work on the campaign path.
+var telemetryKinds = func() []string {
 	kinds := make([]string, numEventKinds)
 	for k := range kinds {
 		kinds[k] = eventKind(k).String()
 	}
-	copy(tel.events[:], r.CounterFamily("kern_events_total", "kind", kinds))
+	return kinds
+}()
+
+var telemetryReasons = func() []string {
+	reasons := make([]string, int(OutPreemptedFault)+1)
+	for reason := range reasons {
+		reasons[reason] = SchedOutReason(reason).String()
+	}
+	return reasons
+}()
+
+// resolve re-points the telemetry block at r (which may be nil, yielding
+// no-op handles), overwriting whatever registry it fed before — machine
+// pooling re-resolves the same block per fork, so the struct is zeroed
+// first rather than relying on the registry to overwrite every field. All
+// label formatting happens here, once: the dispatch and sched paths only
+// ever index pre-resolved handle families.
+func (tel *machineTelemetry) resolve(r *metrics.Registry) {
+	*tel = machineTelemetry{}
+	if r == nil {
+		return
+	}
+	copy(tel.events[:], r.CounterFamily("kern_events_total", "kind", telemetryKinds))
 	tel.timerArmedNanosleep = r.Counter(`kern_timer_armed_total{type="nanosleep"}`)
 	tel.timerArmedPeriodic = r.Counter(`kern_timer_armed_total{type="periodic"}`)
 	tel.timerFired = r.Counter("kern_timer_fired_total")
 	tel.timerDropped = r.Counter("kern_timer_dropped_total")
 	tel.schedIn = r.Counter("kern_sched_in_total")
-	reasons := make([]string, len(tel.schedOut))
-	for reason := range reasons {
-		reasons[reason] = SchedOutReason(reason).String()
-	}
-	copy(tel.schedOut[:], r.CounterFamily("kern_sched_out_total", "reason", reasons))
+	copy(tel.schedOut[:], r.CounterFamily("kern_sched_out_total", "reason", telemetryReasons))
 	tel.wakes = r.Counter("kern_wake_total")
 	tel.wakePreemptHit = r.Counter(`kern_wake_preempt_total{outcome="hit"}`)
 	tel.wakePreemptMis = r.Counter(`kern_wake_preempt_total{outcome="miss"}`)
 	tel.wakeDepth = r.Histogram("kern_runqueue_depth", metrics.DepthBuckets)
 	tel.spawns = r.Counter("kern_spawn_total")
 	tel.migrations = r.Counter("kern_migrations_total")
-	return tel
 }
 
 // metricsTracer feeds scheduling events into the machine telemetry. It is

@@ -201,7 +201,11 @@ func (r *Registry) CounterFamily(base, label string, values []string) []*Counter
 		return fam
 	}
 	for i, v := range values {
-		fam[i] = r.Counter(fmt.Sprintf("%s{%s=%q}", base, label, v))
+		// Hand-built name: this runs per machine construction (and per pool
+		// fork), where fmt's reflection path showed up as a fifth of the
+		// forked-campaign profile. Values are identifier-like, so quoting is
+		// plain concatenation.
+		fam[i] = r.Counter(base + "{" + label + `="` + v + `"}`)
 	}
 	return fam
 }

@@ -21,12 +21,28 @@ type RNG struct {
 // New returns a generator seeded with seed.
 func New(seed uint64) *RNG { return &RNG{state: seed} }
 
+// State returns the generator's internal state. Together with SetState it
+// lets a snapshot capture and replay a stream mid-sequence: a generator
+// restored to a saved state produces exactly the tail the original would
+// have produced.
+func (r *RNG) State() uint64 { return r.state }
+
+// SetState overwrites the generator's internal state (see State).
+func (r *RNG) SetState(s uint64) { r.state = s }
+
 // Fork derives an independent generator from r, labelled by tag. Forked
 // streams are statistically independent of the parent and of forks with
 // other tags, which lets one experiment seed many subsystems without
 // cross-contamination when call orders change.
 func (r *RNG) Fork(tag uint64) *RNG {
-	return New(r.Uint64() ^ (tag * 0x9e3779b97f4a7c15))
+	return New(r.ForkState(tag))
+}
+
+// ForkState advances r exactly as Fork does and returns the state a Fork
+// with the same tag would start from, without allocating — re-seeding a
+// pooled generator in place (SetState) then matches a fresh Fork exactly.
+func (r *RNG) ForkState(tag uint64) uint64 {
+	return r.Uint64() ^ (tag * 0x9e3779b97f4a7c15)
 }
 
 // Uint64 returns the next 64 uniformly random bits.

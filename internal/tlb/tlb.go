@@ -53,6 +53,12 @@ type TLB struct {
 	tick    uint64
 	// arena is spare backing storage sets are carved from, in chunks.
 	arena []entry
+	// chunks retains every arena slab and chunkPos counts the slabs in use,
+	// so Reset rewinds carving over retained storage (see cache.Cache).
+	chunks   [][]entry
+	chunkPos int
+	// carved lists carved set indices so Reset only visits touched sets.
+	carved []int
 }
 
 // setChunk is how many sets' worth of entries one arena growth provisions.
@@ -71,12 +77,38 @@ func New(cfg Config) (*TLB, error) {
 // carve provisions the entries of set si on its first fill.
 func (t *TLB) carve(si int) []entry {
 	if len(t.arena) < t.cfg.Ways {
-		t.arena = make([]entry, setChunk*t.cfg.Ways)
+		if t.chunkPos < len(t.chunks) {
+			t.arena = t.chunks[t.chunkPos]
+		} else {
+			slab := make([]entry, setChunk*t.cfg.Ways)
+			t.chunks = append(t.chunks, slab)
+			t.arena = slab
+		}
+		t.chunkPos++
 	}
 	s := t.arena[:t.cfg.Ways:t.cfg.Ways]
 	t.arena = t.arena[t.cfg.Ways:]
 	t.sets[si] = s
+	t.carved = append(t.carved, si)
 	return s
+}
+
+// Reset returns the TLB to its freshly constructed emptiness (nil sets,
+// rewound LRU tick) while retaining arena slabs for allocation-free
+// re-warming. Unlike Flush it is not a simulated event: no counters move.
+func (t *TLB) Reset() {
+	for _, si := range t.carved {
+		t.sets[si] = nil
+	}
+	t.carved = t.carved[:0]
+	for _, slab := range t.chunks[:t.chunkPos] {
+		for i := range slab {
+			slab[i] = entry{}
+		}
+	}
+	t.arena = nil
+	t.chunkPos = 0
+	t.tick = 0
 }
 
 // MustNew is New for statically known-good configurations; it panics on
@@ -263,6 +295,20 @@ func (c *CoreTLBs) TranslateData(addr uint64) int64 {
 		c.DTLB.Insert(vpn)
 		return c.Lat.Walk
 	}
+}
+
+// Reset empties every level back to construction state and detaches the
+// metric handles (a fresh bundle starts uninstrumented). Not a simulated
+// flush: no counters move, and backing storage is retained.
+func (c *CoreTLBs) Reset() {
+	c.ITLB.Reset()
+	c.DTLB.Reset()
+	c.STLB.Reset()
+	c.tel.itlbHits = nil
+	c.tel.dtlbHits = nil
+	c.tel.stlbHits = nil
+	c.tel.walks = nil
+	c.tel.flushes = nil
 }
 
 // FlushAll empties every level (SGX asynchronous enclave exit).

@@ -9,6 +9,7 @@ import (
 	"repro/internal/defense"
 	"repro/internal/exps"
 	"repro/internal/fault"
+	"repro/internal/kern"
 	"repro/internal/metrics"
 	"repro/internal/timebase"
 	"repro/internal/trace"
@@ -56,6 +57,15 @@ type Options struct {
 	// installed; "off" explicitly scopes the zero config, shadowing any
 	// ambient defense. Defended runs stay deterministic per seed.
 	Defense string
+	// NoMachinePool disables campaign machine pooling: by default
+	// CampaignEntries gives every entry a pooled machine template set
+	// (exps.ScopeMachinePool), so the machines an entry builds are seeded
+	// forks of one pristine boot per configuration instead of from-scratch
+	// constructions. Forks are byte-identical to fresh machines (the
+	// kern.Snapshot contract), so results, traces and manifests do not
+	// change either way — this switch exists for A/B verification and as
+	// an escape hatch.
+	NoMachinePool bool
 }
 
 // validate rejects options no experiment can honour.
@@ -641,6 +651,18 @@ func CampaignEntries(ids []string, o Options, retries int) []campaign.Entry {
 			ids = append(ids, e.ID)
 		}
 	}
+	// One pool set serves the whole plan: each entry goroutine checks out a
+	// machine-pool exclusively for its entry and returns it warm, so a
+	// width-N parallel campaign converges on N template boots per machine
+	// configuration and every later entry forks instead of booting. The
+	// set's telemetry (kern_forks_total, pool hits/misses) reports into the
+	// registry ambient *here*, on the planning goroutine — never into the
+	// per-entry registries — so manifests stay byte-identical with pooling
+	// on or off.
+	var ps *exps.PoolSet
+	if !o.NoMachinePool {
+		ps = exps.NewPoolSet(metrics.Ambient())
+	}
 	out := make([]campaign.Entry, 0, len(ids))
 	for _, id := range ids {
 		e, ok := Lookup(id)
@@ -650,6 +672,9 @@ func CampaignEntries(ids []string, o Options, retries int) []campaign.Entry {
 		}
 		exp := e
 		out = append(out, campaign.Entry{ID: exp.ID, Run: func(seed uint64) campaign.Attempt {
+			if ps != nil {
+				defer ps.Scope()()
+			}
 			oa := o
 			oa.Seed = seed
 			rep := RunGuarded(exp.ID, oa, retries)
@@ -662,6 +687,46 @@ func CampaignEntries(ids []string, o Options, retries int) []campaign.Entry {
 			att.Metrics = exp.Metrics(rep.Result)
 			return att
 		}})
+	}
+	return out
+}
+
+// MicroBenchEntries builds a plan of n tiny machine-bound entries for the
+// benchmark harness: each entry boots (or, thanks to the default machine
+// pooling, forks) a full 16-core machine, runs a short attack-shaped
+// workload — an ε-sleeper preempting a spinner on a shared core — and
+// shuts the machine down. The per-entry simulation is a few hundred
+// microseconds, so the plan's entries/sec measures the fixed per-entry
+// machinery (machine acquisition, containment, telemetry) rather than
+// simulation volume; it is the headline number for the machine pool.
+func MicroBenchEntries(n int) []campaign.Entry {
+	ps := exps.NewPoolSet(metrics.Ambient())
+	out := make([]campaign.Entry, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, campaign.Entry{
+			ID: fmt.Sprintf("micro@%d", i),
+			Run: func(seed uint64) campaign.Attempt {
+				defer ps.Scope()()
+				m := exps.NewMachine(exps.CFS, seed)
+				defer m.Shutdown()
+				m.Spawn("victim", func(e *kern.Env) {
+					for {
+						e.Burn(100 * timebase.Microsecond)
+					}
+				}, kern.WithPin(0))
+				done := false
+				m.Spawn("attacker", func(e *kern.Env) {
+					e.SetTimerSlack(1)
+					for i := 0; i < 3; i++ {
+						e.Nanosleep(30 * timebase.Microsecond)
+						e.Burn(10 * timebase.Microsecond)
+					}
+					done = true
+				}, kern.WithPin(0))
+				m.Run(m.Now().Add(5*timebase.Millisecond), func() bool { return done })
+				return campaign.Attempt{Attempts: 1, Rendered: "ok"}
+			},
+		})
 	}
 	return out
 }
